@@ -1,0 +1,158 @@
+// Command cobra-asm assembles COBRA assembly into 80-bit microcode words
+// and disassembles microcode images back into canonical assembly.
+//
+// Usage:
+//
+//	cobra-asm [-d] [-o out] [in]
+//
+// Without -d the input is assembly text and the output is one 20-hex-digit
+// word per line; with -d the direction reverses. Reading from stdin when no
+// input file is given. -gen emits the microcode of a built-in cipher
+// configuration (e.g. -gen rijndael-2 -key 000102...) instead of reading
+// input, which is the quickest way to obtain a realistic program to study.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"cobra/internal/asm"
+	"cobra/internal/bench"
+	"cobra/internal/isa"
+)
+
+func main() {
+	disasm := flag.Bool("d", false, "disassemble microcode words into assembly")
+	out := flag.String("o", "", "output file (default stdout)")
+	gen := flag.String("gen", "", "emit a built-in cipher program, e.g. rijndael-2, rc6-20, serpent-8")
+	keyHex := flag.String("key", strings.Repeat("00", 16), "key for -gen (hex)")
+	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *gen != "" {
+		if err := generate(w, *gen, *keyHex, *disasm); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *disasm {
+		words, err := parseWords(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		text, err := asm.Disassemble(words)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprint(w, text)
+		return
+	}
+	words, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	writeWords(w, words)
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "" || path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+// writeWords emits one 80-bit word per line as 20 hex digits.
+func writeWords(w io.Writer, words []isa.Word) {
+	for _, word := range words {
+		fmt.Fprintf(w, "%04x%016x\n", word.Hi, word.Lo)
+	}
+}
+
+// parseWords reads the 20-hex-digit-per-line format back.
+func parseWords(src string) ([]isa.Word, error) {
+	var words []isa.Word
+	for i, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, ";") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(line) != 20 {
+			return nil, fmt.Errorf("line %d: expected 20 hex digits, got %q", i+1, line)
+		}
+		hi, err := strconv.ParseUint(line[:4], 16, 16)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", i+1, err)
+		}
+		lo, err := strconv.ParseUint(line[4:], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", i+1, err)
+		}
+		words = append(words, isa.Word{Hi: uint16(hi), Lo: lo})
+	}
+	if len(words) == 0 {
+		return nil, fmt.Errorf("no microcode words in input")
+	}
+	return words, nil
+}
+
+// generate emits a built-in cipher program as words or assembly.
+func generate(w io.Writer, name, keyHex string, asText bool) error {
+	key, err := hex.DecodeString(keyHex)
+	if err != nil {
+		return fmt.Errorf("bad -key: %v", err)
+	}
+	dash := strings.LastIndex(name, "-")
+	if dash < 0 {
+		return fmt.Errorf("-gen expects alg-rounds or alg-dec-rounds, e.g. rijndael-2")
+	}
+	rounds, err := strconv.Atoi(name[dash+1:])
+	if err != nil {
+		return fmt.Errorf("bad round count in %q", name)
+	}
+	alg := name[:dash]
+	build := bench.Build
+	if strings.HasSuffix(alg, "-dec") {
+		alg = strings.TrimSuffix(alg, "-dec")
+		build = bench.BuildDecrypt
+	}
+	p, err := build(bench.Config{Alg: alg, Rounds: rounds}, key)
+	if err != nil {
+		return err
+	}
+	if asText {
+		text, err := asm.DisassembleInstrs(p.Instrs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "; %s: %d instructions, %d rows, window %d\n",
+			p.Name, len(p.Instrs), p.Geometry.Rows, p.Window)
+		fmt.Fprint(w, text)
+		return nil
+	}
+	writeWords(w, p.Words())
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cobra-asm:", err)
+	os.Exit(1)
+}

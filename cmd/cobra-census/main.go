@@ -1,0 +1,101 @@
+// Command cobra-census prints the §3 block-cipher study: the 41 analyzed
+// ciphers, the Table 2 atomic-operation occurrence counts, and the derived
+// COBRA element requirements.
+//
+// Usage:
+//
+//	cobra-census            # Table 2 + requirements
+//	cobra-census -ciphers   # per-cipher operation matrix
+//	cobra-census -op "Variable Rotation"   # which ciphers use an operation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"cobra/internal/census"
+)
+
+func main() {
+	listCiphers := flag.Bool("ciphers", false, "print the per-cipher operation matrix")
+	opName := flag.String("op", "", "list ciphers using the named operation")
+	flag.Parse()
+
+	if *opName != "" {
+		for _, o := range census.Ops() {
+			if strings.EqualFold(o.Name(), *opName) {
+				for _, n := range census.Supporting(o) {
+					fmt.Println(n)
+				}
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "cobra-census: unknown operation %q\n", *opName)
+		os.Exit(1)
+	}
+
+	if *listCiphers {
+		w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+		fmt.Fprint(w, "Cipher\tBlock")
+		ops := census.Ops()
+		for _, o := range ops {
+			fmt.Fprintf(w, "\t%s", shortName(o))
+		}
+		fmt.Fprintln(w)
+		for _, c := range census.Studied() {
+			fmt.Fprintf(w, "%s\t%d", c.Name, c.BlockBits)
+			for _, o := range ops {
+				mark := ""
+				if c.Uses(o) {
+					mark = "x"
+				}
+				fmt.Fprintf(w, "\t%s", mark)
+			}
+			fmt.Fprintln(w)
+		}
+		w.Flush()
+		return
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "Table 2: Occurrence of block cipher atomic operations")
+	fmt.Fprintln(w, "Operation\tOccurrences\tCOBRA element")
+	reqs := census.Requirements()
+	for i, r := range census.Table2() {
+		el := reqs[i].Element
+		if el == "" {
+			el = "(unsupported by design)"
+		}
+		fmt.Fprintf(w, "%s\t%d of %d\t%s\n", r.Name, r.Occurrences, r.Total, el)
+	}
+	w.Flush()
+	sizes := census.BlockSizes()
+	fmt.Printf("\nStudy scope: %d ciphers (%d with 64-bit blocks, %d with 128-bit blocks)\n",
+		len(census.Studied()), sizes[64], sizes[128])
+}
+
+// shortName abbreviates operation names for the matrix header.
+func shortName(o census.Op) string {
+	switch o {
+	case census.OpBoolean:
+		return "Bool"
+	case census.OpModAddSub:
+		return "Add"
+	case census.OpFixedShift:
+		return "Shift"
+	case census.OpVarRotate:
+		return "VRot"
+	case census.OpModMult:
+		return "Mul"
+	case census.OpGFMult:
+		return "GF"
+	case census.OpModInv:
+		return "Inv"
+	case census.OpLUT:
+		return "LUT"
+	}
+	return "?"
+}

@@ -1,0 +1,170 @@
+// custom-cipher demonstrates the §1 scenario that closes the paper's case
+// for reconfigurable hardware over ASICs: "applications exist which require
+// modification of a standardized algorithm, e.g., by using proprietary
+// S-Boxes or permutations. Such modifications are easily made with
+// reconfigurable hardware."
+//
+// The example defines ROTOR, a toy proprietary 4-round SP cipher (per-round
+// key XOR from the eRAMs, proprietary paged 4-bit S-boxes, fixed rotations,
+// and a proprietary byte permutation on the shufflers), writes it directly
+// in COBRA assembly, assembles it with the toolchain, runs it on the
+// cycle-accurate machine, and validates the datapath against an independent
+// Go model of the same cipher. No compiler support was needed — the cipher
+// exists only as a page of assembly.
+//
+// (ROTOR is a demonstration vehicle, not a secure cipher.)
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"cobra/internal/asm"
+	"cobra/internal/bits"
+	"cobra/internal/datapath"
+	"cobra/internal/sim"
+)
+
+// The proprietary material: four 4-bit S-box pages and four round keys.
+var (
+	sboxPages = [4][16]uint8{
+		{0xc, 0x5, 0x6, 0xb, 0x9, 0x0, 0xa, 0xd, 0x3, 0xe, 0xf, 0x8, 0x4, 0x7, 0x1, 0x2},
+		{0x7, 0xd, 0xe, 0x3, 0x0, 0x6, 0x9, 0xa, 0x1, 0x2, 0x8, 0x5, 0xb, 0xc, 0x4, 0xf},
+		{0x2, 0xc, 0x4, 0x1, 0x7, 0xa, 0xb, 0x6, 0x8, 0x5, 0x3, 0xf, 0xd, 0x0, 0xe, 0x9},
+		{0xf, 0x1, 0x8, 0xe, 0x6, 0xb, 0x3, 0x4, 0x9, 0x7, 0x2, 0xd, 0xc, 0x0, 0x5, 0xa},
+	}
+	roundKeys = [4][4]uint32{
+		{0x0123a5b4, 0x45670ff0, 0x89ab1234, 0xcdef9876},
+		{0x11111111, 0x22222222, 0x33333333, 0x44444444},
+		{0xdeadbeef, 0xcafebabe, 0x0badf00d, 0xfeedface},
+		{0xa5a5a5a5, 0x5a5a5a5a, 0x3c3c3c3c, 0xc3c3c3c3},
+	}
+	rotAmounts = [4]uint8{5, 8, 11, 14}
+)
+
+// assembleROTOR writes the cipher as COBRA assembly source.
+func assembleROTOR() string {
+	var b strings.Builder
+	b.WriteString("; ROTOR: a proprietary 4-round SP cipher, handwritten for COBRA\n")
+	b.WriteString("DISOUT all\n")
+
+	// Proprietary S-box pages into every 4->4 bank (pages 0..3).
+	for bank := 0; bank < 4; bank++ {
+		for group := 0; group < 8; group++ { // pages 0-3 occupy groups 0-7
+			page, half := group/2, group%2
+			var word uint32
+			for i := 0; i < 8; i++ {
+				word |= uint32(sboxPages[page][half*8+i]) << (4 * i)
+			}
+			fmt.Fprintf(&b, "LUTLD all S4 BANK %d GROUP %d 0x%08x\n", bank, group, word)
+		}
+	}
+
+	// Round rows: key XOR, proprietary S-box page, fixed rotation.
+	for r := 0; r < 4; r++ {
+		fmt.Fprintf(&b, "CFGE r%d A1 XOR INER\n", r)
+		fmt.Fprintf(&b, "CFGE r%d C S4 PAGE %d\n", r, r)
+		fmt.Fprintf(&b, "CFGE r%d E3 ROTL IMM %d\n", r, rotAmounts[r])
+		fmt.Fprintf(&b, "CFGE r%d ER BANK 0 ADDR %d\n", r, r)
+	}
+
+	// Round keys into the eRAMs.
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			fmt.Fprintf(&b, "ERAMW c%d BANK 0 ADDR %d 0x%08x\n", c, r, roundKeys[r][c])
+		}
+	}
+
+	// Proprietary byte permutation: rotate the 16-byte stream left by one
+	// on both shufflers (between rounds 0/1 and 2/3).
+	for s := 0; s < 2; s++ {
+		fmt.Fprintf(&b, "SHUF %d LO 1 2 3 4 5 6 7 8\n", s)
+		fmt.Fprintf(&b, "SHUF %d HI 9 10 11 12 13 14 15 0\n", s)
+	}
+
+	b.WriteString("INMUX EXT\n")
+	b.WriteString("idle: FLAG SET READY\n")
+	b.WriteString("FLAG SET BUSY,DVALID CLR READY\n")
+	b.WriteString("ENOUT all\n")
+	b.WriteString("loop: NOP\n")
+	b.WriteString("JMP loop\n")
+
+	return b.String()
+}
+
+// rotorModel is the independent Go model of the same cipher.
+func rotorModel(blk bits.Block128) bits.Block128 {
+	byteRotate := func(v bits.Block128) bits.Block128 {
+		var out bits.Block128
+		for i := 0; i < 16; i++ {
+			out = out.SetByte(i, v.Byte((i+1)%16))
+		}
+		return out
+	}
+	for r := 0; r < 4; r++ {
+		if r == 1 || r == 3 {
+			blk = byteRotate(blk)
+		}
+		for c := 0; c < 4; c++ {
+			w := blk[c] ^ roundKeys[r][c]
+			var sub uint32
+			for lane := 0; lane < 8; lane++ {
+				n := w >> (4 * uint(lane)) & 0xf
+				sub |= uint32(sboxPages[r][n]) << (4 * uint(lane))
+			}
+			blk[c] = bits.RotL(sub, uint(rotAmounts[r]))
+		}
+	}
+	return blk
+}
+
+func main() {
+	src := assembleROTOR()
+	words, err := asm.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ROTOR assembled: %d lines of assembly -> %d microcode words\n",
+		strings.Count(src, "\n"), len(words))
+
+	m, err := sim.New(datapath.BaseGeometry(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.LoadProgram(words); err != nil {
+		log.Fatal(err)
+	}
+	if reason, err := m.Run(sim.Limits{}); err != nil || reason != sim.StopWaitGo {
+		log.Fatalf("setup: %v %v", reason, err)
+	}
+
+	// Stream a few blocks and validate against the independent model.
+	inputs := []bits.Block128{
+		{0x00000000, 0x00000000, 0x00000000, 0x00000000},
+		{0x01234567, 0x89abcdef, 0xfedcba98, 0x76543210},
+		{0xffffffff, 0xffffffff, 0xffffffff, 0xffffffff},
+		{0x00112233, 0x44556677, 0x8899aabb, 0xccddeeff},
+	}
+	m.PushInput(inputs...)
+	m.Go = true
+	if _, err := m.Run(sim.Limits{StopAfterOutputs: len(inputs)}); err != nil {
+		log.Fatal(err)
+	}
+	outs := m.Outputs()
+	allOK := true
+	for i, in := range inputs {
+		want := rotorModel(in)
+		ok := outs[i] == want
+		allOK = allOK && ok
+		fmt.Printf("  block %d: datapath %08x  model %08x  match=%v\n",
+			i, outs[i], want, ok)
+	}
+	if !allOK {
+		log.Fatal("datapath disagrees with the model")
+	}
+	st := m.Stats()
+	fmt.Printf("cycles: %d for %d blocks (combinational 4-round pipeline, 1 block/cycle)\n",
+		st.Cycles, st.BlocksOut)
+	fmt.Println("a proprietary cipher deployed as one page of microcode — no new silicon.")
+}

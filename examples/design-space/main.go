@@ -1,0 +1,53 @@
+// design-space sweeps the unroll-depth design space of §4: for every
+// Table 3 configuration it measures cycles per block on the simulator,
+// derives the clock from the timing model and the gate count from the area
+// model, and prints the resulting throughput and cycle-gates product — the
+// data behind Tables 3 and 6 and the paper's loop-unrolling discussion
+// ("intermediate degrees of unrolling do not always result in an improved
+// CG product").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cobra/internal/bench"
+)
+
+func main() {
+	key := make([]byte, 16)
+	const batch = 64
+
+	ms, err := bench.MeasureAll(key, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := bench.Table6Rows(ms)
+
+	fmt.Printf("COBRA design-space sweep (batch of %d blocks per point)\n\n", batch)
+	fmt.Printf("%-9s %5s %6s %10s %9s %12s %14s %9s\n",
+		"alg", "rnds", "rows", "cyc/blk", "MHz", "Mbps", "gates", "normCG")
+	lastAlg := ""
+	for i, m := range ms {
+		if m.Alg != lastAlg && lastAlg != "" {
+			fmt.Println()
+		}
+		lastAlg = m.Alg
+		fmt.Printf("%-9s %5d %6d %10.2f %9.3f %12.2f %14d %9.3f\n",
+			m.Alg, m.Rounds, m.Rows, m.CyclesPerBlock, m.FreqMHz, m.Mbps,
+			rows[i].Gates, rows[i].Normalized)
+	}
+
+	fmt.Println("\nobservations (cf. §4.2):")
+	bestRounds := map[string]int{}
+	bestNorm := map[string]float64{}
+	for _, r := range rows {
+		if n, ok := bestNorm[r.Cipher]; !ok || r.Normalized < n {
+			bestNorm[r.Cipher] = r.Normalized
+			bestRounds[r.Cipher] = r.Rounds
+		}
+	}
+	for _, alg := range []string{"rc6", "rijndael", "serpent"} {
+		fmt.Printf("  %-9s best CG product at %d rounds unrolled\n", alg, bestRounds[alg])
+	}
+}

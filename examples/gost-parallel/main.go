@@ -1,0 +1,66 @@
+// gost-parallel demonstrates a mapping beyond the paper's evaluation:
+// GOST 28147-89 on the base COBRA array. Because GOST blocks are 64 bits,
+// the 128-bit datapath encrypts two blocks per pass — block A in columns
+// 0-1, block B in columns 2-3 — doubling per-pass throughput relative to
+// the 128-bit ciphers. The round function is a single RCE row pair (adder,
+// composed 8→8 S-box tables, <<<11, XOR), with the Feistel swap handled by
+// input-select role relabeling.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"cobra/internal/cipher"
+	"cobra/internal/program"
+)
+
+func main() {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(3 * i)
+	}
+
+	p, err := program.BuildGOST(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := program.NewMachine(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := program.Load(m, p); err != nil {
+		log.Fatal(err)
+	}
+
+	// 16 GOST blocks = 8 superblocks of two parallel 64-bit blocks.
+	src := make([]byte, 16*8)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	ct, stats, err := program.EncryptBytes(m, p, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ref, err := cipher.NewGOST(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := make([]byte, len(src))
+	for i := 0; i < len(src); i += 8 {
+		ref.Encrypt(want[i:], src[i:])
+	}
+	if !bytes.Equal(ct, want) {
+		log.Fatal("datapath output does not match the GOST reference")
+	}
+
+	gostBlocks := len(src) / 8
+	fmt.Printf("GOST 28147-89 on the base 4x4 COBRA array\n")
+	fmt.Printf("  microcode:        %d instructions\n", len(p.Instrs))
+	fmt.Printf("  64-bit blocks:    %d (two per 128-bit pass)\n", gostBlocks)
+	fmt.Printf("  datapath cycles:  %d (%.1f per 64-bit block)\n",
+		stats.Cycles, float64(stats.Cycles)/float64(gostBlocks))
+	fmt.Printf("  verified against the reference implementation: ok\n")
+}

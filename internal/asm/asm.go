@@ -1,0 +1,779 @@
+// Package asm implements the COBRA assembly language (§4: "Key scheduling
+// and encryption were either coded in COBRA assembly language and assembled
+// into microcode or written directly as microcode").
+//
+// The language is line oriented; ';' and '#' start comments, labels end in
+// ':'. One statement assembles to one 80-bit instruction word. The
+// disassembler emits canonical assembly that re-assembles to identical
+// microcode, so assemble∘disassemble is the identity on packed programs.
+//
+// Statement forms (slices are all, rN, cN or rN.cN; numbers are decimal or
+// 0x-prefixed hex):
+//
+//	NOP
+//	HALT
+//	JMP   <label|addr>
+//	ENOUT <slice>             DISOUT <slice>
+//	FLAG  [SET f,f,...] [CLR f,f,...]
+//	CFGE  <slice> INSEL INA|INB|INC|IND|PA|PB|PC|PD
+//	CFGE  <slice> E1|E2|E3 BYP | SHL|SHR|ROTL|ROTR IMM <n> | SHL|SHR|ROTL|ROTR <blk>
+//	CFGE  <slice> A1|A2 BYP | XOR|AND|OR <src> [SHL <n>|ROTLBY <n>]
+//	CFGE  <slice> B BYP | ADD|SUB W8|W16|W32 <src>
+//	CFGE  <slice> C BYP | S8 | S4 PAGE <n> | S8TO32 BYTE <n>
+//	CFGE  <slice> D BYP | SQR | MUL16|MUL32 <src>
+//	CFGE  <slice> F BYP | LANES|MDS <k0> <k1> <k2> <k3>
+//	CFGE  <slice> REG ON|OFF
+//	CFGE  <slice> ER BANK <b> ADDR <a>
+//	LUTLD <slice> S8|S4 BANK <b> GROUP <g> <data32>
+//	SHUF  <idx> LO|HI <p0> ... <p7>
+//	INMUX EXT | FB | ERAM BANK <b> ADDR <a>
+//	WHITE cN OFF | XOR|ADD|XORIN|ADDIN <key32>
+//	ERAMW cN BANK <b> ADDR <a> <val32>
+//	CAPCFG cN OFF | ON BANK <b> ADDR <a>
+//
+// where <src> is INA, INB, INC, IND, INER, or IMM <val32>, and <blk> is a
+// data-dependent amount source (INB, INC, IND or INER).
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cobra/internal/isa"
+)
+
+// Error is a source-located assembly error.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error satisfies the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// Assemble translates assembly source into packed microcode.
+func Assemble(src string) ([]isa.Word, error) {
+	prog, err := AssembleInstrs(src)
+	if err != nil {
+		return nil, err
+	}
+	words := make([]isa.Word, len(prog))
+	for i, in := range prog {
+		words[i] = in.Pack()
+	}
+	return words, nil
+}
+
+// AssembleInstrs translates assembly source into decoded instructions.
+func AssembleInstrs(src string) ([]isa.Instr, error) {
+	lines := strings.Split(src, "\n")
+
+	// Pass 1: statement extraction and label resolution.
+	type stmt struct {
+		line   int
+		fields []string
+	}
+	var stmts []stmt
+	labels := make(map[string]int)
+	for i, raw := range lines {
+		line := raw
+		if j := strings.IndexAny(line, ";#"); j >= 0 {
+			line = line[:j]
+		}
+		line = strings.TrimSpace(line)
+		for {
+			// Leading labels, possibly several on one line.
+			j := strings.Index(line, ":")
+			if j < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:j])
+			if name == "" || strings.ContainsAny(name, " \t") {
+				break
+			}
+			if _, dup := labels[name]; dup {
+				return nil, &Error{i + 1, fmt.Sprintf("duplicate label %q", name)}
+			}
+			labels[name] = len(stmts)
+			line = strings.TrimSpace(line[j+1:])
+		}
+		if line == "" {
+			continue
+		}
+		stmts = append(stmts, stmt{i + 1, strings.Fields(line)})
+	}
+
+	// Pass 2: encode.
+	prog := make([]isa.Instr, 0, len(stmts))
+	for _, s := range stmts {
+		in, err := encodeStmt(s.fields, labels)
+		if err != nil {
+			return nil, &Error{s.line, err.Error()}
+		}
+		prog = append(prog, in)
+	}
+	if len(prog) == 0 {
+		return nil, &Error{0, "no instructions"}
+	}
+	return prog, nil
+}
+
+// parseNum accepts decimal or 0x hex.
+func parseNum(tok string) (uint64, error) {
+	v, err := strconv.ParseUint(strings.TrimPrefix(strings.ToLower(tok), "+"), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", tok)
+	}
+	return v, nil
+}
+
+// parseSlice accepts all, rN, cN, rN.cN.
+func parseSlice(tok string) (isa.Slice, error) {
+	t := strings.ToLower(tok)
+	if t == "all" {
+		return isa.SliceAll(), nil
+	}
+	if dot := strings.Index(t, "."); dot >= 0 {
+		r, c := t[:dot], t[dot+1:]
+		if !strings.HasPrefix(r, "r") || !strings.HasPrefix(c, "c") {
+			return isa.Slice{}, fmt.Errorf("bad slice %q", tok)
+		}
+		rn, err1 := parseNum(r[1:])
+		cn, err2 := parseNum(c[1:])
+		if err1 != nil || err2 != nil || rn > 255 || cn > 3 {
+			return isa.Slice{}, fmt.Errorf("bad slice %q", tok)
+		}
+		return isa.SliceAt(int(rn), int(cn)), nil
+	}
+	switch {
+	case strings.HasPrefix(t, "r"):
+		n, err := parseNum(t[1:])
+		if err != nil || n > 255 {
+			return isa.Slice{}, fmt.Errorf("bad slice %q", tok)
+		}
+		return isa.SliceRow(int(n)), nil
+	case strings.HasPrefix(t, "c"):
+		n, err := parseNum(t[1:])
+		if err != nil || n > 3 {
+			return isa.Slice{}, fmt.Errorf("bad slice %q", tok)
+		}
+		return isa.SliceCol(int(n)), nil
+	}
+	return isa.Slice{}, fmt.Errorf("bad slice %q", tok)
+}
+
+// parseCol accepts a column slice cN and returns N.
+func parseCol(tok string) (uint8, error) {
+	s, err := parseSlice(tok)
+	if err != nil {
+		return 0, err
+	}
+	if s.Scope != isa.ScopeCol {
+		return 0, fmt.Errorf("expected column slice cN, got %q", tok)
+	}
+	return s.Col, nil
+}
+
+// operand parses <src>: a block name or IMM <val>; it returns the source,
+// the immediate, and the number of tokens consumed.
+func operand(toks []string) (isa.Src, uint32, int, error) {
+	if len(toks) == 0 {
+		return 0, 0, 0, fmt.Errorf("missing operand")
+	}
+	up := strings.ToUpper(toks[0])
+	if up == "IMM" {
+		if len(toks) < 2 {
+			return 0, 0, 0, fmt.Errorf("IMM requires a value")
+		}
+		v, err := parseNum(toks[1])
+		if err != nil || v > 0xffffffff {
+			return 0, 0, 0, fmt.Errorf("bad immediate %q", toks[1])
+		}
+		return isa.SrcImm, uint32(v), 2, nil
+	}
+	src, ok := isa.SrcByName(up)
+	if !ok || src == isa.SrcImm {
+		return 0, 0, 0, fmt.Errorf("bad operand source %q", toks[0])
+	}
+	return src, 0, 1, nil
+}
+
+var flagNames = map[string]uint16{
+	"READY": isa.FlagReady, "BUSY": isa.FlagBusy, "DVALID": isa.FlagDValid,
+	"KEYREQ": isa.FlagKeyReq, "GEN0": isa.FlagGen0, "GEN1": isa.FlagGen1,
+	"GEN2": isa.FlagGen2, "GEN3": isa.FlagGen3,
+}
+
+// flagName returns the canonical name for a single flag bit.
+func flagName(bit uint16) string {
+	for n, b := range flagNames {
+		if b == bit {
+			return n
+		}
+	}
+	return fmt.Sprintf("0x%x", bit)
+}
+
+func parseFlagList(tok string) (uint16, error) {
+	var mask uint16
+	for _, f := range strings.Split(tok, ",") {
+		bit, ok := flagNames[strings.ToUpper(f)]
+		if !ok {
+			return 0, fmt.Errorf("unknown flag %q", f)
+		}
+		mask |= bit
+	}
+	return mask, nil
+}
+
+func encodeStmt(f []string, labels map[string]int) (isa.Instr, error) {
+	op := strings.ToUpper(f[0])
+	args := f[1:]
+	switch op {
+	case "NOP":
+		return isa.Instr{Op: isa.OpNop}, nil
+	case "HALT":
+		return isa.Instr{Op: isa.OpHalt}, nil
+	case "JMP":
+		if len(args) != 1 {
+			return isa.Instr{}, fmt.Errorf("JMP requires a target")
+		}
+		if addr, ok := labels[args[0]]; ok {
+			return isa.Instr{Op: isa.OpJmp, Data: uint64(addr)}, nil
+		}
+		v, err := parseNum(args[0])
+		if err != nil || v >= isa.IRAMWords {
+			return isa.Instr{}, fmt.Errorf("unknown label or bad address %q", args[0])
+		}
+		return isa.Instr{Op: isa.OpJmp, Data: v}, nil
+	case "ENOUT", "DISOUT":
+		if len(args) != 1 {
+			return isa.Instr{}, fmt.Errorf("%s requires a slice", op)
+		}
+		s, err := parseSlice(args[0])
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		o := isa.OpEnOut
+		if op == "DISOUT" {
+			o = isa.OpDisOut
+		}
+		return isa.Instr{Op: o, Slice: s}, nil
+	case "FLAG":
+		var cfg isa.FlagCfg
+		i := 0
+		for i < len(args) {
+			switch strings.ToUpper(args[i]) {
+			case "SET":
+				if i+1 >= len(args) {
+					return isa.Instr{}, fmt.Errorf("SET requires flags")
+				}
+				m, err := parseFlagList(args[i+1])
+				if err != nil {
+					return isa.Instr{}, err
+				}
+				cfg.Set |= m
+				i += 2
+			case "CLR":
+				if i+1 >= len(args) {
+					return isa.Instr{}, fmt.Errorf("CLR requires flags")
+				}
+				m, err := parseFlagList(args[i+1])
+				if err != nil {
+					return isa.Instr{}, err
+				}
+				cfg.Clear |= m
+				i += 2
+			default:
+				return isa.Instr{}, fmt.Errorf("FLAG expects SET/CLR, got %q", args[i])
+			}
+		}
+		return isa.Instr{Op: isa.OpCtlFlag, Data: cfg.Encode()}, nil
+	case "CFGE":
+		return encodeCfgE(args)
+	case "LUTLD":
+		return encodeLutLd(args)
+	case "SHUF":
+		return encodeShuf(args)
+	case "INMUX":
+		return encodeInMux(args)
+	case "WHITE":
+		return encodeWhite(args)
+	case "ERAMW":
+		return encodeERAMW(args)
+	case "CAPCFG":
+		return encodeCapCfg(args)
+	}
+	return isa.Instr{}, fmt.Errorf("unknown mnemonic %q", f[0])
+}
+
+func encodeCfgE(args []string) (isa.Instr, error) {
+	if len(args) < 2 {
+		return isa.Instr{}, fmt.Errorf("CFGE requires a slice and an element")
+	}
+	slice, err := parseSlice(args[0])
+	if err != nil {
+		return isa.Instr{}, err
+	}
+	elem, ok := isa.ElemByName(strings.ToUpper(args[1]))
+	if !ok {
+		return isa.Instr{}, fmt.Errorf("unknown element %q", args[1])
+	}
+	rest := args[2:]
+	in := isa.Instr{Op: isa.OpCfgElem, Slice: slice, Elem: elem}
+
+	// RAW escape hatch for any element.
+	if len(rest) == 2 && strings.ToUpper(rest[0]) == "RAW" {
+		v, err := parseNum(rest[1])
+		if err != nil || v >= 1<<50 {
+			return isa.Instr{}, fmt.Errorf("bad RAW payload %q", rest[1])
+		}
+		in.Data = v
+		return in, nil
+	}
+
+	switch elem {
+	case isa.ElemInsel:
+		if len(rest) != 1 {
+			return isa.Instr{}, fmt.Errorf("INSEL requires a block name")
+		}
+		name := strings.ToUpper(rest[0])
+		found := false
+		for i, n := range isa.InselNames {
+			if n == name {
+				in.Data = isa.InselCfg{Source: uint8(i)}.Encode()
+				found = true
+				break
+			}
+		}
+		if !found {
+			return isa.Instr{}, fmt.Errorf("bad INSEL source %q", rest[0])
+		}
+	case isa.ElemE1, isa.ElemE2, isa.ElemE3:
+		cfg, err := parseECfg(rest)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		in.Data = cfg.Encode()
+	case isa.ElemA1, isa.ElemA2:
+		cfg, err := parseACfg(rest)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		in.Data = cfg.Encode()
+	case isa.ElemB:
+		cfg, err := parseBCfg(rest)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		in.Data = cfg.Encode()
+	case isa.ElemC:
+		cfg, err := parseCCfg(rest)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		in.Data = cfg.Encode()
+	case isa.ElemD:
+		cfg, err := parseDCfg(rest)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		in.Data = cfg.Encode()
+	case isa.ElemF:
+		cfg, err := parseFCfg(rest)
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		in.Data = cfg.Encode()
+	case isa.ElemReg, isa.ElemOut:
+		if len(rest) != 1 {
+			return isa.Instr{}, fmt.Errorf("%s requires ON or OFF", elem)
+		}
+		switch strings.ToUpper(rest[0]) {
+		case "ON":
+			in.Data = 1
+		case "OFF":
+			in.Data = 0
+		default:
+			return isa.Instr{}, fmt.Errorf("%s requires ON or OFF", elem)
+		}
+	case isa.ElemER:
+		if len(rest) != 4 || strings.ToUpper(rest[0]) != "BANK" || strings.ToUpper(rest[2]) != "ADDR" {
+			return isa.Instr{}, fmt.Errorf("ER requires BANK <b> ADDR <a>")
+		}
+		b, err1 := parseNum(rest[1])
+		a, err2 := parseNum(rest[3])
+		if err1 != nil || err2 != nil || b > 3 || a > 255 {
+			return isa.Instr{}, fmt.Errorf("bad ER bank/addr")
+		}
+		in.Data = isa.ERCfg{Bank: uint8(b), Addr: uint8(a)}.Encode()
+	default:
+		return isa.Instr{}, fmt.Errorf("element %v is not configurable", elem)
+	}
+	return in, nil
+}
+
+func parseECfg(rest []string) (isa.ECfg, error) {
+	if len(rest) == 1 && strings.ToUpper(rest[0]) == "BYP" {
+		return isa.ECfg{}, nil
+	}
+	if len(rest) < 2 {
+		return isa.ECfg{}, fmt.Errorf("E element requires a mode and an amount")
+	}
+	modes := map[string]isa.EMode{"SHL": isa.EShl, "SHR": isa.EShr, "ROTL": isa.ERotl, "ROTR": isa.ERotl}
+	name := strings.ToUpper(rest[0])
+	m, ok := modes[name]
+	if !ok {
+		return isa.ECfg{}, fmt.Errorf("bad E mode %q", rest[0])
+	}
+	neg := name == "ROTR" // rotate right = rotate left by the negated amount
+	if strings.ToUpper(rest[1]) == "IMM" {
+		if len(rest) != 3 {
+			return isa.ECfg{}, fmt.Errorf("E IMM requires an amount")
+		}
+		v, err := parseNum(rest[2])
+		if err != nil || v > 31 {
+			return isa.ECfg{}, fmt.Errorf("bad shift amount %q", rest[2])
+		}
+		return isa.ECfg{Mode: m, AmtSrc: isa.SrcImm, Amt: uint8(v), Neg: neg}, nil
+	}
+	src, ok := isa.SrcByName(strings.ToUpper(rest[1]))
+	if !ok || src == isa.SrcImm {
+		return isa.ECfg{}, fmt.Errorf("bad E amount source %q", rest[1])
+	}
+	if len(rest) != 2 {
+		return isa.ECfg{}, fmt.Errorf("trailing tokens after E amount source")
+	}
+	return isa.ECfg{Mode: m, AmtSrc: src, Neg: neg}, nil
+}
+
+func parseACfg(rest []string) (isa.ACfg, error) {
+	if len(rest) == 1 && strings.ToUpper(rest[0]) == "BYP" {
+		return isa.ACfg{}, nil
+	}
+	if len(rest) < 2 {
+		return isa.ACfg{}, fmt.Errorf("A element requires an op and an operand")
+	}
+	ops := map[string]isa.AOp{"XOR": isa.AXor, "AND": isa.AAnd, "OR": isa.AOr}
+	o, ok := ops[strings.ToUpper(rest[0])]
+	if !ok {
+		return isa.ACfg{}, fmt.Errorf("bad A op %q", rest[0])
+	}
+	src, imm, n, err := operand(rest[1:])
+	if err != nil {
+		return isa.ACfg{}, err
+	}
+	cfg := isa.ACfg{Op: o, Operand: src, Imm: imm}
+	rest = rest[1+n:]
+	if len(rest) == 0 {
+		return cfg, nil
+	}
+	if len(rest) != 2 {
+		return isa.ACfg{}, fmt.Errorf("bad A pre-shift clause %v", rest)
+	}
+	amt, err := parseNum(rest[1])
+	if err != nil || amt > 31 {
+		return isa.ACfg{}, fmt.Errorf("bad pre-shift amount %q", rest[1])
+	}
+	switch strings.ToUpper(rest[0]) {
+	case "SHL":
+		cfg.PreShift = uint8(amt)
+	case "ROTLBY":
+		cfg.PreShift, cfg.PreShiftRot = uint8(amt), true
+	default:
+		return isa.ACfg{}, fmt.Errorf("bad A pre-shift %q", rest[0])
+	}
+	return cfg, nil
+}
+
+func parseBCfg(rest []string) (isa.BCfg, error) {
+	if len(rest) == 1 && strings.ToUpper(rest[0]) == "BYP" {
+		return isa.BCfg{}, nil
+	}
+	if len(rest) < 3 {
+		return isa.BCfg{}, fmt.Errorf("B element requires mode, width and operand")
+	}
+	modes := map[string]isa.BMode{"ADD": isa.BAdd, "SUB": isa.BSub}
+	m, ok := modes[strings.ToUpper(rest[0])]
+	if !ok {
+		return isa.BCfg{}, fmt.Errorf("bad B mode %q", rest[0])
+	}
+	widths := map[string]uint8{"W8": 0, "W16": 1, "W32": 2}
+	w, ok := widths[strings.ToUpper(rest[1])]
+	if !ok {
+		return isa.BCfg{}, fmt.Errorf("bad B width %q", rest[1])
+	}
+	src, imm, n, err := operand(rest[2:])
+	if err != nil {
+		return isa.BCfg{}, err
+	}
+	if len(rest) != 2+n {
+		return isa.BCfg{}, fmt.Errorf("trailing tokens after B operand")
+	}
+	return isa.BCfg{Mode: m, Width: w, Operand: src, Imm: imm}, nil
+}
+
+func parseCCfg(rest []string) (isa.CCfg, error) {
+	if len(rest) == 0 {
+		return isa.CCfg{}, fmt.Errorf("C element requires a mode")
+	}
+	switch strings.ToUpper(rest[0]) {
+	case "BYP":
+		return isa.CCfg{}, nil
+	case "S8":
+		if len(rest) != 1 {
+			return isa.CCfg{}, fmt.Errorf("S8 takes no arguments")
+		}
+		return isa.CCfg{Mode: isa.CS8x8}, nil
+	case "S4":
+		if len(rest) != 3 || strings.ToUpper(rest[1]) != "PAGE" {
+			return isa.CCfg{}, fmt.Errorf("S4 requires PAGE <n>")
+		}
+		p, err := parseNum(rest[2])
+		if err != nil || p > 7 {
+			return isa.CCfg{}, fmt.Errorf("bad page %q", rest[2])
+		}
+		return isa.CCfg{Mode: isa.CS4x4, Page: uint8(p)}, nil
+	case "S8TO32":
+		if len(rest) != 3 || strings.ToUpper(rest[1]) != "BYTE" {
+			return isa.CCfg{}, fmt.Errorf("S8TO32 requires BYTE <n>")
+		}
+		b, err := parseNum(rest[2])
+		if err != nil || b > 3 {
+			return isa.CCfg{}, fmt.Errorf("bad byte select %q", rest[2])
+		}
+		return isa.CCfg{Mode: isa.CS8to32, ByteSel: uint8(b)}, nil
+	}
+	return isa.CCfg{}, fmt.Errorf("bad C mode %q", rest[0])
+}
+
+func parseDCfg(rest []string) (isa.DCfg, error) {
+	if len(rest) == 0 {
+		return isa.DCfg{}, fmt.Errorf("D element requires a mode")
+	}
+	switch strings.ToUpper(rest[0]) {
+	case "BYP":
+		return isa.DCfg{}, nil
+	case "SQR":
+		if len(rest) != 1 {
+			return isa.DCfg{}, fmt.Errorf("SQR takes no arguments")
+		}
+		return isa.DCfg{Mode: isa.DSquare}, nil
+	case "MUL16", "MUL32":
+		m := isa.DMul16
+		if strings.ToUpper(rest[0]) == "MUL32" {
+			m = isa.DMul32
+		}
+		src, imm, n, err := operand(rest[1:])
+		if err != nil {
+			return isa.DCfg{}, err
+		}
+		if len(rest) != 1+n {
+			return isa.DCfg{}, fmt.Errorf("trailing tokens after D operand")
+		}
+		return isa.DCfg{Mode: m, Operand: src, Imm: imm}, nil
+	}
+	return isa.DCfg{}, fmt.Errorf("bad D mode %q", rest[0])
+}
+
+func parseFCfg(rest []string) (isa.FCfg, error) {
+	if len(rest) == 1 && strings.ToUpper(rest[0]) == "BYP" {
+		return isa.FCfg{}, nil
+	}
+	if len(rest) != 5 {
+		return isa.FCfg{}, fmt.Errorf("F element requires LANES|MDS and four constants")
+	}
+	modes := map[string]isa.FMode{"LANES": isa.FLanes, "MDS": isa.FMDS}
+	m, ok := modes[strings.ToUpper(rest[0])]
+	if !ok {
+		return isa.FCfg{}, fmt.Errorf("bad F mode %q", rest[0])
+	}
+	cfg := isa.FCfg{Mode: m}
+	for i := 0; i < 4; i++ {
+		v, err := parseNum(rest[1+i])
+		if err != nil || v > 255 {
+			return isa.FCfg{}, fmt.Errorf("bad F constant %q", rest[1+i])
+		}
+		cfg.Consts[i] = uint8(v)
+	}
+	return cfg, nil
+}
+
+func encodeLutLd(args []string) (isa.Instr, error) {
+	if len(args) != 7 || strings.ToUpper(args[2]) != "BANK" || strings.ToUpper(args[4]) != "GROUP" {
+		return isa.Instr{}, fmt.Errorf("LUTLD requires <slice> S8|S4 BANK <b> GROUP <g> <data>")
+	}
+	slice, err := parseSlice(args[0])
+	if err != nil {
+		return isa.Instr{}, err
+	}
+	var space4 bool
+	switch strings.ToUpper(args[1]) {
+	case "S8":
+	case "S4":
+		space4 = true
+	default:
+		return isa.Instr{}, fmt.Errorf("bad LUT space %q", args[1])
+	}
+	b, err := parseNum(args[3])
+	if err != nil || b > 3 {
+		return isa.Instr{}, fmt.Errorf("bad bank %q", args[3])
+	}
+	maxGroup := uint64(63)
+	if space4 {
+		maxGroup = 15
+	}
+	g, err := parseNum(args[5])
+	if err != nil || g > maxGroup {
+		return isa.Instr{}, fmt.Errorf("bad group %q", args[5])
+	}
+	d, err := parseNum(args[6])
+	if err != nil || d > 0xffffffff {
+		return isa.Instr{}, fmt.Errorf("bad LUT data %q", args[6])
+	}
+	return isa.Instr{
+		Op: isa.OpLoadLUT, Slice: slice,
+		LUT: isa.LUTAddr(space4, int(b), int(g)), Data: d,
+	}, nil
+}
+
+func encodeShuf(args []string) (isa.Instr, error) {
+	if len(args) != 10 {
+		return isa.Instr{}, fmt.Errorf("SHUF requires <idx> LO|HI and 8 byte indices")
+	}
+	idx, err := parseNum(args[0])
+	if err != nil || idx > 127 {
+		return isa.Instr{}, fmt.Errorf("bad shuffler index %q", args[0])
+	}
+	var cfg isa.ShufCfg
+	switch strings.ToUpper(args[1]) {
+	case "LO":
+	case "HI":
+		cfg.High = true
+	default:
+		return isa.Instr{}, fmt.Errorf("SHUF expects LO or HI, got %q", args[1])
+	}
+	for i := 0; i < 8; i++ {
+		v, err := parseNum(args[2+i])
+		if err != nil || v > 15 {
+			return isa.Instr{}, fmt.Errorf("bad permutation entry %q", args[2+i])
+		}
+		cfg.Perm[i] = uint8(v)
+	}
+	return isa.Instr{Op: isa.OpCfgShuf, Slice: isa.SliceRow(int(idx)), Data: cfg.Encode()}, nil
+}
+
+func encodeInMux(args []string) (isa.Instr, error) {
+	if len(args) == 0 {
+		return isa.Instr{}, fmt.Errorf("INMUX requires a mode")
+	}
+	switch strings.ToUpper(args[0]) {
+	case "EXT":
+		return isa.Instr{Op: isa.OpCfgInMux, Data: isa.InMuxCfg{Mode: isa.InExternal}.Encode()}, nil
+	case "FB":
+		return isa.Instr{Op: isa.OpCfgInMux, Data: isa.InMuxCfg{Mode: isa.InFeedback}.Encode()}, nil
+	case "ERAM":
+		if len(args) != 5 || strings.ToUpper(args[1]) != "BANK" || strings.ToUpper(args[3]) != "ADDR" {
+			return isa.Instr{}, fmt.Errorf("INMUX ERAM requires BANK <b> ADDR <a>")
+		}
+		b, err1 := parseNum(args[2])
+		a, err2 := parseNum(args[4])
+		if err1 != nil || err2 != nil || b > 3 || a > 255 {
+			return isa.Instr{}, fmt.Errorf("bad INMUX ERAM bank/addr")
+		}
+		return isa.Instr{Op: isa.OpCfgInMux,
+			Data: isa.InMuxCfg{Mode: isa.InERAM, Bank: uint8(b), Addr: uint8(a)}.Encode()}, nil
+	}
+	return isa.Instr{}, fmt.Errorf("bad INMUX mode %q", args[0])
+}
+
+func encodeWhite(args []string) (isa.Instr, error) {
+	if len(args) < 2 {
+		return isa.Instr{}, fmt.Errorf("WHITE requires cN and a mode")
+	}
+	col, err := parseCol(args[0])
+	if err != nil {
+		return isa.Instr{}, err
+	}
+	cfg := isa.WhiteCfg{Col: col}
+	switch strings.ToUpper(args[1]) {
+	case "OFF":
+		if len(args) != 2 {
+			return isa.Instr{}, fmt.Errorf("WHITE OFF takes no key")
+		}
+	case "XOR", "ADD", "XORIN", "ADDIN":
+		if len(args) != 3 {
+			return isa.Instr{}, fmt.Errorf("WHITE %s requires a key", args[1])
+		}
+		v, err := parseNum(args[2])
+		if err != nil || v > 0xffffffff {
+			return isa.Instr{}, fmt.Errorf("bad whitening key %q", args[2])
+		}
+		cfg.Key = uint32(v)
+		mode := strings.ToUpper(args[1])
+		if strings.HasSuffix(mode, "IN") {
+			cfg.In = true
+			mode = strings.TrimSuffix(mode, "IN")
+		}
+		if mode == "XOR" {
+			cfg.Mode = isa.WhiteXor
+		} else {
+			cfg.Mode = isa.WhiteAdd
+		}
+	default:
+		return isa.Instr{}, fmt.Errorf("bad WHITE mode %q", args[1])
+	}
+	return isa.Instr{Op: isa.OpCfgWhite, Data: cfg.Encode()}, nil
+}
+
+func encodeERAMW(args []string) (isa.Instr, error) {
+	if len(args) != 6 || strings.ToUpper(args[1]) != "BANK" || strings.ToUpper(args[3]) != "ADDR" {
+		return isa.Instr{}, fmt.Errorf("ERAMW requires cN BANK <b> ADDR <a> <val>")
+	}
+	col, err := parseCol(args[0])
+	if err != nil {
+		return isa.Instr{}, err
+	}
+	b, err1 := parseNum(args[2])
+	a, err2 := parseNum(args[4])
+	v, err3 := parseNum(args[5])
+	if err1 != nil || err2 != nil || err3 != nil || b > 3 || a > 255 || v > 0xffffffff {
+		return isa.Instr{}, fmt.Errorf("bad ERAMW arguments")
+	}
+	return isa.Instr{
+		Op: isa.OpERAMWrite, Slice: isa.SliceCol(int(col)),
+		Data: isa.ERAMWriteCfg{Bank: uint8(b), Addr: uint8(a), Value: uint32(v)}.Encode(),
+	}, nil
+}
+
+func encodeCapCfg(args []string) (isa.Instr, error) {
+	if len(args) < 2 {
+		return isa.Instr{}, fmt.Errorf("CAPCFG requires cN and ON/OFF")
+	}
+	col, err := parseCol(args[0])
+	if err != nil {
+		return isa.Instr{}, err
+	}
+	switch strings.ToUpper(args[1]) {
+	case "OFF":
+		if len(args) != 2 {
+			return isa.Instr{}, fmt.Errorf("CAPCFG OFF takes no arguments")
+		}
+		return isa.Instr{Op: isa.OpCfgCapture, Slice: isa.SliceCol(int(col))}, nil
+	case "ON":
+		if len(args) != 6 || strings.ToUpper(args[2]) != "BANK" || strings.ToUpper(args[4]) != "ADDR" {
+			return isa.Instr{}, fmt.Errorf("CAPCFG ON requires BANK <b> ADDR <a>")
+		}
+		b, err1 := parseNum(args[3])
+		a, err2 := parseNum(args[5])
+		if err1 != nil || err2 != nil || b > 3 || a > 255 {
+			return isa.Instr{}, fmt.Errorf("bad CAPCFG bank/addr")
+		}
+		return isa.Instr{
+			Op: isa.OpCfgCapture, Slice: isa.SliceCol(int(col)),
+			Data: isa.CaptureCfg{Enabled: true, Bank: uint8(b), Addr: uint8(a)}.Encode(),
+		}, nil
+	}
+	return isa.Instr{}, fmt.Errorf("CAPCFG expects ON or OFF, got %q", args[1])
+}

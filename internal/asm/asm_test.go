@@ -1,0 +1,441 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"cobra/internal/isa"
+)
+
+// mustAssemble fails the test on assembly errors.
+func mustAssemble(t *testing.T, src string) []isa.Word {
+	t.Helper()
+	words, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble(%q): %v", src, err)
+	}
+	return words
+}
+
+// one assembles a single statement and returns the decoded instruction.
+func one(t *testing.T, src string) isa.Instr {
+	t.Helper()
+	prog, err := AssembleInstrs(src)
+	if err != nil {
+		t.Fatalf("AssembleInstrs(%q): %v", src, err)
+	}
+	if len(prog) != 1 {
+		t.Fatalf("expected 1 instruction, got %d", len(prog))
+	}
+	return prog[0]
+}
+
+func TestAssembleBasics(t *testing.T) {
+	if in := one(t, "NOP"); in.Op != isa.OpNop {
+		t.Errorf("NOP -> %v", in.Op)
+	}
+	if in := one(t, "HALT"); in.Op != isa.OpHalt {
+		t.Errorf("HALT -> %v", in.Op)
+	}
+	if in := one(t, "JMP 42"); in.Op != isa.OpJmp || in.Data != 42 {
+		t.Errorf("JMP 42 -> %v", in)
+	}
+}
+
+func TestLabelsResolveForwardAndBackward(t *testing.T) {
+	src := `
+start:  NOP
+        JMP end
+        JMP start
+end:    HALT
+`
+	prog, err := AssembleInstrs(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog[1].Data != 3 {
+		t.Errorf("forward label resolved to %d, want 3", prog[1].Data)
+	}
+	if prog[2].Data != 0 {
+		t.Errorf("backward label resolved to %d, want 0", prog[2].Data)
+	}
+}
+
+func TestDuplicateLabelRejected(t *testing.T) {
+	if _, err := Assemble("x: NOP\nx: NOP"); err == nil {
+		t.Error("expected duplicate-label error")
+	}
+}
+
+func TestUnknownLabelRejected(t *testing.T) {
+	if _, err := Assemble("JMP nowhere"); err == nil {
+		t.Error("expected unknown-label error")
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := `
+; full line comment
+# hash comment
+NOP   ; trailing
+HALT  # trailing hash
+`
+	words := mustAssemble(t, src)
+	if len(words) != 2 {
+		t.Errorf("got %d instructions, want 2", len(words))
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Assemble("NOP\nBOGUS\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	ae, ok := err.(*Error)
+	if !ok || ae.Line != 2 {
+		t.Errorf("error = %v, want line 2", err)
+	}
+}
+
+func TestSliceForms(t *testing.T) {
+	cases := map[string]isa.Slice{
+		"ENOUT all":    isa.SliceAll(),
+		"ENOUT r3":     isa.SliceRow(3),
+		"ENOUT c2":     isa.SliceCol(2),
+		"ENOUT r10.c1": isa.SliceAt(10, 1),
+	}
+	for src, want := range cases {
+		if in := one(t, src); in.Slice != want {
+			t.Errorf("%q slice = %+v, want %+v", src, in.Slice, want)
+		}
+	}
+}
+
+func TestCfgEVariants(t *testing.T) {
+	cases := []struct {
+		src  string
+		elem isa.Elem
+		data uint64
+	}{
+		{"CFGE r0.c0 INSEL INC", isa.ElemInsel, isa.InselCfg{Source: 2}.Encode()},
+		{"CFGE r0.c0 E1 ROTL IMM 5", isa.ElemE1,
+			isa.ECfg{Mode: isa.ERotl, AmtSrc: isa.SrcImm, Amt: 5}.Encode()},
+		{"CFGE r0.c0 E2 SHL INB", isa.ElemE2,
+			isa.ECfg{Mode: isa.EShl, AmtSrc: isa.SrcINB}.Encode()},
+		{"CFGE r0.c0 E2 ROTR INC", isa.ElemE2,
+			isa.ECfg{Mode: isa.ERotl, AmtSrc: isa.SrcINC, Neg: true}.Encode()},
+		{"CFGE r0.c0 E2 ROTR IMM 5", isa.ElemE2,
+			isa.ECfg{Mode: isa.ERotl, AmtSrc: isa.SrcImm, Amt: 5, Neg: true}.Encode()},
+		{"CFGE r0.c0 E3 BYP", isa.ElemE3, 0},
+		{"CFGE r0.c0 A1 XOR INER", isa.ElemA1,
+			isa.ACfg{Op: isa.AXor, Operand: isa.SrcINER}.Encode()},
+		{"CFGE r0.c0 A1 OR IMM 0xff", isa.ElemA1,
+			isa.ACfg{Op: isa.AOr, Operand: isa.SrcImm, Imm: 0xff}.Encode()},
+		{"CFGE r0.c0 A2 XOR INB SHL 3", isa.ElemA2,
+			isa.ACfg{Op: isa.AXor, Operand: isa.SrcINB, PreShift: 3}.Encode()},
+		{"CFGE r0.c0 A2 XOR INB ROTLBY 7", isa.ElemA2,
+			isa.ACfg{Op: isa.AXor, Operand: isa.SrcINB, PreShift: 7, PreShiftRot: true}.Encode()},
+		{"CFGE r0.c0 B ADD W32 INER", isa.ElemB,
+			isa.BCfg{Mode: isa.BAdd, Width: 2, Operand: isa.SrcINER}.Encode()},
+		{"CFGE r0.c0 B SUB W8 IMM 1", isa.ElemB,
+			isa.BCfg{Mode: isa.BSub, Width: 0, Operand: isa.SrcImm, Imm: 1}.Encode()},
+		{"CFGE r0.c0 C S8", isa.ElemC, isa.CCfg{Mode: isa.CS8x8}.Encode()},
+		{"CFGE r0.c0 C S4 PAGE 6", isa.ElemC,
+			isa.CCfg{Mode: isa.CS4x4, Page: 6}.Encode()},
+		{"CFGE r0.c0 C S8TO32 BYTE 2", isa.ElemC,
+			isa.CCfg{Mode: isa.CS8to32, ByteSel: 2}.Encode()},
+		{"CFGE r0.c1 D SQR", isa.ElemD, isa.DCfg{Mode: isa.DSquare}.Encode()},
+		{"CFGE r0.c1 D MUL32 INA", isa.ElemD,
+			isa.DCfg{Mode: isa.DMul32, Operand: isa.SrcINA}.Encode()},
+		{"CFGE r0.c0 F MDS 2 3 1 1", isa.ElemF,
+			isa.FCfg{Mode: isa.FMDS, Consts: [4]uint8{2, 3, 1, 1}}.Encode()},
+		{"CFGE r0.c0 F LANES 0x0e 0x0b 0x0d 0x09", isa.ElemF,
+			isa.FCfg{Mode: isa.FLanes, Consts: [4]uint8{0xe, 0xb, 0xd, 9}}.Encode()},
+		{"CFGE r0.c0 REG ON", isa.ElemReg, 1},
+		{"CFGE r0.c0 REG OFF", isa.ElemReg, 0},
+		{"CFGE r0.c0 ER BANK 2 ADDR 200", isa.ElemER,
+			isa.ERCfg{Bank: 2, Addr: 200}.Encode()},
+		{"CFGE r0.c0 A1 RAW 0x123", isa.ElemA1, 0x123},
+	}
+	for _, c := range cases {
+		in := one(t, c.src)
+		if in.Op != isa.OpCfgElem || in.Elem != c.elem || in.Data != c.data {
+			t.Errorf("%q -> %+v (data %#x), want elem %v data %#x",
+				c.src, in, in.Data, c.elem, c.data)
+		}
+	}
+}
+
+func TestNonCfgEStatements(t *testing.T) {
+	in := one(t, "LUTLD all S8 BANK 1 GROUP 10 0xA1B2C3D4")
+	if in.Op != isa.OpLoadLUT || in.LUT != isa.LUTAddr(false, 1, 10) || in.Data != 0xA1B2C3D4 {
+		t.Errorf("LUTLD -> %+v", in)
+	}
+	in = one(t, "SHUF 1 HI 8 9 10 11 12 13 14 15")
+	if in.Op != isa.OpCfgShuf || in.Slice.Row != 1 {
+		t.Errorf("SHUF -> %+v", in)
+	}
+	cfg := isa.DecodeShuf(in.Data)
+	if !cfg.High || cfg.Perm != [8]uint8{8, 9, 10, 11, 12, 13, 14, 15} {
+		t.Errorf("SHUF payload = %+v", cfg)
+	}
+	in = one(t, "INMUX ERAM BANK 3 ADDR 17")
+	mux := isa.DecodeInMux(in.Data)
+	if mux.Mode != isa.InERAM || mux.Bank != 3 || mux.Addr != 17 {
+		t.Errorf("INMUX -> %+v", mux)
+	}
+	in = one(t, "WHITE c2 ADD 0x01020304")
+	wh := isa.DecodeWhite(in.Data)
+	if wh.Col != 2 || wh.Mode != isa.WhiteAdd || wh.Key != 0x01020304 {
+		t.Errorf("WHITE -> %+v", wh)
+	}
+	in = one(t, "ERAMW c1 BANK 0 ADDR 5 0xCAFEBABE")
+	ew := isa.DecodeERAMWrite(in.Data)
+	if in.Slice.Col != 1 || ew.Addr != 5 || ew.Value != 0xCAFEBABE {
+		t.Errorf("ERAMW -> %+v", ew)
+	}
+	in = one(t, "CAPCFG c3 ON BANK 2 ADDR 9")
+	cc := isa.DecodeCapture(in.Data)
+	if in.Slice.Col != 3 || !cc.Enabled || cc.Bank != 2 || cc.Addr != 9 {
+		t.Errorf("CAPCFG -> %+v", cc)
+	}
+	in = one(t, "FLAG SET READY,BUSY CLR DVALID")
+	fl := isa.DecodeFlag(in.Data)
+	if fl.Set != isa.FlagReady|isa.FlagBusy || fl.Clear != isa.FlagDValid {
+		t.Errorf("FLAG -> %+v", fl)
+	}
+}
+
+func TestRejectsMalformedStatements(t *testing.T) {
+	bad := []string{
+		"CFGE",
+		"CFGE r0.c0",
+		"CFGE r0.c0 Q1 BYP",
+		"CFGE r9.c7 A1 BYP",
+		"CFGE r0.c0 E1 SPIN IMM 1",
+		"CFGE r0.c0 E1 SHL IMM 32",
+		"CFGE r0.c0 A1 XOR",
+		"CFGE r0.c0 A1 XOR IMM",
+		"CFGE r0.c0 B ADD W13 INB",
+		"CFGE r0.c0 C S4 PAGE 8",
+		"CFGE r0.c0 C S8TO32 BYTE 4",
+		"CFGE r0.c0 F MDS 1 2 3",
+		"CFGE r0.c0 F MDS 1 2 3 999",
+		"CFGE r0.c0 REG MAYBE",
+		"CFGE r0.c0 ER BANK 4 ADDR 0",
+		"CFGE r0.c0 A1 RAW 0xFFFFFFFFFFFFFF",
+		"LUTLD all S9 BANK 0 GROUP 0 0",
+		"LUTLD all S4 BANK 0 GROUP 16 0",
+		"LUTLD all S8 BANK 0 GROUP 64 0",
+		"SHUF 0 LO 1 2 3",
+		"SHUF 0 XX 0 1 2 3 4 5 6 7",
+		"SHUF 0 LO 0 1 2 3 4 5 6 16",
+		"INMUX SIDEWAYS",
+		"INMUX ERAM BANK 9 ADDR 0",
+		"WHITE r0 XOR 1",
+		"WHITE c0 XOR",
+		"WHITE c0 OFF 3",
+		"ERAMW c0 BANK 0 ADDR 256 0",
+		"CAPCFG c0 MAYBE",
+		"CAPCFG c0 ON BANK 0",
+		"FLAG SET NOSUCH",
+		"FLAG WIBBLE",
+		"JMP",
+		"JMP 5000",
+		"ENOUT",
+		"ENOUT r999",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestEmptySourceRejected(t *testing.T) {
+	if _, err := Assemble("; nothing here\n"); err == nil {
+		t.Error("expected error for empty program")
+	}
+}
+
+const kitchenSink = `
+; exercise every statement form
+setup:
+    CFGE all E1 BYP
+    CFGE r0.c0 INSEL IND
+    CFGE r1.c0 INSEL PB
+    CFGE r1.c3 INSEL PA
+    CFGE r2.c2 E2 ROTL INA
+    CFGE r1.c0 E1 ROTR IND
+    CFGE r1.c2 E3 ROTR IMM 22
+    CFGE r1.c2 E2 ROTL IMM 13
+    CFGE r2.c3 E3 SHR INER
+    CFGE c0 A1 XOR INB
+    CFGE r0.c0 A2 AND IMM 0xdeadbeef SHL 3
+    CFGE r3.c1 A2 OR INC ROTLBY 31
+    CFGE r0.c0 B ADD W16 IND
+    CFGE r0.c0 B SUB W32 IMM 0x01000193
+    CFGE all C S8
+    CFGE r1.c1 C S4 PAGE 7
+    CFGE r1.c2 C S8TO32 BYTE 3
+    CFGE c1 D MUL16 INB
+    CFGE r0.c3 D SQR
+    CFGE r2.c0 F LANES 0x02 0x03 0x01 0x01
+    CFGE r2.c2 F MDS 0x0e 0x0b 0x0d 0x09
+    CFGE all REG ON
+    CFGE r0.c0 REG OFF
+    CFGE r0.c0 OUT ON
+    CFGE r3.c3 ER BANK 3 ADDR 255
+    LUTLD all S8 BANK 2 GROUP 63 0xffffffff
+    LUTLD r0.c0 S4 BANK 1 GROUP 15 0x12345678
+    SHUF 0 LO 4 5 6 7 0 1 2 3
+    SHUF 1 HI 15 14 13 12 11 10 9 8
+    INMUX EXT
+    INMUX FB
+    INMUX ERAM BANK 1 ADDR 32
+    WHITE c0 XOR 0xaabbccdd
+    WHITE c1 ADD 0x00000001
+    WHITE c2 OFF
+    WHITE c3 XORIN 0x11223344
+    WHITE c0 ADDIN 0x55667788
+    ERAMW c3 BANK 2 ADDR 100 0x87654321
+    CAPCFG c0 ON BANK 3 ADDR 16
+    CAPCFG c1 OFF
+    DISOUT all
+    ENOUT r0.c0
+    FLAG SET READY
+loop:
+    FLAG SET BUSY,DVALID CLR READY
+    NOP
+    JMP loop
+    HALT
+`
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	words := mustAssemble(t, kitchenSink)
+	text, err := Disassemble(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n%s", err, text)
+	}
+	if len(words) != len(words2) {
+		t.Fatalf("length mismatch %d vs %d", len(words), len(words2))
+	}
+	for i := range words {
+		if words[i] != words2[i] {
+			in1, _ := isa.Unpack(words[i])
+			in2, _ := isa.Unpack(words2[i])
+			t.Errorf("word %d differs:\n  orig %v\n  redo %v", i, in1, in2)
+		}
+	}
+}
+
+func TestDisassembleSecondPassIsFixedPoint(t *testing.T) {
+	words := mustAssemble(t, kitchenSink)
+	text1, err := Disassemble(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words2 := mustAssemble(t, text1)
+	text2, err := Disassemble(words2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text1 != text2 {
+		t.Error("disassembly is not a fixed point")
+	}
+}
+
+func TestDisassembleRejectsCorruptWord(t *testing.T) {
+	bad := isa.Instr{Op: isa.Opcode(29)}.Pack()
+	if _, err := Disassemble([]isa.Word{bad}); err == nil {
+		t.Error("expected error for corrupt word")
+	}
+}
+
+func TestCaseInsensitiveMnemonics(t *testing.T) {
+	a := mustAssemble(t, "cfge r0.c0 a1 xor inb")
+	b := mustAssemble(t, "CFGE r0.c0 A1 XOR INB")
+	if a[0] != b[0] {
+		t.Error("mnemonics should be case-insensitive")
+	}
+}
+
+func TestDisassembleIncludesAddressComments(t *testing.T) {
+	words := mustAssemble(t, "NOP\nHALT")
+	text, err := Disassemble(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "; 0000") || !strings.Contains(text, "; 0001") {
+		t.Errorf("missing address comments:\n%s", text)
+	}
+}
+
+func TestErrorType(t *testing.T) {
+	e := &Error{Line: 7, Msg: "boom"}
+	if e.Error() != "asm: line 7: boom" {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}
+
+func TestDisassembleInstrs(t *testing.T) {
+	prog, err := AssembleInstrs("NOP\nHALT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := DisassembleInstrs(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "NOP") || !strings.Contains(text, "HALT") {
+		t.Errorf("DisassembleInstrs = %q", text)
+	}
+}
+
+func TestMoreMalformedStatements(t *testing.T) {
+	bad := []string{
+		"CFGE r0.c0 B ADD",
+		"CFGE r0.c0 B BONK W32 INB",
+		"CFGE r0.c0 B ADD W32 INB extra",
+		"CFGE r0.c0 C",
+		"CFGE r0.c0 C S8 extra",
+		"CFGE r0.c0 C S4 PAGES 1",
+		"CFGE r0.c0 C WAT",
+		"CFGE r0.c0 D",
+		"CFGE r0.c0 D SQR extra",
+		"CFGE r0.c0 D MUL32",
+		"CFGE r0.c0 D SPIN",
+		"CFGE r0.c0 D MUL16 INB extra",
+		"CFGE r0.c0 E1",
+		"CFGE r0.c0 E1 SHL IMM",
+		"CFGE r0.c0 E1 SHL INB extra",
+		"CFGE r0.c0 A1 XOR INB WAT 3",
+		"CFGE r0.c0 A1 XOR INB SHL 99",
+		"CFGE r0.c0 F BYP extra extra extra extra",
+		"CFGE r0.c0 INSEL",
+		"CFGE r0.c0 INSEL WAT",
+		"CFGE r0.c0 ER BANK 1",
+		"CFGE rx.c0 A1 BYP",
+		"CFGE r0.cx A1 BYP",
+		"LUTLD all S8 BANK 9 GROUP 0 0",
+		"LUTLD all S8 BANK 0 GROUP 0 0x1ffffffff",
+		"SHUF 999 LO 0 1 2 3 4 5 6 7",
+		"WHITE",
+		"WHITE c0",
+		"ERAMW c0 BANK 0 ADDR 0",
+		"CAPCFG c0",
+		"CAPCFG c9 ON BANK 0 ADDR 0",
+		"FLAG SET",
+		"FLAG CLR",
+		"DISOUT",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}

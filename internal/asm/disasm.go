@@ -1,0 +1,220 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"cobra/internal/isa"
+)
+
+// Disassemble renders packed microcode as canonical assembly text. The
+// output re-assembles to an identical program (assemble ∘ disassemble is
+// the identity; property-tested), so microcode images are fully
+// inspectable and editable.
+func Disassemble(words []isa.Word) (string, error) {
+	var b strings.Builder
+	for i, w := range words {
+		in, err := isa.Unpack(w)
+		if err != nil {
+			return "", fmt.Errorf("asm: word %d: %w", i, err)
+		}
+		line, err := disasmInstr(in)
+		if err != nil {
+			return "", fmt.Errorf("asm: word %d: %w", i, err)
+		}
+		fmt.Fprintf(&b, "%-60s ; %04x\n", line, i)
+	}
+	return b.String(), nil
+}
+
+// DisassembleInstrs renders decoded instructions as canonical assembly.
+func DisassembleInstrs(prog []isa.Instr) (string, error) {
+	words := make([]isa.Word, len(prog))
+	for i, in := range prog {
+		words[i] = in.Pack()
+	}
+	return Disassemble(words)
+}
+
+func disasmInstr(in isa.Instr) (string, error) {
+	switch in.Op {
+	case isa.OpNop:
+		return "NOP", nil
+	case isa.OpHalt:
+		return "HALT", nil
+	case isa.OpJmp:
+		return fmt.Sprintf("JMP %d", in.Data&0xfff), nil
+	case isa.OpEnOut:
+		return fmt.Sprintf("ENOUT %s", in.Slice), nil
+	case isa.OpDisOut:
+		return fmt.Sprintf("DISOUT %s", in.Slice), nil
+	case isa.OpCtlFlag:
+		cfg := isa.DecodeFlag(in.Data)
+		parts := []string{"FLAG"}
+		if cfg.Set != 0 {
+			parts = append(parts, "SET", flagList(cfg.Set))
+		}
+		if cfg.Clear != 0 {
+			parts = append(parts, "CLR", flagList(cfg.Clear))
+		}
+		return strings.Join(parts, " "), nil
+	case isa.OpCfgElem:
+		return disasmCfgE(in)
+	case isa.OpLoadLUT:
+		space4, bank, group := isa.SplitLUTAddr(in.LUT)
+		space := "S8"
+		if space4 {
+			space = "S4"
+		}
+		return fmt.Sprintf("LUTLD %s %s BANK %d GROUP %d 0x%08x",
+			in.Slice, space, bank, group, uint32(in.Data)), nil
+	case isa.OpCfgShuf:
+		cfg := isa.DecodeShuf(in.Data)
+		half := "LO"
+		if cfg.High {
+			half = "HI"
+		}
+		ent := make([]string, 8)
+		for i, p := range cfg.Perm {
+			ent[i] = fmt.Sprintf("%d", p)
+		}
+		return fmt.Sprintf("SHUF %d %s %s", in.Slice.Row, half, strings.Join(ent, " ")), nil
+	case isa.OpCfgInMux:
+		cfg := isa.DecodeInMux(in.Data)
+		switch cfg.Mode {
+		case isa.InExternal:
+			return "INMUX EXT", nil
+		case isa.InFeedback:
+			return "INMUX FB", nil
+		default:
+			return fmt.Sprintf("INMUX ERAM BANK %d ADDR %d", cfg.Bank, cfg.Addr), nil
+		}
+	case isa.OpCfgWhite:
+		cfg := isa.DecodeWhite(in.Data)
+		suffix := ""
+		if cfg.In {
+			suffix = "IN"
+		}
+		switch cfg.Mode {
+		case isa.WhiteXor:
+			return fmt.Sprintf("WHITE c%d XOR%s 0x%08x", cfg.Col, suffix, cfg.Key), nil
+		case isa.WhiteAdd:
+			return fmt.Sprintf("WHITE c%d ADD%s 0x%08x", cfg.Col, suffix, cfg.Key), nil
+		default:
+			return fmt.Sprintf("WHITE c%d OFF", cfg.Col), nil
+		}
+	case isa.OpERAMWrite:
+		cfg := isa.DecodeERAMWrite(in.Data)
+		return fmt.Sprintf("ERAMW c%d BANK %d ADDR %d 0x%08x",
+			in.Slice.Col, cfg.Bank, cfg.Addr, cfg.Value), nil
+	case isa.OpCfgCapture:
+		cfg := isa.DecodeCapture(in.Data)
+		if !cfg.Enabled {
+			return fmt.Sprintf("CAPCFG c%d OFF", in.Slice.Col), nil
+		}
+		return fmt.Sprintf("CAPCFG c%d ON BANK %d ADDR %d", in.Slice.Col, cfg.Bank, cfg.Addr), nil
+	}
+	return "", fmt.Errorf("undisassemblable opcode %v", in.Op)
+}
+
+func flagList(mask uint16) string {
+	var names []string
+	for bit := uint16(1); bit != 0; bit <<= 1 {
+		if mask&bit != 0 {
+			names = append(names, flagName(bit))
+		}
+	}
+	return strings.Join(names, ",")
+}
+
+func disasmCfgE(in isa.Instr) (string, error) {
+	head := fmt.Sprintf("CFGE %s %s", in.Slice, in.Elem)
+	switch in.Elem {
+	case isa.ElemInsel:
+		cfg := isa.DecodeInsel(in.Data)
+		return head + " " + isa.InselNames[cfg.Source&7], nil
+	case isa.ElemE1, isa.ElemE2, isa.ElemE3:
+		cfg := isa.DecodeE(in.Data)
+		if cfg.Mode == isa.EBypass {
+			return head + " BYP", nil
+		}
+		mode := cfg.Mode.String()
+		if cfg.Neg && cfg.Mode == isa.ERotl {
+			mode = "ROTR"
+		} else if cfg.Neg {
+			// Negated shifts are not expressible in the surface syntax;
+			// fall back to the raw escape so the round trip stays exact.
+			return fmt.Sprintf("%s RAW %#x", head, in.Data), nil
+		}
+		if cfg.AmtSrc == isa.SrcImm {
+			return fmt.Sprintf("%s %s IMM %d", head, mode, cfg.Amt), nil
+		}
+		return fmt.Sprintf("%s %s %s", head, mode, cfg.AmtSrc), nil
+	case isa.ElemA1, isa.ElemA2:
+		cfg := isa.DecodeA(in.Data)
+		if cfg.Op == isa.ABypass {
+			return head + " BYP", nil
+		}
+		s := fmt.Sprintf("%s %s %s", head, cfg.Op, srcString(cfg.Operand, cfg.Imm))
+		if cfg.PreShift != 0 {
+			if cfg.PreShiftRot {
+				s += fmt.Sprintf(" ROTLBY %d", cfg.PreShift)
+			} else {
+				s += fmt.Sprintf(" SHL %d", cfg.PreShift)
+			}
+		}
+		return s, nil
+	case isa.ElemB:
+		cfg := isa.DecodeB(in.Data)
+		if cfg.Mode == isa.BBypass {
+			return head + " BYP", nil
+		}
+		return fmt.Sprintf("%s %s W%d %s", head, cfg.Mode,
+			[3]int{8, 16, 32}[cfg.Width%3], srcString(cfg.Operand, cfg.Imm)), nil
+	case isa.ElemC:
+		cfg := isa.DecodeC(in.Data)
+		switch cfg.Mode {
+		case isa.CS8x8:
+			return head + " S8", nil
+		case isa.CS4x4:
+			return fmt.Sprintf("%s S4 PAGE %d", head, cfg.Page), nil
+		case isa.CS8to32:
+			return fmt.Sprintf("%s S8TO32 BYTE %d", head, cfg.ByteSel), nil
+		default:
+			return head + " BYP", nil
+		}
+	case isa.ElemD:
+		cfg := isa.DecodeD(in.Data)
+		switch cfg.Mode {
+		case isa.DMul16, isa.DMul32:
+			return fmt.Sprintf("%s %s %s", head, cfg.Mode, srcString(cfg.Operand, cfg.Imm)), nil
+		case isa.DSquare:
+			return head + " SQR", nil
+		default:
+			return head + " BYP", nil
+		}
+	case isa.ElemF:
+		cfg := isa.DecodeF(in.Data)
+		if cfg.Mode == isa.FBypass {
+			return head + " BYP", nil
+		}
+		return fmt.Sprintf("%s %s 0x%02x 0x%02x 0x%02x 0x%02x", head, cfg.Mode,
+			cfg.Consts[0], cfg.Consts[1], cfg.Consts[2], cfg.Consts[3]), nil
+	case isa.ElemReg, isa.ElemOut:
+		if in.Data&1 == 1 {
+			return head + " ON", nil
+		}
+		return head + " OFF", nil
+	case isa.ElemER:
+		cfg := isa.DecodeER(in.Data)
+		return fmt.Sprintf("%s BANK %d ADDR %d", head, cfg.Bank, cfg.Addr), nil
+	}
+	return "", fmt.Errorf("undisassemblable element %v", in.Elem)
+}
+
+func srcString(src isa.Src, imm uint32) string {
+	if src == isa.SrcImm {
+		return fmt.Sprintf("IMM 0x%08x", imm)
+	}
+	return src.String()
+}

@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"text/tabwriter"
+
+	"cobra/internal/bits"
+	"cobra/internal/cipher"
+	"cobra/internal/model"
+	"cobra/internal/program"
+)
+
+// BatchPoint is one point of the pipeline-fill amortization study.
+type BatchPoint struct {
+	Batch          int
+	CyclesPerBlock float64
+}
+
+// BatchSweep measures cycles per block for a configuration across batch
+// sizes. For full-length pipelines this exposes the §4.1 observation that
+// "the cycles required to output the blocks in the pipeline" dominate small
+// batches: a 32-stage Serpent pipeline costs ~34 cycles for a single block
+// but ~1 cycle per block once the batch amortizes the fill and drain.
+// Iterative configurations are batch-insensitive (the per-block protocol
+// repeats), which the sweep also demonstrates.
+func BatchSweep(c Config, key []byte, batches []int) ([]BatchPoint, error) {
+	var out []BatchPoint
+	for _, n := range batches {
+		p, err := Build(c, key)
+		if err != nil {
+			return nil, err
+		}
+		m, err := program.NewMachine(p)
+		if err != nil {
+			return nil, err
+		}
+		if err := program.Load(m, p); err != nil {
+			return nil, err
+		}
+		_, stats, err := program.Encrypt(m, p, testBatch(n))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BatchPoint{Batch: n, CyclesPerBlock: float64(stats.Cycles) / float64(n)})
+	}
+	return out, nil
+}
+
+// BatchSweepText renders the amortization study for the three full-length
+// pipelines and one iterative control.
+func BatchSweepText(key []byte) (string, error) {
+	batches := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	configs := []Config{
+		{"rc6", 20}, {"rijndael", 10}, {"serpent", 32}, // streaming
+		{"serpent", 16}, // iterative control: batch-insensitive
+	}
+	var b bytes.Buffer
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "Pipeline-fill amortization (cycles per block vs batch size)")
+	fmt.Fprint(w, "config")
+	for _, n := range batches {
+		fmt.Fprintf(w, "\tN=%d", n)
+	}
+	fmt.Fprintln(w)
+	for _, c := range configs {
+		pts, err := BatchSweep(c, key, batches)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(w, "%s-%d", c.Alg, c.Rounds)
+		for _, pt := range pts {
+			fmt.Fprintf(w, "\t%.1f", pt.CyclesPerBlock)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return b.String(), nil
+}
+
+// WindowPoint is one point of the §3.4 instruction-window study.
+type WindowPoint struct {
+	Window         int
+	CyclesPerBlock float64
+	EffectiveMHz   float64 // F_DP = F_iRAM/(2w) = F_DPmax/w
+	Mbps           float64
+	NopSlots       int // underfull padding (§3.4)
+	StallCycles    int // overfull cycles (§3.4)
+}
+
+// WindowSweep performs the §3.4 optimal-window analysis on the Serpent
+// single-round configuration: for each window size it measures datapath
+// cycles per block (overfull stalls shrink as w grows), derives the
+// derated clock F_DP = F_iRAM/(2w), and reports the resulting throughput.
+// The optimum balances reconfiguration bandwidth against clock rate.
+func WindowSweep(key []byte, windows []int, batch int) ([]WindowPoint, error) {
+	var out []WindowPoint
+	for _, w := range windows {
+		p, err := program.BuildSerpentWindowed(key, w)
+		if err != nil {
+			return nil, err
+		}
+		m, err := program.NewMachine(p)
+		if err != nil {
+			return nil, err
+		}
+		if err := program.Load(m, p); err != nil {
+			return nil, err
+		}
+		tm := model.Analyze(m.Array, model.DefaultDelays())
+		blocks := testBatch(batch)
+		outBlocks, stats, err := program.Encrypt(m, p, blocks)
+		if err != nil {
+			return nil, err
+		}
+		// Verify against the reference before accepting the point.
+		ref, err := cipher.NewSerpentCOBRA(key)
+		if err != nil {
+			return nil, err
+		}
+		var pt, ct [16]byte
+		for i, blk := range blocks {
+			blk.StoreBlock128(pt[:])
+			ref.Encrypt(ct[:], pt[:])
+			if outBlocks[i] != bits.LoadBlock128(ct[:]) {
+				return nil, fmt.Errorf("window %d: verification failed at block %d", w, i)
+			}
+		}
+		cpb := float64(stats.Cycles) / float64(batch)
+		mhz := tm.DatapathMHz / float64(w)
+		out = append(out, WindowPoint{
+			Window:         w,
+			CyclesPerBlock: cpb,
+			EffectiveMHz:   mhz,
+			Mbps:           mhz * 128 / cpb,
+			NopSlots:       stats.Nops,
+			StallCycles:    stats.Stalled,
+		})
+	}
+	return out, nil
+}
+
+// WindowSweepText renders the §3.4 study.
+func WindowSweepText(key []byte) (string, error) {
+	pts, err := WindowSweep(key, []int{1, 2, 3, 4, 8}, 16)
+	if err != nil {
+		return "", err
+	}
+	var b bytes.Buffer
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "Instruction-window study, serpent-1 (§3.4: F_DP = F_iRAM/(2w))")
+	fmt.Fprintln(w, "window\tcycles/blk\tF_DP (MHz)\tMbps\toverfull stalls\tunderfull NOPs")
+	best := 0
+	for i, p := range pts {
+		if p.Mbps > pts[best].Mbps {
+			best = i
+		}
+	}
+	for i, p := range pts {
+		mark := ""
+		if i == best {
+			mark = "  <- optimal"
+		}
+		fmt.Fprintf(w, "%d\t%.1f\t%.3f\t%.2f\t%d\t%d%s\n",
+			p.Window, p.CyclesPerBlock, p.EffectiveMHz, p.Mbps, p.StallCycles, p.NopSlots, mark)
+	}
+	w.Flush()
+	return b.String(), nil
+}
+
+// FeedbackPoint contrasts non-feedback (ECB, pipelined) and feedback
+// (CBC-like, serialized) operation of one configuration — the paper's
+// Table 1 distinguishes FPGA implementations exactly this way, and the
+// same physics applies to COBRA's pipelines.
+type FeedbackPoint struct {
+	Config
+	NFBCyclesPerBlock float64
+	FBCyclesPerBlock  float64
+	NFBMbps           float64
+	FBMbps            float64
+}
+
+// FeedbackSweep measures the NFB/FB contrast for the three full-length
+// pipelines: NFB streams a batch; FB submits one block at a time (the
+// chaining dependency of a feedback mode admits no overlap).
+func FeedbackSweep(key []byte, batch int) ([]FeedbackPoint, error) {
+	var out []FeedbackPoint
+	for _, c := range []Config{{"rc6", 20}, {"rijndael", 10}, {"serpent", 32}} {
+		p, err := Build(c, key)
+		if err != nil {
+			return nil, err
+		}
+		m, err := program.NewMachine(p)
+		if err != nil {
+			return nil, err
+		}
+		if err := program.Load(m, p); err != nil {
+			return nil, err
+		}
+		tm := model.Analyze(m.Array, model.DefaultDelays())
+		blocks := testBatch(batch)
+		// Non-feedback: the whole batch in flight.
+		if _, _, err := program.Encrypt(m, p, blocks); err != nil {
+			return nil, err
+		}
+		nfb := float64(m.Stats().Cycles) / float64(batch)
+		// Feedback: one block at a time — the chaining dependency means
+		// each submission pays the full pipeline fill and drain.
+		total := 0
+		for i := range blocks {
+			_, st, err := program.Encrypt(m, p, blocks[i:i+1])
+			if err != nil {
+				return nil, err
+			}
+			total += st.Cycles
+		}
+		fb := float64(total) / float64(batch)
+		out = append(out, FeedbackPoint{
+			Config:            c,
+			NFBCyclesPerBlock: nfb,
+			FBCyclesPerBlock:  fb,
+			NFBMbps:           tm.ThroughputMbps(nfb),
+			FBMbps:            tm.ThroughputMbps(fb),
+		})
+	}
+	return out, nil
+}
+
+// FeedbackSweepText renders the NFB/FB contrast.
+func FeedbackSweepText(key []byte) (string, error) {
+	pts, err := FeedbackSweep(key, 32)
+	if err != nil {
+		return "", err
+	}
+	var b bytes.Buffer
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "Non-feedback vs feedback operation (full-length pipelines, cf. Table 1's NFB/FB split)")
+	fmt.Fprintln(w, "config\tNFB cyc/blk\tFB cyc/blk\tNFB Mbps\tFB Mbps\tNFB/FB")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%s-%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1fx\n",
+			p.Alg, p.Rounds, p.NFBCyclesPerBlock, p.FBCyclesPerBlock,
+			p.NFBMbps, p.FBMbps, p.NFBMbps/p.FBMbps)
+	}
+	w.Flush()
+	return b.String(), nil
+}

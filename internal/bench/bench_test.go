@@ -1,0 +1,318 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"cobra/internal/datapath"
+)
+
+var benchKey = make([]byte, 16)
+
+func TestMeasureAllVerifiesAndTrends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep is not short")
+	}
+	ms, err := MeasureAll(benchKey, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(Configurations()) {
+		t.Fatalf("measurements = %d", len(ms))
+	}
+	perAlg := map[string][]Measurement{}
+	for _, m := range ms {
+		if !m.Verified {
+			t.Errorf("%s-%d: outputs failed verification", m.Alg, m.Rounds)
+		}
+		if m.CyclesPerBlock <= 0 || m.Mbps <= 0 {
+			t.Errorf("%s-%d: implausible measurement %+v", m.Alg, m.Rounds, m)
+		}
+		perAlg[m.Alg] = append(perAlg[m.Alg], m)
+	}
+	// Central Table 3 trend: within a cipher, the full unroll is the
+	// fastest configuration and the single-round the slowest.
+	for alg, rows := range perAlg {
+		first, last := rows[0], rows[len(rows)-1]
+		if last.Mbps <= first.Mbps {
+			t.Errorf("%s: full unroll %.1f Mbps not above minimal %.1f", alg, last.Mbps, first.Mbps)
+		}
+	}
+}
+
+func TestFullUnrollsMeetATMRequirement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep is not short")
+	}
+	for _, c := range []Config{{"rc6", 20}, {"rijndael", 10}, {"serpent", 32}} {
+		m, err := Measure(c, benchKey, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Mbps < ATMRequirementMbps {
+			t.Errorf("%s-%d: %.1f Mbps misses the 622 Mbps ATM requirement",
+				c.Alg, c.Rounds, m.Mbps)
+		}
+	}
+}
+
+func TestTable1DataComplete(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 5 {
+		t.Fatalf("Table 1 rows = %d, want 5", len(rows))
+	}
+	// Spot-check the published values.
+	for _, r := range rows {
+		if r.Alg == "Serpent" && (r.NFB14 != 16800 || r.FB11 != 444.2) {
+			t.Errorf("Serpent row corrupted: %+v", r)
+		}
+		if r.Alg == "MARS" && (r.NFB14 != 0 || r.FB8 != 101.88) {
+			t.Errorf("MARS row corrupted: %+v", r)
+		}
+	}
+}
+
+func TestFPGAEquivalent(t *testing.T) {
+	if got := FPGAEquivalentMbps("rc6", 2); got != 497.4 {
+		t.Errorf("rc6-2 FPGA = %v", got)
+	}
+	if got := FPGAEquivalentMbps("rc6", 20); got != 0 {
+		t.Errorf("rc6-20 should have no FPGA figure, got %v", got)
+	}
+	if got := FPGAEquivalentMbps("nope", 1); got != 0 {
+		t.Errorf("unknown alg = %v", got)
+	}
+}
+
+func TestPaperDataSetsComplete(t *testing.T) {
+	if len(PaperTable3()) != 14 || len(PaperTable6()) != 14 {
+		t.Error("paper data sets must have 14 rows each")
+	}
+	cfg := map[Config]bool{}
+	for _, c := range Configurations() {
+		cfg[c] = true
+	}
+	for _, r := range PaperTable3() {
+		if !cfg[Config{r.Alg, r.Rounds}] {
+			t.Errorf("paper row %s-%d missing from Configurations", r.Alg, r.Rounds)
+		}
+	}
+}
+
+func TestTextRenderers(t *testing.T) {
+	t1 := Table1Text()
+	for _, sub := range []string{"MARS", "Serpent", "16800", "•"} {
+		if !strings.Contains(t1, sub) {
+			t.Errorf("Table1Text missing %q", sub)
+		}
+	}
+	t2 := Table2Text()
+	for _, sub := range []string{"Boolean", "40 of 41", "Modular Inversion", "1 of 41"} {
+		if !strings.Contains(t2, sub) {
+			t.Errorf("Table2Text missing %q", sub)
+		}
+	}
+	t4 := Table4Text()
+	for _, sub := range []string{"98,624", "10,606", "32-Bit Register"} {
+		if !strings.Contains(t4, sub) {
+			t.Errorf("Table4Text missing %q", sub)
+		}
+	}
+	t5 := Table5Text(datapath.BaseGeometry())
+	for _, sub := range []string{"2,773,184", "1,210,640", "Total"} {
+		if !strings.Contains(t5, sub) {
+			t.Errorf("Table5Text missing %q", sub)
+		}
+	}
+}
+
+func TestTable6AndCompareText(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	ms, err := MeasureAll(benchKey, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t6 := Table6Text(ms)
+	if !strings.Contains(t6, "Norm CG") || !strings.Contains(t6, "rc6") {
+		t.Errorf("Table6Text malformed:\n%s", t6)
+	}
+	cmp := Table3CompareText(ms)
+	if !strings.Contains(cmp, "Cycles paper") {
+		t.Errorf("compare text malformed")
+	}
+	t3 := Table3Text(ms)
+	if !strings.Contains(t3, "Verified") {
+		t.Errorf("Table3Text malformed")
+	}
+	atm := ATMText(ms)
+	if !strings.Contains(atm, "622") {
+		t.Errorf("ATMText malformed: %s", atm)
+	}
+}
+
+func TestFigures(t *testing.T) {
+	f1, err := Figure1Text(Config{"rijndael", 2}, benchKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"byte shuffler", "RCE MUL", "whitening"} {
+		if !strings.Contains(f1, sub) {
+			t.Errorf("Figure1Text missing %q", sub)
+		}
+	}
+	f23, err := Figure23Text(Config{"rc6", 2}, benchKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"D(MUL32", "E1(SHL)", "r0.c1"} {
+		if !strings.Contains(f23, sub) {
+			t.Errorf("Figure23Text missing %q:\n%s", sub, f23)
+		}
+	}
+}
+
+func TestBuildRejectsUnknownAlg(t *testing.T) {
+	if _, err := Build(Config{"nope", 1}, benchKey); err == nil {
+		t.Error("expected error")
+	}
+	if _, err := Measure(Config{"nope", 1}, benchKey, 1); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestSortMeasurements(t *testing.T) {
+	ms := []Measurement{
+		{Config: Config{"serpent", 8}},
+		{Config: Config{"rc6", 20}},
+		{Config: Config{"rc6", 1}},
+		{Config: Config{"rijndael", 2}},
+	}
+	SortMeasurements(ms)
+	want := []Config{{"rc6", 1}, {"rc6", 20}, {"rijndael", 2}, {"serpent", 8}}
+	for i, c := range want {
+		if ms[i].Config != c {
+			t.Errorf("order[%d] = %+v, want %+v", i, ms[i].Config, c)
+		}
+	}
+}
+
+func TestComma(t *testing.T) {
+	cases := map[int]string{
+		0: "0", 12: "12", 123: "123", 1234: "1,234",
+		6691514: "6,691,514", -1234567: "-1,234,567",
+	}
+	for v, want := range cases {
+		if got := comma(v); got != want {
+			t.Errorf("comma(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestBatchSweepShowsAmortization(t *testing.T) {
+	// Streaming configurations must amortize their pipeline fill with
+	// batch size; iterative ones must be batch-insensitive (§4.1).
+	pts, err := BatchSweep(Config{"serpent", 32}, benchKey, []int{1, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pts[0].CyclesPerBlock > 10*pts[1].CyclesPerBlock) {
+		t.Errorf("streaming fill not amortized: %v", pts)
+	}
+	it, err := BatchSweep(Config{"serpent", 16}, benchKey, []int{4, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := it[1].CyclesPerBlock / it[0].CyclesPerBlock
+	if ratio < 0.9 || ratio > 1.15 {
+		t.Errorf("iterative config should be batch-insensitive, got ratio %.2f", ratio)
+	}
+}
+
+func TestBatchSweepText(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	text, err := BatchSweepText(benchKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"rc6-20", "serpent-16", "N=128"} {
+		if !strings.Contains(text, sub) {
+			t.Errorf("ablation text missing %q", sub)
+		}
+	}
+}
+
+func TestBuildDecryptConfigs(t *testing.T) {
+	for _, c := range []Config{{"rc6", 2}, {"rijndael", 5}, {"serpent", 1}} {
+		p, err := BuildDecrypt(c, benchKey)
+		if err != nil {
+			t.Fatalf("%s-%d: %v", c.Alg, c.Rounds, err)
+		}
+		if p.Cipher != c.Alg {
+			t.Errorf("decrypt program cipher = %s", p.Cipher)
+		}
+	}
+	if _, err := BuildDecrypt(Config{"nope", 1}, benchKey); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestWindowSweepFindsInteriorOptimum(t *testing.T) {
+	pts, err := WindowSweep(benchKey, []int{1, 2, 4}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3.4: window 2 balances reconfiguration bandwidth and clock rate for
+	// serpent-1 (two reconfigurations per pass).
+	if !(pts[1].Mbps > pts[0].Mbps && pts[1].Mbps > pts[2].Mbps) {
+		t.Errorf("expected w=2 optimum: %.1f / %.1f / %.1f Mbps",
+			pts[0].Mbps, pts[1].Mbps, pts[2].Mbps)
+	}
+	// Overfull stalls fall and underfull NOPs rise with the window.
+	if !(pts[0].StallCycles > pts[1].StallCycles && pts[1].StallCycles > pts[2].StallCycles) {
+		t.Error("overfull stalls should fall with window size")
+	}
+	if !(pts[0].NopSlots <= pts[1].NopSlots && pts[1].NopSlots < pts[2].NopSlots) {
+		t.Error("underfull NOPs should rise with window size")
+	}
+}
+
+func TestFeedbackSweepShowsFBPenalty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	pts, err := FeedbackSweep(benchKey, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.NFBMbps <= 2*p.FBMbps {
+			t.Errorf("%s-%d: NFB %.1f Mbps should dwarf FB %.1f", p.Alg, p.Rounds, p.NFBMbps, p.FBMbps)
+		}
+	}
+}
+
+func TestWindowAndFeedbackText(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	wt, err := WindowSweepText(benchKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(wt, "<- optimal") || !strings.Contains(wt, "F_DP") {
+		t.Errorf("window sweep text malformed:\n%s", wt)
+	}
+	ft, err := FeedbackSweepText(benchKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"rc6-20", "NFB", "FB", "x"} {
+		if !strings.Contains(ft, sub) {
+			t.Errorf("feedback sweep text missing %q", sub)
+		}
+	}
+}

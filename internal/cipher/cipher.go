@@ -1,0 +1,39 @@
+// Package cipher contains from-scratch reference implementations of block
+// ciphers studied in the COBRA paper. They serve three roles in the
+// reproduction:
+//
+//  1. Validation oracles: every cipher mapped onto the simulated COBRA
+//     datapath is checked bit-for-bit against the corresponding reference
+//     here (and the references themselves against published test vectors).
+//  2. The software baseline of §1–2: the paper motivates reconfigurable
+//     hardware by the gap to general-purpose-processor implementations;
+//     BenchmarkSoftwareBaseline* measures these implementations.
+//  3. Substantiation of the §3 block-cipher analysis (Table 2): package
+//     census cross-references the atomic operations these implementations
+//     actually perform.
+//
+// The Block interface matches crypto/cipher.Block so the implementations
+// compose with standard modes.
+package cipher
+
+import "fmt"
+
+// Block is a block cipher with fixed-size blocks, the same contract as
+// crypto/cipher.Block: Encrypt and Decrypt operate on exactly one block and
+// src/dst may overlap completely.
+type Block interface {
+	BlockSize() int
+	Encrypt(dst, src []byte)
+	Decrypt(dst, src []byte)
+}
+
+// KeySizeError reports an unsupported key length.
+type KeySizeError struct {
+	Cipher string
+	Size   int
+}
+
+// Error satisfies the error interface.
+func (e KeySizeError) Error() string {
+	return fmt.Sprintf("cipher/%s: invalid key size %d", e.Cipher, e.Size)
+}

@@ -1,0 +1,76 @@
+package cipher
+
+import "cobra/internal/bits"
+
+// RC5Rounds is the nominal round count of RC5-32/12/16.
+const RC5Rounds = 12
+
+// RC5 implements RC5-32/r/b: a 64-bit-block Feistel-like cipher built from
+// addition mod 2^32, XOR and data-dependent rotation — the operations whose
+// Table 2 occurrence counts motivated COBRA's B and E elements.
+type RC5 struct {
+	rounds int
+	s      []uint32
+}
+
+// NewRC5 derives the key schedule for RC5-32/12/b.
+func NewRC5(key []byte) (*RC5, error) { return NewRC5Rounds(key, RC5Rounds) }
+
+// NewRC5Rounds derives the key schedule for r rounds.
+func NewRC5Rounds(key []byte, rounds int) (*RC5, error) {
+	if len(key) == 0 || len(key) > 255 {
+		return nil, KeySizeError{"rc5", len(key)}
+	}
+	if rounds < 1 || rounds > 255 {
+		return nil, KeySizeError{"rc5", rounds}
+	}
+	c := (len(key) + 3) / 4
+	l := make([]uint32, c)
+	for i := len(key) - 1; i >= 0; i-- {
+		l[i/4] = l[i/4]<<8 + uint32(key[i])
+	}
+	n := 2 * (rounds + 1)
+	s := make([]uint32, n)
+	s[0] = rc6P // RC5 shares P32/Q32 with RC6
+	for i := 1; i < n; i++ {
+		s[i] = s[i-1] + rc6Q
+	}
+	var a, b uint32
+	i, j := 0, 0
+	for k := 0; k < 3*max(n, c); k++ {
+		a = bits.RotL(s[i]+a+b, 3)
+		s[i] = a
+		b = bits.RotL(l[j]+a+b, uint(a+b))
+		l[j] = b
+		i = (i + 1) % n
+		j = (j + 1) % c
+	}
+	return &RC5{rounds: rounds, s: s}, nil
+}
+
+// BlockSize returns 8.
+func (c *RC5) BlockSize() int { return 8 }
+
+// Encrypt encrypts one 8-byte block.
+func (c *RC5) Encrypt(dst, src []byte) {
+	a := bits.Load32LE(src[0:]) + c.s[0]
+	b := bits.Load32LE(src[4:]) + c.s[1]
+	for i := 1; i <= c.rounds; i++ {
+		a = bits.RotL(a^b, uint(b)) + c.s[2*i]
+		b = bits.RotL(b^a, uint(a)) + c.s[2*i+1]
+	}
+	bits.Store32LE(dst[0:], a)
+	bits.Store32LE(dst[4:], b)
+}
+
+// Decrypt decrypts one 8-byte block.
+func (c *RC5) Decrypt(dst, src []byte) {
+	a := bits.Load32LE(src[0:])
+	b := bits.Load32LE(src[4:])
+	for i := c.rounds; i >= 1; i-- {
+		b = bits.RotR(b-c.s[2*i+1], uint(a)) ^ a
+		a = bits.RotR(a-c.s[2*i], uint(b)) ^ b
+	}
+	bits.Store32LE(dst[0:], a-c.s[0])
+	bits.Store32LE(dst[4:], b-c.s[1])
+}

@@ -1,0 +1,127 @@
+package cipher
+
+import (
+	"cobra/internal/bits"
+)
+
+// RC6 magic constants (RC6-32: P = Odd((e-2)·2^32), Q = Odd((φ-1)·2^32)).
+const (
+	rc6P = 0xb7e15163
+	rc6Q = 0x9e3779b9
+)
+
+// RC6Rounds is the nominal round count of RC6-32/20/b as submitted to the
+// AES process and as implemented on COBRA in §4.
+const RC6Rounds = 20
+
+// RC6 implements RC6-32/r/b: four 32-bit working registers, a quadratic
+// data-dependent rotation t = (B(2B+1)) <<< 5, and 2r+4 round keys. The
+// COBRA study selected RC6 for its multiplication and variable-rotation
+// requirements (§4).
+type RC6 struct {
+	rounds int
+	s      []uint32 // 2·rounds + 4 round keys
+}
+
+// NewRC6 derives the key schedule for a 16-byte key and the
+// standard 20 rounds.
+func NewRC6(key []byte) (*RC6, error) { return NewRC6Rounds(key, RC6Rounds) }
+
+// NewRC6Rounds derives the key schedule for r rounds (the COBRA evaluation
+// sweeps partial-unroll configurations, so reduced-round variants are
+// first-class here).
+func NewRC6Rounds(key []byte, rounds int) (*RC6, error) {
+	if len(key) != 16 && len(key) != 24 && len(key) != 32 {
+		return nil, KeySizeError{"rc6", len(key)}
+	}
+	if rounds < 1 || rounds > 255 {
+		return nil, KeySizeError{"rc6", rounds}
+	}
+	c := len(key) / 4
+	l := make([]uint32, c)
+	for i := 0; i < c; i++ {
+		l[i] = bits.Load32LE(key[4*i:])
+	}
+	n := 2*rounds + 4
+	s := make([]uint32, n)
+	s[0] = rc6P
+	for i := 1; i < n; i++ {
+		s[i] = s[i-1] + rc6Q
+	}
+	var a, b uint32
+	i, j := 0, 0
+	for k := 0; k < 3*max(n, c); k++ {
+		a = bits.RotL(s[i]+a+b, 3)
+		s[i] = a
+		b = bits.RotL(l[j]+a+b, uint(a+b))
+		l[j] = b
+		i = (i + 1) % n
+		j = (j + 1) % c
+	}
+	return &RC6{rounds: rounds, s: s}, nil
+}
+
+// BlockSize returns 16 (128-bit blocks).
+func (c *RC6) BlockSize() int { return 16 }
+
+// Rounds returns the configured round count.
+func (c *RC6) Rounds() int { return c.rounds }
+
+// RoundKeys exposes the key schedule; the COBRA program builder loads these
+// words into the eRAMs (the paper's external system supplies key material
+// during the key-scheduling phase, §3.4).
+func (c *RC6) RoundKeys() []uint32 {
+	out := make([]uint32, len(c.s))
+	copy(out, c.s)
+	return out
+}
+
+// Encrypt encrypts one 16-byte block.
+func (c *RC6) Encrypt(dst, src []byte) {
+	a := bits.Load32LE(src[0:])
+	b := bits.Load32LE(src[4:])
+	d0 := bits.Load32LE(src[8:])
+	e := bits.Load32LE(src[12:])
+
+	b += c.s[0]
+	e += c.s[1]
+	for i := 1; i <= c.rounds; i++ {
+		t := bits.RotL(b*(2*b+1), 5)
+		u := bits.RotL(e*(2*e+1), 5)
+		a = bits.RotL(a^t, uint(u)) + c.s[2*i]
+		d0 = bits.RotL(d0^u, uint(t)) + c.s[2*i+1]
+		a, b, d0, e = b, d0, e, a
+	}
+	a += c.s[2*c.rounds+2]
+	d0 += c.s[2*c.rounds+3]
+
+	bits.Store32LE(dst[0:], a)
+	bits.Store32LE(dst[4:], b)
+	bits.Store32LE(dst[8:], d0)
+	bits.Store32LE(dst[12:], e)
+}
+
+// Decrypt decrypts one 16-byte block.
+func (c *RC6) Decrypt(dst, src []byte) {
+	a := bits.Load32LE(src[0:])
+	b := bits.Load32LE(src[4:])
+	d0 := bits.Load32LE(src[8:])
+	e := bits.Load32LE(src[12:])
+
+	d0 -= c.s[2*c.rounds+3]
+	a -= c.s[2*c.rounds+2]
+	for i := c.rounds; i >= 1; i-- {
+		a, b, d0, e = e, a, b, d0
+		t := bits.RotL(b*(2*b+1), 5)
+		u := bits.RotL(e*(2*e+1), 5)
+		a = bits.RotR(a-c.s[2*i], uint(u)) ^ t
+		d0 = bits.RotR(d0-c.s[2*i+1], uint(t)) ^ u
+	}
+	e -= c.s[1]
+	b -= c.s[0]
+
+	bits.Store32LE(dst[0:], a)
+	bits.Store32LE(dst[4:], b)
+	bits.Store32LE(dst[8:], d0)
+	bits.Store32LE(dst[12:], e)
+}

@@ -1,0 +1,176 @@
+package cipher
+
+import "cobra/internal/bits"
+
+// AESRounds is the round count of Rijndael with 128-bit key and block.
+const AESRounds = 10
+
+// aesSBox is computed at init from the GF(2^8) inverse plus the affine
+// transform of FIPS-197 §5.1.1, rather than transcribed, so the table is
+// self-checking against the field arithmetic in package bits.
+var aesSBox, aesInvSBox [256]uint8
+
+func init() {
+	for x := 0; x < 256; x++ {
+		inv := bits.GFInv(uint8(x))
+		// Affine transform: b'_i = b_i ^ b_{i+4} ^ b_{i+5} ^ b_{i+6} ^
+		// b_{i+7} ^ c_i with c = 0x63.
+		var s uint8
+		for i := 0; i < 8; i++ {
+			b := inv>>uint(i)&1 ^ inv>>uint((i+4)%8)&1 ^ inv>>uint((i+5)%8)&1 ^
+				inv>>uint((i+6)%8)&1 ^ inv>>uint((i+7)%8)&1 ^ 0x63>>uint(i)&1
+			s |= b << uint(i)
+		}
+		aesSBox[x] = s
+		aesInvSBox[s] = uint8(x)
+	}
+}
+
+// AESSBox returns the Rijndael S-box (the COBRA program builder loads it
+// into the C elements' 8→8 look-up tables).
+func AESSBox() [256]uint8 { return aesSBox }
+
+// AESInvSBox returns the inverse S-box, used by the COBRA decryption
+// mapping (equivalent inverse cipher).
+func AESInvSBox() [256]uint8 { return aesInvSBox }
+
+// Rijndael implements AES-128 (FIPS-197). The state is kept as four 32-bit
+// column words, matching the four 32-bit datapaths of COBRA: word i holds
+// column i of the state, with the row-0 byte in the least significant
+// position. This is also the byte order of the paper's 128-bit data stream.
+type Rijndael struct {
+	rk [AESRounds + 1][4]uint32 // round keys as column words
+}
+
+// NewRijndael derives the AES-128 key schedule from a 16-byte key.
+func NewRijndael(key []byte) (*Rijndael, error) {
+	if len(key) != 16 {
+		return nil, KeySizeError{"rijndael", len(key)}
+	}
+	c := new(Rijndael)
+	var w [4 * (AESRounds + 1)]uint32
+	for i := 0; i < 4; i++ {
+		w[i] = bits.Load32LE(key[4*i:])
+	}
+	rcon := uint8(1)
+	for i := 4; i < len(w); i++ {
+		t := w[i-1]
+		if i%4 == 0 {
+			// RotWord then SubWord then Rcon. In little-endian column words
+			// RotWord (move byte 1 to byte 0 etc.) is a right rotate by 8.
+			t = bits.RotR(t, 8)
+			t = subWord(t)
+			t ^= uint32(rcon)
+			rcon = bits.GFMul(rcon, 2)
+		}
+		w[i] = w[i-4] ^ t
+	}
+	for r := 0; r <= AESRounds; r++ {
+		for col := 0; col < 4; col++ {
+			c.rk[r][col] = w[4*r+col]
+		}
+	}
+	return c, nil
+}
+
+// subWord applies the S-box to each byte of a word.
+func subWord(x uint32) uint32 {
+	return uint32(aesSBox[uint8(x)]) |
+		uint32(aesSBox[uint8(x>>8)])<<8 |
+		uint32(aesSBox[uint8(x>>16)])<<16 |
+		uint32(aesSBox[uint8(x>>24)])<<24
+}
+
+func invSubWord(x uint32) uint32 {
+	return uint32(aesInvSBox[uint8(x)]) |
+		uint32(aesInvSBox[uint8(x>>8)])<<8 |
+		uint32(aesInvSBox[uint8(x>>16)])<<16 |
+		uint32(aesInvSBox[uint8(x>>24)])<<24
+}
+
+// BlockSize returns 16.
+func (c *Rijndael) BlockSize() int { return 16 }
+
+// RoundKeyWords returns round key r as four column words (for eRAM
+// loading on COBRA).
+func (c *Rijndael) RoundKeyWords(r int) [4]uint32 { return c.rk[r] }
+
+// EquivInvRoundKeyWords returns round key j of the FIPS-197 §5.3.5
+// equivalent inverse cipher: dw[j] = InvMixColumns(w[Nr-j]) for the middle
+// rounds, w[Nr] for j = 0 and w[0] for j = Nr. The COBRA decryption
+// mapping consumes these so decryption keeps the encryption round
+// structure (InvSubBytes → InvShiftRows → InvMixColumns → AddRoundKey).
+func (c *Rijndael) EquivInvRoundKeyWords(j int) [4]uint32 {
+	w := c.rk[AESRounds-j]
+	if j == 0 || j == AESRounds {
+		return w
+	}
+	for col := 0; col < 4; col++ {
+		w[col] = bits.GFMDSColumn(w[col], [4]uint8{0x0e, 0x0b, 0x0d, 0x09})
+	}
+	return w
+}
+
+// shiftRows rotates row r of the state left by r positions. With
+// column-major words, row r is byte lane r of each word.
+func shiftRows(s *[4]uint32, inv bool) {
+	var out [4]uint32
+	for col := 0; col < 4; col++ {
+		var w uint32
+		for row := 0; row < 4; row++ {
+			src := (col + row) % 4
+			if inv {
+				src = (col - row + 4) % 4
+			}
+			w |= s[src] >> (8 * uint(row)) & 0xff << (8 * uint(row))
+		}
+		out[col] = w
+	}
+	*s = out
+}
+
+// Encrypt encrypts one 16-byte block.
+func (c *Rijndael) Encrypt(dst, src []byte) {
+	var s [4]uint32
+	for i := range s {
+		s[i] = bits.Load32LE(src[4*i:]) ^ c.rk[0][i]
+	}
+	for r := 1; r < AESRounds; r++ {
+		for i := range s {
+			s[i] = subWord(s[i])
+		}
+		shiftRows(&s, false)
+		for i := range s {
+			s[i] = bits.GFMDSColumn(s[i], [4]uint8{2, 3, 1, 1}) ^ c.rk[r][i]
+		}
+	}
+	for i := range s {
+		s[i] = subWord(s[i])
+	}
+	shiftRows(&s, false)
+	for i := range s {
+		s[i] ^= c.rk[AESRounds][i]
+		bits.Store32LE(dst[4*i:], s[i])
+	}
+}
+
+// Decrypt decrypts one 16-byte block using the straightforward inverse
+// cipher (InvShiftRows/InvSubBytes/InvMixColumns order of FIPS-197 §5.3).
+func (c *Rijndael) Decrypt(dst, src []byte) {
+	var s [4]uint32
+	for i := range s {
+		s[i] = bits.Load32LE(src[4*i:]) ^ c.rk[AESRounds][i]
+	}
+	for r := AESRounds - 1; r >= 1; r-- {
+		shiftRows(&s, true)
+		for i := range s {
+			s[i] = invSubWord(s[i]) ^ c.rk[r][i]
+			s[i] = bits.GFMDSColumn(s[i], [4]uint8{0x0e, 0x0b, 0x0d, 0x09})
+		}
+	}
+	shiftRows(&s, true)
+	for i := range s {
+		s[i] = invSubWord(s[i]) ^ c.rk[0][i]
+		bits.Store32LE(dst[4*i:], s[i])
+	}
+}

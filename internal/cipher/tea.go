@@ -1,0 +1,102 @@
+package cipher
+
+import "cobra/internal/bits"
+
+// TEA and XTEA: 64-bit block ciphers from the paper's 41-cipher study,
+// built entirely from additions, shifts and XORs — the archetype of the
+// "Boolean + modular addition + fixed shift" operation profile that
+// dominates Table 2.
+
+const teaDelta = 0x9e3779b9
+
+// TEA implements the Tiny Encryption Algorithm (64 Feistel half-rounds).
+type TEA struct {
+	k [4]uint32
+}
+
+// NewTEA derives the cipher from a 16-byte key.
+func NewTEA(key []byte) (*TEA, error) {
+	if len(key) != 16 {
+		return nil, KeySizeError{"tea", len(key)}
+	}
+	var c TEA
+	for i := range c.k {
+		c.k[i] = bits.Load32BE(key[4*i:])
+	}
+	return &c, nil
+}
+
+// BlockSize returns 8.
+func (c *TEA) BlockSize() int { return 8 }
+
+// Encrypt encrypts one 8-byte block.
+func (c *TEA) Encrypt(dst, src []byte) {
+	v0, v1 := bits.Load32BE(src[0:]), bits.Load32BE(src[4:])
+	var sum uint32
+	for i := 0; i < 32; i++ {
+		sum += teaDelta
+		v0 += (v1<<4 + c.k[0]) ^ (v1 + sum) ^ (v1>>5 + c.k[1])
+		v1 += (v0<<4 + c.k[2]) ^ (v0 + sum) ^ (v0>>5 + c.k[3])
+	}
+	bits.Store32BE(dst[0:], v0)
+	bits.Store32BE(dst[4:], v1)
+}
+
+// Decrypt decrypts one 8-byte block.
+func (c *TEA) Decrypt(dst, src []byte) {
+	v0, v1 := bits.Load32BE(src[0:]), bits.Load32BE(src[4:])
+	sum := uint32(0xc6ef3720) // delta * 32 mod 2^32
+	for i := 0; i < 32; i++ {
+		v1 -= (v0<<4 + c.k[2]) ^ (v0 + sum) ^ (v0>>5 + c.k[3])
+		v0 -= (v1<<4 + c.k[0]) ^ (v1 + sum) ^ (v1>>5 + c.k[1])
+		sum -= teaDelta
+	}
+	bits.Store32BE(dst[0:], v0)
+	bits.Store32BE(dst[4:], v1)
+}
+
+// XTEA implements the extended TEA variant.
+type XTEA struct {
+	k [4]uint32
+}
+
+// NewXTEA derives the cipher from a 16-byte key.
+func NewXTEA(key []byte) (*XTEA, error) {
+	if len(key) != 16 {
+		return nil, KeySizeError{"xtea", len(key)}
+	}
+	var c XTEA
+	for i := range c.k {
+		c.k[i] = bits.Load32BE(key[4*i:])
+	}
+	return &c, nil
+}
+
+// BlockSize returns 8.
+func (c *XTEA) BlockSize() int { return 8 }
+
+// Encrypt encrypts one 8-byte block.
+func (c *XTEA) Encrypt(dst, src []byte) {
+	v0, v1 := bits.Load32BE(src[0:]), bits.Load32BE(src[4:])
+	var sum uint32
+	for i := 0; i < 32; i++ {
+		v0 += ((v1<<4 ^ v1>>5) + v1) ^ (sum + c.k[sum&3])
+		sum += teaDelta
+		v1 += ((v0<<4 ^ v0>>5) + v0) ^ (sum + c.k[sum>>11&3])
+	}
+	bits.Store32BE(dst[0:], v0)
+	bits.Store32BE(dst[4:], v1)
+}
+
+// Decrypt decrypts one 8-byte block.
+func (c *XTEA) Decrypt(dst, src []byte) {
+	v0, v1 := bits.Load32BE(src[0:]), bits.Load32BE(src[4:])
+	sum := uint32(0xc6ef3720) // delta * 32 mod 2^32
+	for i := 0; i < 32; i++ {
+		v1 -= ((v0<<4 ^ v0>>5) + v0) ^ (sum + c.k[sum>>11&3])
+		sum -= teaDelta
+		v0 -= ((v1<<4 ^ v1>>5) + v1) ^ (sum + c.k[sum&3])
+	}
+	bits.Store32BE(dst[0:], v0)
+	bits.Store32BE(dst[4:], v1)
+}

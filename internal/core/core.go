@@ -1,0 +1,331 @@
+// Package core is the public face of the COBRA reproduction: it wraps the
+// cipher-to-microcode compilers, the cycle-accurate machine, and the
+// timing/area models behind a small API sized for applications — configure
+// a device for an algorithm and key, stream blocks through it, read the
+// performance counters the paper's evaluation is built from, and
+// reconfigure on the fly for algorithm agility (§1).
+//
+// A Device models one COBRA chip plus its external system: Configure
+// compiles and loads key-specific microcode (the key schedule is computed
+// host-side and shipped as eRAM writes, matching the paper's
+// external-system protocol), EncryptECB drives the ready/go/busy/data-valid
+// handshake, and Report exposes measured cycles alongside the modeled clock
+// frequency, throughput, and gate count.
+package core
+
+import (
+	"fmt"
+
+	"cobra/internal/bits"
+	"cobra/internal/cipher"
+	"cobra/internal/datapath"
+	"cobra/internal/model"
+	"cobra/internal/program"
+	"cobra/internal/sim"
+)
+
+// Algorithm selects one of the block ciphers mapped onto COBRA in §4.
+type Algorithm string
+
+// The supported algorithms. Serpent denotes the COBRA-realizable Serpent
+// workload (see cipher.SerpentCOBRA and DESIGN.md for the documented
+// S-box-domain substitution).
+const (
+	RC6      Algorithm = "rc6"
+	Rijndael Algorithm = "rijndael"
+	Serpent  Algorithm = "serpent"
+)
+
+// TotalRounds returns the cipher's full round count.
+func (a Algorithm) TotalRounds() (int, error) {
+	switch a {
+	case RC6:
+		return cipher.RC6Rounds, nil
+	case Rijndael:
+		return cipher.AESRounds, nil
+	case Serpent:
+		return cipher.SerpentRounds, nil
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q", a)
+}
+
+// Config selects the architecture configuration for a session.
+type Config struct {
+	// Unroll is the number of rounds mapped into hardware (Table 3's
+	// "Rnds"); 0 selects the full unroll (maximum throughput).
+	Unroll int
+}
+
+// Device is one COBRA chip with loaded microcode.
+type Device struct {
+	alg     Algorithm
+	prog    *program.Program
+	machine *sim.Machine
+	timing  model.Timing
+	ref     cipher.Block
+	key     []byte
+
+	// Decryption datapath, built lazily on first DecryptECB call (in
+	// hardware terms: a second device, or this one re-loaded between
+	// directions).
+	decProg    *program.Program
+	decMachine *sim.Machine
+}
+
+// Configure compiles the algorithm/key pair into microcode, instantiates
+// the matching array geometry, loads the iRAM and runs the configuration
+// phase to the idle point.
+func Configure(alg Algorithm, key []byte, cfg Config) (*Device, error) {
+	total, err := alg.TotalRounds()
+	if err != nil {
+		return nil, err
+	}
+	unroll := cfg.Unroll
+	if unroll == 0 {
+		unroll = total
+	}
+	var p *program.Program
+	var ref cipher.Block
+	switch alg {
+	case RC6:
+		if p, err = program.BuildRC6(key, unroll, total); err == nil {
+			ref, err = cipher.NewRC6(key)
+		}
+	case Rijndael:
+		if p, err = program.BuildRijndael(key, unroll); err == nil {
+			ref, err = cipher.NewRijndael(key)
+		}
+	case Serpent:
+		if p, err = program.BuildSerpent(key, unroll); err == nil {
+			ref, err = cipher.NewSerpentCOBRA(key)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	m, err := program.NewMachine(p)
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{alg: alg, prog: p, machine: m, ref: ref, key: append([]byte(nil), key...)}
+	if err := d.load(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// load (re)loads the program and refreshes the timing analysis.
+func (d *Device) load() error {
+	if err := program.Load(d.machine, d.prog); err != nil {
+		return err
+	}
+	d.timing = model.Analyze(d.machine.Array, model.DefaultDelays())
+	return nil
+}
+
+// Reconfigure switches the device to a new algorithm/key — the §1
+// algorithm-agility scenario. When the new configuration needs a different
+// array geometry the device is rebuilt (in hardware terms: a differently
+// tiled part); with matching geometry only the microcode reloads.
+func (d *Device) Reconfigure(alg Algorithm, key []byte, cfg Config) error {
+	nd, err := Configure(alg, key, cfg)
+	if err != nil {
+		return err
+	}
+	if nd.prog.Geometry == d.prog.Geometry {
+		// Same silicon: reload microcode on the existing machine. The
+		// decryption datapath is dropped and rebuilt lazily for the new
+		// algorithm/key.
+		d.alg, d.prog, d.ref, d.key = nd.alg, nd.prog, nd.ref, nd.key
+		d.decProg, d.decMachine = nil, nil
+		return d.load()
+	}
+	*d = *nd
+	return nil
+}
+
+// Algorithm returns the configured algorithm.
+func (d *Device) Algorithm() Algorithm { return d.alg }
+
+// Unroll returns the configured unroll depth.
+func (d *Device) Unroll() int { return d.prog.HWRounds }
+
+// Geometry returns the array geometry in rows.
+func (d *Device) Geometry() datapath.Geometry { return d.prog.Geometry }
+
+// BlockSize returns the cipher block size in bytes (16 for every §4
+// algorithm).
+func (d *Device) BlockSize() int { return 16 }
+
+// EncryptECB encrypts src (a multiple of 16 bytes) into a fresh slice by
+// streaming the blocks through the datapath in electronic-codebook mode,
+// the paper's measurement mode.
+func (d *Device) EncryptECB(src []byte) ([]byte, error) {
+	dst, _, err := program.EncryptBytes(d.machine, d.prog, src)
+	return dst, err
+}
+
+// EncryptBlocks encrypts 128-bit blocks in place of the byte API.
+func (d *Device) EncryptBlocks(blocks []bits.Block128) ([]bits.Block128, error) {
+	out, _, err := program.Encrypt(d.machine, d.prog, blocks)
+	return out, err
+}
+
+// EncryptCBC encrypts src in cipher-block-chaining mode: each block is
+// XORed with the previous ciphertext before entering the datapath. The
+// chaining dependency serializes the device — one block in flight — which
+// is exactly the feedback-mode penalty of the paper's Table 1 (FB vs NFB
+// columns): a full-length pipeline degrades to its fill+drain latency per
+// block. iv must be one block (16 bytes).
+func (d *Device) EncryptCBC(iv, src []byte) ([]byte, error) {
+	if len(iv) != 16 {
+		return nil, fmt.Errorf("core: iv must be 16 bytes")
+	}
+	if len(src)%16 != 0 {
+		return nil, fmt.Errorf("core: input length %d is not a multiple of the block size", len(src))
+	}
+	dst := make([]byte, len(src))
+	prev := append([]byte(nil), iv...)
+	var xored [16]byte
+	for i := 0; i < len(src); i += 16 {
+		for j := 0; j < 16; j++ {
+			xored[j] = src[i+j] ^ prev[j]
+		}
+		ct, err := d.EncryptECB(xored[:])
+		if err != nil {
+			return nil, err
+		}
+		copy(dst[i:], ct)
+		copy(prev, ct)
+	}
+	return dst, nil
+}
+
+// DecryptCBC inverts EncryptCBC on the decryption datapath.
+func (d *Device) DecryptCBC(iv, src []byte) ([]byte, error) {
+	if len(iv) != 16 {
+		return nil, fmt.Errorf("core: iv must be 16 bytes")
+	}
+	pt, err := d.DecryptECB(src)
+	if err != nil {
+		return nil, err
+	}
+	prev := iv
+	for i := 0; i < len(src); i += 16 {
+		for j := 0; j < 16; j++ {
+			pt[i+j] ^= prev[j]
+		}
+		prev = src[i : i+16]
+	}
+	return pt, nil
+}
+
+// DecryptECB decrypts src on the datapath. The paper's evaluation maps
+// only encryption; the decryption microcode here (internal/program's
+// decrypt builders) shows the architecture carries the inverse ciphers
+// with the same structures — RC6 via SUB + negated-amount rotates,
+// Rijndael via the FIPS-197 equivalent inverse cipher, Serpent via the
+// inverse LT rows. The decryption program is compiled and loaded lazily on
+// first use.
+func (d *Device) DecryptECB(src []byte) ([]byte, error) {
+	if len(src)%16 != 0 {
+		return nil, fmt.Errorf("core: input length %d is not a multiple of the block size", len(src))
+	}
+	if d.decMachine == nil {
+		if err := d.buildDecryptor(); err != nil {
+			return nil, err
+		}
+	}
+	dst, _, err := program.EncryptBytes(d.decMachine, d.decProg, src)
+	return dst, err
+}
+
+// buildDecryptor compiles and loads the decryption datapath.
+func (d *Device) buildDecryptor() error {
+	var p *program.Program
+	var err error
+	key := d.key
+	switch d.alg {
+	case RC6:
+		p, err = program.BuildRC6Decrypt(key, d.prog.HWRounds, d.prog.TotalRounds)
+	case Rijndael:
+		p, err = program.BuildRijndaelDecrypt(key, d.prog.HWRounds)
+	case Serpent:
+		// The decryption mapping is evaluated at the paper's base
+		// granularity (one round per pass).
+		p, err = program.BuildSerpentDecrypt(key)
+	default:
+		err = fmt.Errorf("core: no decryption mapping for %q", d.alg)
+	}
+	if err != nil {
+		return err
+	}
+	m, err := program.NewMachine(p)
+	if err != nil {
+		return err
+	}
+	if err := program.Load(m, p); err != nil {
+		return err
+	}
+	d.decProg, d.decMachine = p, m
+	return nil
+}
+
+// DecryptECBHost decrypts with the host-side reference implementation
+// (the external system of the paper's protocol), useful for cross-checking
+// the datapath.
+func (d *Device) DecryptECBHost(src []byte) ([]byte, error) {
+	if len(src)%16 != 0 {
+		return nil, fmt.Errorf("core: input length %d is not a multiple of the block size", len(src))
+	}
+	dst := make([]byte, len(src))
+	for i := 0; i < len(src); i += 16 {
+		d.ref.Decrypt(dst[i:], src[i:])
+	}
+	return dst, nil
+}
+
+// Report summarizes a device's measured and modeled performance.
+type Report struct {
+	Algorithm      Algorithm
+	Unroll         int
+	Rows           int
+	Streaming      bool
+	Stats          sim.Stats
+	CyclesPerBlock float64
+	DatapathMHz    float64
+	IRAMMHz        float64
+	ThroughputMbps float64
+	Gates          int
+}
+
+// Report returns the accumulated performance counters combined with the
+// timing and area models — the quantities Tables 3, 5 and 6 report.
+func (d *Device) Report() Report {
+	st := d.machine.Stats()
+	cpb := 0.0
+	if st.BlocksOut > 0 {
+		cpb = float64(st.Cycles) / float64(st.BlocksOut)
+	}
+	return Report{
+		Algorithm:      d.alg,
+		Unroll:         d.prog.HWRounds,
+		Rows:           d.prog.Geometry.Rows,
+		Streaming:      d.prog.Streaming,
+		Stats:          st,
+		CyclesPerBlock: cpb,
+		DatapathMHz:    d.timing.DatapathMHz,
+		IRAMMHz:        d.timing.IRAMMHz,
+		ThroughputMbps: d.timing.ThroughputMbps(cpb),
+		Gates:          model.Table5(model.Table4(), d.prog.Geometry).Total(),
+	}
+}
+
+// ResetStats zeroes the performance counters between measurement phases.
+func (d *Device) ResetStats() { d.machine.ResetStats() }
+
+// Describe renders the configured architecture topology (figure 1 style).
+func (d *Device) Describe() string { return d.machine.Array.Describe() }
+
+// Microcode returns the loaded program size in 80-bit instruction words.
+func (d *Device) Microcode() int { return len(d.prog.Instrs) }

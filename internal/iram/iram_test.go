@@ -1,0 +1,132 @@
+package iram
+
+import (
+	"testing"
+
+	"cobra/internal/isa"
+)
+
+func TestLoadRejectsEmptyProgram(t *testing.T) {
+	var s Sequencer
+	if err := s.Load(nil); err == nil {
+		t.Error("expected error for empty program")
+	}
+}
+
+func TestLoadRejectsOversizedProgram(t *testing.T) {
+	var s Sequencer
+	words := make([]isa.Word, isa.IRAMWords+1)
+	for i := range words {
+		words[i] = isa.Instr{Op: isa.OpNop}.Pack()
+	}
+	if err := s.Load(words); err == nil {
+		t.Error("expected error for oversized program")
+	}
+}
+
+func TestLoadRejectsCorruptWord(t *testing.T) {
+	var s Sequencer
+	bad := isa.Instr{Op: isa.Opcode(31)}.Pack()
+	if err := s.Load([]isa.Word{bad}); err == nil {
+		t.Error("expected error for corrupt word")
+	}
+}
+
+func TestFetchSequence(t *testing.T) {
+	var s Sequencer
+	prog := []isa.Instr{
+		{Op: isa.OpNop},
+		{Op: isa.OpCtlFlag, Data: isa.FlagCfg{Set: isa.FlagBusy}.Encode()},
+		{Op: isa.OpHalt},
+	}
+	if err := s.LoadInstrs(prog); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range prog {
+		if s.PC() != i {
+			t.Errorf("PC = %d, want %d", s.PC(), i)
+		}
+		got, err := s.Fetch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Op != want.Op {
+			t.Errorf("instr %d: op %v, want %v", i, got.Op, want.Op)
+		}
+	}
+	if _, err := s.Fetch(); err == nil {
+		t.Error("expected error fetching past end of program")
+	}
+}
+
+func TestJump(t *testing.T) {
+	var s Sequencer
+	if err := s.LoadInstrs(make([]isa.Instr, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Jump(7); err != nil {
+		t.Fatal(err)
+	}
+	if s.PC() != 7 {
+		t.Errorf("PC = %d after Jump(7)", s.PC())
+	}
+	if err := s.Jump(10); err == nil {
+		t.Error("expected error for jump past end")
+	}
+	if err := s.Jump(-1); err == nil {
+		t.Error("expected error for negative jump")
+	}
+}
+
+func TestFlags(t *testing.T) {
+	var s Sequencer
+	s.SetFlags(isa.FlagCfg{Set: isa.FlagReady | isa.FlagGen0})
+	if !s.Flag(isa.FlagReady) || !s.Flag(isa.FlagGen0) {
+		t.Error("flags not set")
+	}
+	s.SetFlags(isa.FlagCfg{Clear: isa.FlagReady, Set: isa.FlagBusy})
+	if s.Flag(isa.FlagReady) {
+		t.Error("ready flag not cleared")
+	}
+	if !s.Flag(isa.FlagBusy) || !s.Flag(isa.FlagGen0) {
+		t.Error("unrelated flags disturbed")
+	}
+	// Set dominates clear for the same bit.
+	s.SetFlags(isa.FlagCfg{Set: isa.FlagDValid, Clear: isa.FlagDValid})
+	if !s.Flag(isa.FlagDValid) {
+		t.Error("set must dominate clear")
+	}
+}
+
+func TestResetClearsPCAndFlags(t *testing.T) {
+	var s Sequencer
+	if err := s.LoadInstrs(make([]isa.Instr, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fetch(); err != nil {
+		t.Fatal(err)
+	}
+	s.SetFlags(isa.FlagCfg{Set: isa.FlagBusy})
+	s.Reset()
+	if s.PC() != 0 || s.Flags() != 0 {
+		t.Errorf("Reset left pc=%d flags=%#x", s.PC(), s.Flags())
+	}
+	if s.Len() != 4 {
+		t.Error("Reset must preserve the program")
+	}
+}
+
+func TestInstrAccessor(t *testing.T) {
+	var s Sequencer
+	prog := []isa.Instr{{Op: isa.OpNop}, {Op: isa.OpHalt}}
+	if err := s.LoadInstrs(prog); err != nil {
+		t.Fatal(err)
+	}
+	in, err := s.Instr(1)
+	if err != nil || in.Op != isa.OpHalt {
+		t.Errorf("Instr(1) = %v, %v", in, err)
+	}
+	if _, err := s.Instr(2); err == nil {
+		t.Error("expected error for out-of-range address")
+	}
+}

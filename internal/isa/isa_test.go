@@ -1,0 +1,341 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInstrPackUnpackRoundTrip(t *testing.T) {
+	f := func(op uint8, scope uint8, row uint8, col uint8, elem uint8, lut uint16, data uint64) bool {
+		in := Instr{
+			Op:    Opcode(op % uint8(opcodeCount)),
+			Slice: Slice{Scope: Scope(scope % 4), Row: row, Col: col % 4},
+			Elem:  Elem(elem % uint8(elemCount)),
+			LUT:   lut & 0x1ff,
+			Data:  data & (1<<50 - 1),
+		}
+		got, err := Unpack(in.Pack())
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnpackRejectsUndefinedOpcode(t *testing.T) {
+	in := Instr{Op: Opcode(31), Data: 0}
+	if _, err := Unpack(in.Pack()); err == nil {
+		t.Error("expected error for undefined opcode 31")
+	}
+}
+
+func TestUnpackRejectsUndefinedElement(t *testing.T) {
+	in := Instr{Op: OpCfgElem, Elem: Elem(15)}
+	if _, err := Unpack(in.Pack()); err == nil {
+		t.Error("expected error for undefined element address")
+	}
+}
+
+func TestPackFieldIsolation(t *testing.T) {
+	// Changing only the data field must not disturb the top fields.
+	a := Instr{Op: OpCfgElem, Slice: SliceAt(3, 2), Elem: ElemC, LUT: 0x1ff, Data: 0}
+	b := a
+	b.Data = 1<<50 - 1
+	wa, wb := a.Pack(), b.Pack()
+	if wa.Hi != wb.Hi {
+		t.Errorf("data field leaked into Hi: %#x vs %#x", wa.Hi, wb.Hi)
+	}
+	if wa.Lo>>50 != wb.Lo>>50 {
+		t.Errorf("data field leaked into top of Lo")
+	}
+}
+
+func TestSliceConstructors(t *testing.T) {
+	if s := SliceAt(5, 3); s.Scope != ScopeOne || s.Row != 5 || s.Col != 3 {
+		t.Errorf("SliceAt = %+v", s)
+	}
+	if s := SliceCol(2); s.Scope != ScopeCol || s.Col != 2 {
+		t.Errorf("SliceCol = %+v", s)
+	}
+	if s := SliceRow(7); s.Scope != ScopeRow || s.Row != 7 {
+		t.Errorf("SliceRow = %+v", s)
+	}
+	if s := SliceAll(); s.Scope != ScopeAll {
+		t.Errorf("SliceAll = %+v", s)
+	}
+}
+
+func TestSliceString(t *testing.T) {
+	cases := map[string]Slice{
+		"r5.c3": SliceAt(5, 3),
+		"c2":    SliceCol(2),
+		"r7":    SliceRow(7),
+		"all":   SliceAll(),
+	}
+	for want, s := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	for op := Opcode(0); op < opcodeCount; op++ {
+		if op.String() == "" {
+			t.Errorf("opcode %d has empty name", op)
+		}
+	}
+	if Opcode(30).String() != "OP(30)" {
+		t.Error("out-of-range opcode name")
+	}
+}
+
+func TestElemByName(t *testing.T) {
+	for e := Elem(0); e < elemCount; e++ {
+		got, ok := ElemByName(e.String())
+		if !ok || got != e {
+			t.Errorf("ElemByName(%q) = %v, %v", e.String(), got, ok)
+		}
+	}
+	if _, ok := ElemByName("NOPE"); ok {
+		t.Error("ElemByName accepted garbage")
+	}
+}
+
+func TestSrcByName(t *testing.T) {
+	for s := Src(0); s < srcCount; s++ {
+		got, ok := SrcByName(s.String())
+		if !ok || got != s {
+			t.Errorf("SrcByName(%q) = %v, %v", s.String(), got, ok)
+		}
+	}
+	if _, ok := SrcByName("XYZ"); ok {
+		t.Error("SrcByName accepted garbage")
+	}
+}
+
+func TestECfgRoundTrip(t *testing.T) {
+	f := func(mode, src, amt uint8, neg bool) bool {
+		c := ECfg{Mode: EMode(mode % 4), AmtSrc: Src(src % uint8(srcCount)), Amt: amt & 31, Neg: neg}
+		return DecodeE(c.Encode()) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestACfgRoundTrip(t *testing.T) {
+	f := func(op, src, ps uint8, rot bool, imm uint32) bool {
+		c := ACfg{
+			Op: AOp(op % 4), Operand: Src(src % uint8(srcCount)),
+			PreShift: ps & 31, PreShiftRot: rot, Imm: imm,
+		}
+		return DecodeA(c.Encode()) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBCfgRoundTrip(t *testing.T) {
+	f := func(mode, w, src uint8, imm uint32) bool {
+		c := BCfg{Mode: BMode(mode % 3), Width: w % 3, Operand: Src(src % uint8(srcCount)), Imm: imm}
+		return DecodeB(c.Encode()) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCCfgRoundTrip(t *testing.T) {
+	f := func(mode, page, bs uint8) bool {
+		c := CCfg{Mode: CMode(mode % 4), Page: page & 7, ByteSel: bs & 3}
+		return DecodeC(c.Encode()) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDCfgRoundTrip(t *testing.T) {
+	f := func(mode, src uint8, imm uint32) bool {
+		c := DCfg{Mode: DMode(mode % 4), Operand: Src(src % uint8(srcCount)), Imm: imm}
+		return DecodeD(c.Encode()) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFCfgRoundTrip(t *testing.T) {
+	f := func(mode uint8, k [4]uint8) bool {
+		c := FCfg{Mode: FMode(mode % 3), Consts: k}
+		return DecodeF(c.Encode()) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegCfgRoundTrip(t *testing.T) {
+	for _, en := range []bool{false, true} {
+		c := RegCfg{Enabled: en}
+		if DecodeReg(c.Encode()) != c {
+			t.Errorf("RegCfg round trip failed for %v", en)
+		}
+	}
+}
+
+func TestERCfgRoundTrip(t *testing.T) {
+	f := func(bank, addr uint8) bool {
+		c := ERCfg{Bank: bank & 3, Addr: addr}
+		return DecodeER(c.Encode()) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInselCfgRoundTrip(t *testing.T) {
+	for s := uint8(0); s < 4; s++ {
+		c := InselCfg{Source: s}
+		if DecodeInsel(c.Encode()) != c {
+			t.Errorf("InselCfg round trip failed for %d", s)
+		}
+	}
+}
+
+func TestInMuxCfgRoundTrip(t *testing.T) {
+	f := func(mode, bank, addr uint8) bool {
+		c := InMuxCfg{Mode: InMuxMode(mode % 3), Bank: bank & 3, Addr: addr}
+		return DecodeInMux(c.Encode()) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWhiteCfgRoundTrip(t *testing.T) {
+	f := func(col, mode uint8, in bool, key uint32) bool {
+		c := WhiteCfg{Col: col & 3, Mode: WhiteMode(mode % 3), In: in, Key: key}
+		return DecodeWhite(c.Encode()) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestERAMWriteCfgRoundTrip(t *testing.T) {
+	f := func(bank, addr uint8, v uint32) bool {
+		c := ERAMWriteCfg{Bank: bank & 3, Addr: addr, Value: v}
+		return DecodeERAMWrite(c.Encode()) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCaptureCfgRoundTrip(t *testing.T) {
+	f := func(en bool, bank, addr uint8) bool {
+		c := CaptureCfg{Enabled: en, Bank: bank & 3, Addr: addr}
+		return DecodeCapture(c.Encode()) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShufCfgRoundTrip(t *testing.T) {
+	f := func(high bool, perm [8]uint8) bool {
+		c := ShufCfg{High: high}
+		for i, p := range perm {
+			c.Perm[i] = p & 15
+		}
+		return DecodeShuf(c.Encode()) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlagCfgRoundTrip(t *testing.T) {
+	f := func(set, clr uint16) bool {
+		c := FlagCfg{Set: set, Clear: clr}
+		return DecodeFlag(c.Encode()) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLUTAddrRoundTrip(t *testing.T) {
+	f := func(space4 bool, bank, group uint8) bool {
+		b, g := int(bank&3), int(group&0x3f)
+		s2, b2, g2 := SplitLUTAddr(LUTAddr(space4, b, g))
+		return s2 == space4 && b2 == b && g2 == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstrStringCoversOpcodes(t *testing.T) {
+	ins := []Instr{
+		{Op: OpNop},
+		{Op: OpHalt},
+		{Op: OpCfgElem, Slice: SliceAt(0, 1), Elem: ElemB, Data: 5},
+		{Op: OpLoadLUT, Slice: SliceCol(0), LUT: 0x42, Data: 9},
+		{Op: OpJmp, Data: 0x123},
+		{Op: OpEnOut, Slice: SliceAll()},
+		{Op: OpDisOut, Slice: SliceAll()},
+		{Op: OpCtlFlag, Data: 3},
+	}
+	for _, in := range ins {
+		if in.String() == "" {
+			t.Errorf("empty String() for %v", in.Op)
+		}
+	}
+}
+
+func TestModeStringers(t *testing.T) {
+	// Every mode enum names its values and falls back gracefully.
+	cases := []struct{ got, want string }{
+		{EBypass.String(), "BYP"}, {EShl.String(), "SHL"}, {ERotl.String(), "ROTL"},
+		{EMode(9).String(), "EMODE(9)"},
+		{AXor.String(), "XOR"}, {AOr.String(), "OR"}, {AOp(9).String(), "AOP(9)"},
+		{BAdd.String(), "ADD"}, {BSub.String(), "SUB"}, {BMode(9).String(), "BMODE(9)"},
+		{CS8x8.String(), "S8"}, {CS4x4.String(), "S4"}, {CS8to32.String(), "S8TO32"},
+		{CMode(9).String(), "CMODE(9)"},
+		{DMul16.String(), "MUL16"}, {DSquare.String(), "SQR"}, {DMode(9).String(), "DMODE(9)"},
+		{FLanes.String(), "LANES"}, {FMDS.String(), "MDS"}, {FMode(9).String(), "FMODE(9)"},
+		{InExternal.String(), "EXT"}, {InFeedback.String(), "FB"}, {InERAM.String(), "ERAM"},
+		{InMuxMode(9).String(), "INMUX(9)"},
+		{WhiteOff.String(), "OFF"}, {WhiteXor.String(), "XOR"}, {WhiteAdd.String(), "ADD"},
+		{WhiteMode(9).String(), "WHITE(9)"},
+		{Src(9).String(), "SRC(9)"},
+		{ScopeOne.String(), "one"}, {ScopeCol.String(), "col"},
+		{ScopeRow.String(), "row"}, {Scope(9).String(), "?"},
+	}
+	for i, c := range cases {
+		if c.got != c.want {
+			t.Errorf("case %d: got %q, want %q", i, c.got, c.want)
+		}
+	}
+}
+
+func TestSrcValid(t *testing.T) {
+	for s := Src(0); s < srcCount; s++ {
+		if !s.Valid() {
+			t.Errorf("%v should be valid", s)
+		}
+	}
+	if Src(7).Valid() {
+		t.Error("Src(7) should be invalid")
+	}
+}
+
+func TestElemString(t *testing.T) {
+	if ElemD.String() != "D" || Elem(15).String() != "ELEM(15)" {
+		t.Error("element naming broken")
+	}
+}

@@ -1,0 +1,156 @@
+package model
+
+import "cobra/internal/datapath"
+
+// ElementGates reproduces Table 4: gate counts for each configurable
+// element within a COBRA RCE or RCE MUL, as synthesized by the paper
+// against the ADK TSMC 0.35 µm library. These are adopted as calibrated
+// constants (we cannot rerun LeonardoSpectrum); everything built from them
+// — the Table 5 architecture totals and the Table 6 scaling — is computed
+// structurally from our element inventory.
+type ElementGates struct {
+	A       int // Boolean unit
+	B       int // adder/subtractor
+	C       int // LUT complex (4×256×8 + 4×128×4 = 10,240 bits)
+	D       int // multiplier
+	E       int // shifter/rotator
+	F       int // GF(2^8) fixed-constant multiplier
+	Mux4x32 int // 4-to-1 multiplexor, grouping of 32
+	Mux4x5  int // 4-to-1 multiplexor, grouping of 5
+	Mux2x32 int // 2-to-1 multiplexor, grouping of 32
+	Reg32   int // 32-bit register
+}
+
+// Table4 returns the published per-element gate counts.
+func Table4() ElementGates {
+	return ElementGates{
+		A:       172,
+		B:       1012,
+		C:       98624,
+		D:       5243,
+		E:       887,
+		F:       10606,
+		Mux4x32: 160,
+		Mux4x5:  26,
+		Mux2x32: 83,
+		Reg32:   267,
+	}
+}
+
+// Architecture-level unit gate counts derived from Table 5 (per-unit
+// values obtained by dividing the published totals by the base instance
+// counts: 2 byte shufflers, 16 eRAMs, one iRAM).
+const (
+	gatesPerShuffler  = 8556 / 2
+	gatesPerERAM      = 1210640 / 16
+	gatesIRAM         = 2773184
+	gatesInputMux     = 332
+	gatesWhitening    = 3128
+	gatesDatapathOvhd = 2464
+	gatesChipOvhd     = 370
+)
+
+// rceStructural computes the structural gate count of one RCE from the
+// Table 4 element constants: the element instances of the documented chain
+// (INSEL → E1 → A1 → C → E2 → [D] → B → F → A2 → E3 → REG) plus its
+// multiplexing (operand muxes on A1/A2/B/[D], 5-bit amount muxes on the
+// three E instances, the INSEL input mux, and per-element bypass muxes).
+func rceStructural(g ElementGates, hasMul bool) int {
+	elems := 2*g.A + g.B + g.C + 3*g.E + g.F
+	// Operand muxes: 6-source (four blocks + eRAM + immediate) modeled as a
+	// 4-to-1 stage plus a 2-to-1 stage.
+	opMux := g.Mux4x32 + g.Mux2x32
+	muxes := 3 * opMux // A1, A2, B
+	// INSEL: 8 sources.
+	muxes += 2*g.Mux4x32 + g.Mux2x32
+	// E amount muxes (5-bit).
+	muxes += 3 * (g.Mux4x5 + g.Mux4x5/2)
+	// Bypass muxes: one per bypassable element.
+	nBypass := 9
+	if hasMul {
+		elems += g.D
+		muxes += opMux
+		nBypass++
+	}
+	muxes += nBypass * g.Mux2x32
+	return elems + muxes + g.Reg32
+}
+
+// rceControlOverhead is the per-RCE control/configuration-register and
+// intra-RCE routing budget. It is calibrated once so that the base 4×4
+// array reproduces the paper's Table 5 "RCE/RCE MUL Array" total of
+// 2,692,840 gates exactly; the calibration is a single shared constant, so
+// geometry scaling (Table 6) remains fully structural.
+func rceControlOverhead(g ElementGates) int {
+	structural := 8*rceStructural(g, false) + 8*rceStructural(g, true)
+	return (2692840 - structural) / 16
+}
+
+// RCEGates returns the modeled gate count of one RCE or RCE MUL.
+func RCEGates(g ElementGates, hasMul bool) int {
+	return rceStructural(g, hasMul) + rceControlOverhead(g)
+}
+
+// ArchGates is the Table 5 decomposition for a given geometry.
+type ArchGates struct {
+	RCEArray    int
+	Shufflers   int
+	InputMuxes  int
+	Whitening   int
+	ERAMs       int
+	IRAM        int
+	DatapathOvh int
+	ChipOvh     int
+}
+
+// Total sums the decomposition.
+func (a ArchGates) Total() int {
+	return a.RCEArray + a.Shufflers + a.InputMuxes + a.Whitening +
+		a.ERAMs + a.IRAM + a.DatapathOvh + a.ChipOvh
+}
+
+// Table5 computes the architecture gate counts for a geometry. The base
+// geometry reproduces the published Table 5; expanded geometries scale the
+// RCE array, byte shufflers and eRAMs with the row count ("increasing both
+// the iRAM address space and the number of rows, byte shufflers, and
+// eRAMs", §4.1 — the iRAM and fixed overheads are kept constant, which is
+// conservative relative to the paper's expansion accounting; see
+// EXPERIMENTS.md).
+func Table5(g ElementGates, geo datapath.Geometry) ArchGates {
+	rows := geo.Rows
+	array := 0
+	for r := 0; r < rows; r++ {
+		for c := 0; c < datapath.Cols; c++ {
+			array += RCEGates(g, datapath.MulColumn(c))
+		}
+	}
+	return ArchGates{
+		RCEArray:    array,
+		Shufflers:   geo.Shufflers() * gatesPerShuffler,
+		InputMuxes:  gatesInputMux,
+		Whitening:   gatesWhitening,
+		ERAMs:       rows * 4 * gatesPerERAM, // 16 eRAMs per 4-row tile
+		IRAM:        gatesIRAM,
+		DatapathOvh: gatesDatapathOvhd,
+		ChipOvh:     gatesChipOvhd,
+	}
+}
+
+// SRAMFactor is the paper's estimate that memory gate counts shrink by a
+// factor of three when SRAM blocks replace the D-flip-flop implementation
+// the synthesis tool produced (§4.2).
+const SRAMFactor = 3
+
+// TotalWithSRAM applies the §4.2 SRAM estimate to the memory elements.
+func (a ArchGates) TotalWithSRAM() int {
+	mem := a.ERAMs + a.IRAM + memShareOfRCEs(a.RCEArray)
+	return a.Total() - mem + mem/SRAMFactor
+}
+
+// memShareOfRCEs estimates the LUT-storage share of the RCE array (the C
+// element dominates each RCE).
+func memShareOfRCEs(array int) int {
+	g := Table4()
+	pair := RCEGates(g, false) + RCEGates(g, true)
+	return int(int64(array) * int64(2*g.C) / int64(pair))
+}

@@ -1,0 +1,34 @@
+package model
+
+// CGRow is one row of the Table 6 cycle-gates product: the paper's
+// time-area style metric, CG = clock cycles per block × total gate count,
+// with a per-cipher normalization against the best configuration.
+type CGRow struct {
+	Cipher     string
+	Rounds     int
+	Cycles     float64
+	Gates      int
+	CGProduct  float64
+	Normalized float64
+}
+
+// CGProducts computes cycle-gates products and normalizes each cipher's
+// rows against its minimum (the paper normalizes each algorithm to its best
+// configuration, which gets 1.000).
+func CGProducts(rows []CGRow) []CGRow {
+	best := map[string]float64{}
+	out := make([]CGRow, len(rows))
+	for i, r := range rows {
+		r.CGProduct = r.Cycles * float64(r.Gates)
+		out[i] = r
+		if b, ok := best[r.Cipher]; !ok || r.CGProduct < b {
+			best[r.Cipher] = r.CGProduct
+		}
+	}
+	for i := range out {
+		if b := best[out[i].Cipher]; b > 0 {
+			out[i].Normalized = out[i].CGProduct / b
+		}
+	}
+	return out
+}

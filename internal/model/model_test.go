@@ -1,0 +1,214 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"cobra/internal/cipher"
+	"cobra/internal/datapath"
+	"cobra/internal/program"
+)
+
+func loadedMachine(t *testing.T, p *program.Program) *datapath.Array {
+	t.Helper()
+	m, err := program.NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := program.Load(m, p); err != nil {
+		t.Fatal(err)
+	}
+	return m.Array
+}
+
+var key16 = make([]byte, 16)
+
+// TestCalibratedFrequencies checks the timing model against the paper's
+// §4.1 clock frequencies. The tolerance is deliberately loose (12%): the
+// model is calibrated, not synthesized, and EXPERIMENTS.md records the
+// exact paper-vs-model numbers.
+func TestCalibratedFrequencies(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*program.Program, error)
+		want  float64 // MHz from Table 3
+	}{
+		{"rc6", func() (*program.Program, error) { return program.BuildRC6(key16, 2, cipher.RC6Rounds) }, 60.975},
+		{"rijndael", func() (*program.Program, error) { return program.BuildRijndael(key16, 2) }, 102.041},
+		{"serpent", func() (*program.Program, error) { return program.BuildSerpent(key16, 1) }, 54.054},
+	}
+	for _, c := range cases {
+		p, err := c.build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr := loadedMachine(t, p)
+		tm := Analyze(arr, DefaultDelays())
+		dev := math.Abs(tm.DatapathMHz-c.want) / c.want
+		t.Logf("%s: model %.3f MHz (paper %.3f), path %.2f ns, deviation %.1f%%",
+			c.name, tm.DatapathMHz, c.want, tm.CriticalPathNs, dev*100)
+		if dev > 0.12 {
+			t.Errorf("%s: model frequency %.2f MHz deviates %.0f%% from paper %.2f MHz",
+				c.name, tm.DatapathMHz, dev*100, c.want)
+		}
+	}
+}
+
+func TestFrequencyOrderingMatchesPaper(t *testing.T) {
+	// Table 3 ordering: Rijndael fastest clock, then RC6, then Serpent.
+	freq := func(build func() (*program.Program, error)) float64 {
+		p, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Analyze(loadedMachine(t, p), DefaultDelays()).DatapathMHz
+	}
+	fRC6 := freq(func() (*program.Program, error) { return program.BuildRC6(key16, 2, cipher.RC6Rounds) })
+	fAES := freq(func() (*program.Program, error) { return program.BuildRijndael(key16, 2) })
+	fSer := freq(func() (*program.Program, error) { return program.BuildSerpent(key16, 1) })
+	if !(fAES > fRC6 && fRC6 > fSer) {
+		t.Errorf("frequency ordering wrong: rijndael %.1f, rc6 %.1f, serpent %.1f", fAES, fRC6, fSer)
+	}
+}
+
+func TestIRAMIsTwiceDatapath(t *testing.T) {
+	p, err := program.BuildRijndael(key16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := Analyze(loadedMachine(t, p), DefaultDelays())
+	if math.Abs(tm.IRAMMHz-2*tm.DatapathMHz) > 1e-9 {
+		t.Error("iRAM clock must be twice the datapath clock (§3.4)")
+	}
+}
+
+func TestFrequencyConstantAcrossUnrolls(t *testing.T) {
+	// §4.1: "clock frequencies for COBRA implementations remain constant
+	// for each block cipher as the number of rounds increases" — the round
+	// is the atomic pipeline unit. Allow small variation from the final
+	// combinational segment.
+	var base float64
+	for i, hw := range []int{2, 4, 10, 20} {
+		p, err := program.BuildRC6(key16, hw, cipher.RC6Rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm := Analyze(loadedMachine(t, p), DefaultDelays())
+		if i == 0 {
+			base = tm.DatapathMHz
+			continue
+		}
+		if math.Abs(tm.DatapathMHz-base)/base > 0.10 {
+			t.Errorf("rc6-%d: frequency %.2f deviates from rc6-2's %.2f", hw, tm.DatapathMHz, base)
+		}
+	}
+}
+
+func TestThroughputMbps(t *testing.T) {
+	tm := Timing{DatapathMHz: 100}
+	if got := tm.ThroughputMbps(10); math.Abs(got-1280) > 1e-9 {
+		t.Errorf("ThroughputMbps = %v, want 1280", got)
+	}
+	if tm.ThroughputMbps(0) != 0 {
+		t.Error("zero cycles must not divide")
+	}
+}
+
+func TestTable4Published(t *testing.T) {
+	g := Table4()
+	if g.A != 172 || g.B != 1012 || g.C != 98624 || g.D != 5243 ||
+		g.E != 887 || g.F != 10606 {
+		t.Errorf("Table 4 constants drifted: %+v", g)
+	}
+}
+
+func TestTable5BaseMatchesPaper(t *testing.T) {
+	a := Table5(Table4(), datapath.BaseGeometry())
+	// The RCE array is calibrated; integer division may lose < 16 gates.
+	if diff := a.RCEArray - 2692840; diff < -16 || diff > 0 {
+		t.Errorf("RCE array = %d, want 2,692,840 (±16)", a.RCEArray)
+	}
+	if a.Shufflers != 8556 {
+		t.Errorf("shufflers = %d, want 8556", a.Shufflers)
+	}
+	if a.ERAMs != 1210640 {
+		t.Errorf("eRAMs = %d, want 1,210,640", a.ERAMs)
+	}
+	if a.IRAM != 2773184 {
+		t.Errorf("iRAM = %d, want 2,773,184", a.IRAM)
+	}
+	total := a.Total()
+	if diff := total - 6691514; diff < -16 || diff > 0 {
+		t.Errorf("total = %d, want 6,691,514 (±16)", total)
+	}
+}
+
+func TestTable5SRAMEstimate(t *testing.T) {
+	// §4.2: "approximately 2.5 million gates" with SRAM blocks.
+	a := Table5(Table4(), datapath.BaseGeometry())
+	got := a.TotalWithSRAM()
+	if got < 2_000_000 || got > 3_200_000 {
+		t.Errorf("SRAM-based estimate %d outside the paper's ~2.5M ballpark", got)
+	}
+}
+
+func TestTable5ScalesWithRows(t *testing.T) {
+	g := Table4()
+	base := Table5(g, datapath.Geometry{Rows: 4})
+	dbl := Table5(g, datapath.Geometry{Rows: 8})
+	if dbl.RCEArray != 2*base.RCEArray {
+		t.Errorf("array does not tile: %d vs 2x%d", dbl.RCEArray, base.RCEArray)
+	}
+	if dbl.Shufflers != 2*base.Shufflers || dbl.ERAMs != 2*base.ERAMs {
+		t.Error("shufflers/eRAMs do not scale with rows")
+	}
+	if dbl.IRAM != base.IRAM {
+		t.Error("iRAM should stay fixed")
+	}
+	if dbl.Total() <= base.Total() {
+		t.Error("total must grow with rows")
+	}
+}
+
+func TestRCEMulCostsMoreThanRCE(t *testing.T) {
+	g := Table4()
+	if RCEGates(g, true) <= RCEGates(g, false) {
+		t.Error("RCE MUL must cost more than a plain RCE")
+	}
+	if RCEGates(g, true)-RCEGates(g, false) < g.D {
+		t.Error("RCE MUL delta must include the multiplier")
+	}
+}
+
+func TestCGProducts(t *testing.T) {
+	rows := []CGRow{
+		{Cipher: "x", Rounds: 1, Cycles: 100, Gates: 1000},
+		{Cipher: "x", Rounds: 2, Cycles: 40, Gates: 2000},
+		{Cipher: "y", Rounds: 1, Cycles: 10, Gates: 100},
+	}
+	out := CGProducts(rows)
+	if out[0].CGProduct != 100000 || out[1].CGProduct != 80000 {
+		t.Errorf("CG products wrong: %+v", out)
+	}
+	if out[1].Normalized != 1.0 {
+		t.Errorf("best config must normalize to 1.0, got %v", out[1].Normalized)
+	}
+	if math.Abs(out[0].Normalized-1.25) > 1e-9 {
+		t.Errorf("normalized = %v, want 1.25", out[0].Normalized)
+	}
+	if out[2].Normalized != 1.0 {
+		t.Error("per-cipher normalization broken")
+	}
+}
+
+func TestAnalyzeSegmentsCount(t *testing.T) {
+	// RC6-4 has REG rows at stages 0..2 → 3 cuts + final segment.
+	p, err := program.BuildRC6(key16, 4, cipher.RC6Rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := Analyze(loadedMachine(t, p), DefaultDelays())
+	if len(tm.Segments) != 4 {
+		t.Errorf("segments = %d, want 4", len(tm.Segments))
+	}
+}

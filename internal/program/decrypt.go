@@ -1,0 +1,394 @@
+package program
+
+import (
+	"fmt"
+
+	"cobra/internal/cipher"
+	"cobra/internal/datapath"
+	"cobra/internal/isa"
+)
+
+// Decryption mappings. The paper's control protocol covers decryption
+// (§3.4) but its evaluation maps only encryption; these builders show the
+// architecture carries decryption with the same structures:
+//
+//   - RC6: the inverse round needs subtract-then-rotate-right-then-XOR,
+//     which the chain provides as B(SUB) in the T row followed by
+//     E1(ROTR, data-dependent via the negated 5-bit amount) and A1(XOR) in
+//     the U row. The inverse pre-rotation folds into INSEL selection, so —
+//     unlike encryption — every decryption round has identical form.
+//   - Rijndael: the FIPS-197 equivalent inverse cipher has exactly the
+//     encryption round structure (InvSubBytes → InvShiftRows →
+//     InvMixColumns → AddRoundKey), so the encryption mapping is reused
+//     with the inverse S-box, the inverse ShiftRows permutation, the
+//     {0e,0b,0d,09} MDS constants and the transformed round keys.
+//   - Serpent: the inverse linear transformation is three rows of fixed
+//     rotates and XORs (mirroring the forward LT), followed by the paged
+//     inverse S-box and the key XOR (A2, which sits after C in the chain).
+
+// --- RC6 ------------------------------------------------------------------
+
+// rc6DecRoundRows emits one RC6 decryption round at rows (rt, rt+1). With
+// the state (A,B,C,D) as cipher.RC6.Decrypt's loop variables before its
+// pre-rotation, the round computes
+//
+//	out = (ror(D−S[2i], u) ^ t,  A,  ror(B−S[2i+1], t) ^ u,  C)
+//
+// with t = g(A), u = g(C), g(x) = rotl(x(2x+1), 5) — canonical layout in
+// and out, so every round is configured identically.
+func (b *builder) rc6DecRoundRows(rt int) {
+	ru := rt + 1
+	// Row T: key subtractions in cols 0/2, the quadratics in the MUL cols.
+	c0 := isa.SliceAt(rt, 0)
+	b.insel(rt, 0, 3)                                     // IND = block 3 = D
+	b.cfge(c0, isa.ElemB, bCfg(isa.BSub, 2, isa.SrcINER)) // D − S[2i]
+	c1 := isa.SliceAt(rt, 1)
+	b.insel(rt, 1, 1) // col1's INB = block 0 = A
+	b.cfge(c1, isa.ElemE1, eImm(isa.EShl, 1))
+	b.cfge(c1, isa.ElemA1, aImm(isa.AOr, 1))
+	b.cfge(c1, isa.ElemD, dCfg(isa.DMul32, isa.SrcINB))
+	b.cfge(c1, isa.ElemE3, eImm(isa.ERotl, 5)) // t = g(A)
+	c2 := isa.SliceAt(rt, 2)
+	b.insel(rt, 2, 2)                                     // col2's INC = block 1 = B
+	b.cfge(c2, isa.ElemB, bCfg(isa.BSub, 2, isa.SrcINER)) // B − S[2i+1]
+	c3 := isa.SliceAt(rt, 3)
+	b.insel(rt, 3, 3) // col3's IND = block 2 = C
+	b.cfge(c3, isa.ElemE1, eImm(isa.EShl, 1))
+	b.cfge(c3, isa.ElemA1, aImm(isa.AOr, 1))
+	b.cfge(c3, isa.ElemD, dCfg(isa.DMul32, isa.SrcIND))
+	b.cfge(c3, isa.ElemE3, eImm(isa.ERotl, 5)) // u = g(C)
+
+	// Row U input: (D−S, t, B−S', u); bypass carries (A,B,C,D).
+	u0 := isa.SliceAt(ru, 0)
+	b.cfge(u0, isa.ElemE1, isa.ECfg{Mode: isa.ERotl, AmtSrc: isa.SrcIND, Neg: true}.Encode())
+	b.cfge(u0, isa.ElemA1, aCfg(isa.AXor, isa.SrcINB)) // ror(·,u) ^ t
+	b.insel(ru, 1, 4)                                  // PA: pass A
+	u2 := isa.SliceAt(ru, 2)
+	b.cfge(u2, isa.ElemE1, isa.ECfg{Mode: isa.ERotl, AmtSrc: isa.SrcINC, Neg: true}.Encode())
+	b.cfge(u2, isa.ElemA1, aCfg(isa.AXor, isa.SrcIND)) // ror(·,t) ^ u
+	b.insel(ru, 3, 6)                                  // PC: pass C
+}
+
+// BuildRC6Decrypt compiles RC6 decryption at unroll depth hw.
+func BuildRC6Decrypt(key []byte, hw, rounds int) (*Program, error) {
+	ck, err := cipher.NewRC6Rounds(key, rounds)
+	if err != nil {
+		return nil, err
+	}
+	s := ck.RoundKeys()
+	full := hw == rounds
+	geo, passes, err := validateUnroll("rc6-dec", hw, rounds, 2, 0)
+	if err != nil {
+		return nil, err
+	}
+	if geo.Rows < 4 {
+		geo.Rows = 4
+	}
+
+	p := &Program{
+		Name:        fmt.Sprintf("rc6-dec-%d", hw),
+		Cipher:      "rc6",
+		HWRounds:    hw,
+		TotalRounds: rounds,
+		Geometry:    geo,
+		Window:      1,
+		Streaming:   full,
+	}
+	b := &builder{}
+	b.disout()
+	for st := 0; st < hw; st++ {
+		b.rc6DecRoundRows(2 * st)
+	}
+	// Keys: S[2i] in col0, S[2i+1] in col2 at address i (uniform rounds).
+	for i := 1; i <= rounds; i++ {
+		b.eramw(0, 0, i, s[2*i])
+		b.eramw(2, 0, i, s[2*i+1])
+	}
+	tail := geo.Rows > 2*hw
+	var regs []int
+	for st := 0; st < hw; st++ {
+		if full || st < hw-1 || tail {
+			regs = append(regs, 2*st+1)
+		}
+	}
+	for _, row := range regs {
+		b.regRow(row, true)
+	}
+
+	// Whitening: undo the encryption post-whitening at the input (ADD of
+	// the negated keys) and the pre-whitening at the output.
+	inW := func(b *builder) {
+		b.white(0, isa.WhiteAdd, true, -s[2*rounds+2])
+		b.white(2, isa.WhiteAdd, true, -s[2*rounds+3])
+	}
+	outW := func(b *builder) {
+		b.white(1, isa.WhiteAdd, false, -s[0])
+		b.white(3, isa.WhiteAdd, false, -s[1])
+	}
+
+	if full {
+		p.PipelineDepth = len(regs)
+		inW(b)
+		outW(b)
+		for st := 0; st < hw; st++ {
+			b.erRow(2*st, 0, rounds-st)
+		}
+		b.streamingFlow(len(regs))
+		p.Instrs = b.ins
+		return p, nil
+	}
+
+	ticks := len(regs) + 1
+	b.iterativeFlow(ticks, passes, iterHooks{
+		FirstPass: inW,
+		SecondPass: func(b *builder) {
+			b.whiteOff(0)
+			b.whiteOff(2)
+		},
+		LastPass: outW,
+		EveryPass: func(b *builder, pass int) {
+			for st := 0; st < hw; st++ {
+				b.erRow(2*st, 0, rounds-(pass*hw+st))
+			}
+		},
+		Epilogue: func(b *builder) {
+			b.whiteOff(1)
+			b.whiteOff(3)
+		},
+	})
+	p.Instrs = b.ins
+	return p, nil
+}
+
+// --- Rijndael ----------------------------------------------------------------
+
+// aesInvShiftRowsPerm returns the InvShiftRows byte permutation:
+// destination byte 4c+r takes source byte 4((c−r) mod 4)+r.
+func aesInvShiftRowsPerm() [16]uint8 {
+	var p [16]uint8
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			p[4*c+r] = uint8(4*((c-r+4)%4) + r)
+		}
+	}
+	return p
+}
+
+// BuildRijndaelDecrypt compiles AES-128 decryption at unroll depth hw using
+// the equivalent inverse cipher.
+func BuildRijndaelDecrypt(key []byte, hw int) (*Program, error) {
+	ck, err := cipher.NewRijndael(key)
+	if err != nil {
+		return nil, err
+	}
+	const rounds = cipher.AESRounds
+	full := hw == rounds
+	geo, passes, err := validateUnroll("rijndael-dec", hw, rounds, 2, 0)
+	if err != nil {
+		return nil, err
+	}
+	if geo.Rows < 4 {
+		geo.Rows = 4
+	}
+
+	p := &Program{
+		Name:        fmt.Sprintf("rijndael-dec-%d", hw),
+		Cipher:      "rijndael",
+		HWRounds:    hw,
+		TotalRounds: rounds,
+		Geometry:    geo,
+		Window:      1,
+		Streaming:   full,
+	}
+	b := &builder{}
+	b.disout()
+
+	invMDS := isa.FCfg{Mode: isa.FMDS, Consts: [4]uint8{0x0e, 0x0b, 0x0d, 0x09}}.Encode()
+	sbox := cipher.AESInvSBox()
+	for bank := 0; bank < 4; bank++ {
+		b.loadS8(isa.SliceAll(), bank, &sbox)
+	}
+	perm := aesInvShiftRowsPerm()
+	for st := 0; st < hw; st++ {
+		b.shuf(st, perm)
+	}
+	for st := 0; st < hw; st++ {
+		rs := 2 * st
+		b.cfge(isa.SliceRow(rs), isa.ElemC, isa.CCfg{Mode: isa.CS8x8}.Encode())
+		if !(full && st == hw-1) {
+			b.cfge(isa.SliceRow(rs+1), isa.ElemF, invMDS)
+		}
+		b.cfge(isa.SliceRow(rs+1), isa.ElemA2, aCfg(isa.AXor, isa.SrcINER))
+	}
+	// Equivalent-inverse round keys: address j holds dw[j].
+	for j := 1; j <= rounds; j++ {
+		w := ck.EquivInvRoundKeyWords(j)
+		for c := 0; c < 4; c++ {
+			b.eramw(c, 0, j, w[c])
+		}
+	}
+	tail := geo.Rows > 2*hw
+	var regs []int
+	for st := 0; st < hw; st++ {
+		if full || st < hw-1 || tail {
+			regs = append(regs, 2*st+1)
+		}
+	}
+	for _, row := range regs {
+		b.regRow(row, true)
+	}
+
+	dk0 := ck.EquivInvRoundKeyWords(0)
+	if full {
+		p.PipelineDepth = len(regs)
+		for c := 0; c < 4; c++ {
+			b.white(c, isa.WhiteXor, true, dk0[c])
+		}
+		for st := 0; st < hw; st++ {
+			b.erRow(2*st+1, 0, st+1)
+		}
+		b.streamingFlow(len(regs))
+		p.Instrs = b.ins
+		return p, nil
+	}
+
+	ticks := len(regs) + 1
+	lastStageRowM := 2*(hw-1) + 1
+	b.iterativeFlow(ticks, passes, iterHooks{
+		FirstPass: func(b *builder) {
+			for c := 0; c < 4; c++ {
+				b.white(c, isa.WhiteXor, true, dk0[c])
+			}
+		},
+		SecondPass: func(b *builder) {
+			for c := 0; c < 4; c++ {
+				b.whiteOff(c)
+			}
+		},
+		LastPass: func(b *builder) {
+			b.cfge(isa.SliceRow(lastStageRowM), isa.ElemF, bypass)
+		},
+		EveryPass: func(b *builder, pass int) {
+			for st := 0; st < hw; st++ {
+				b.erRow(2*st+1, 0, pass*hw+st+1)
+			}
+		},
+		Epilogue: func(b *builder) {
+			b.cfge(isa.SliceRow(lastStageRowM), isa.ElemF, invMDS)
+		},
+	})
+	p.Instrs = b.ins
+	return p, nil
+}
+
+// --- Serpent -----------------------------------------------------------------
+
+// serpentInvLTRows emits the inverse linear transformation at rows
+// r0..r0+2.
+func (b *builder) serpentInvLTRows(r0 int) {
+	// Step A: x2 = ror(x2,22) ^ x3 ^ (x1<<7); x0 = ror(x0,5) ^ x1 ^ x3.
+	c2 := isa.SliceAt(r0, 2)
+	b.cfge(c2, isa.ElemE1, eImm(isa.ERotl, 10))           // ror 22
+	b.cfge(c2, isa.ElemA1, aCfg(isa.AXor, isa.SrcIND))    // ^ x3
+	b.cfge(c2, isa.ElemA2, aShl(isa.AXor, isa.SrcINC, 7)) // ^ (x1 << 7)
+	c0 := isa.SliceAt(r0, 0)
+	b.cfge(c0, isa.ElemE1, eImm(isa.ERotl, 27))        // ror 5
+	b.cfge(c0, isa.ElemA1, aCfg(isa.AXor, isa.SrcINB)) // ^ x1
+	b.cfge(c0, isa.ElemA2, aCfg(isa.AXor, isa.SrcIND)) // ^ x3
+	// Step B: x3 = ror(x3,7) ^ x2' ^ (x0'<<3); x1 = ror(x1,1) ^ x0' ^ x2'.
+	r1 := r0 + 1
+	c3 := isa.SliceAt(r1, 3)
+	b.cfge(c3, isa.ElemE1, eImm(isa.ERotl, 25))           // ror 7
+	b.cfge(c3, isa.ElemA1, aCfg(isa.AXor, isa.SrcIND))    // ^ x2'
+	b.cfge(c3, isa.ElemA2, aShl(isa.AXor, isa.SrcINB, 3)) // ^ (x0' << 3)
+	c1 := isa.SliceAt(r1, 1)
+	b.cfge(c1, isa.ElemE1, eImm(isa.ERotl, 31))        // ror 1
+	b.cfge(c1, isa.ElemA1, aCfg(isa.AXor, isa.SrcINB)) // ^ x0'
+	b.cfge(c1, isa.ElemA2, aCfg(isa.AXor, isa.SrcINC)) // ^ x2'
+	// Step C: x2 = ror(x2,3); x0 = ror(x0,13).
+	r2 := r0 + 2
+	b.cfge(isa.SliceAt(r2, 2), isa.ElemE1, eImm(isa.ERotl, 29))
+	b.cfge(isa.SliceAt(r2, 0), isa.ElemE1, eImm(isa.ERotl, 19))
+}
+
+// serpentClearInvLTRows emits the bypass toggles for the inverse-LT rows.
+func (b *builder) serpentClearInvLTRows(r0 int) {
+	for _, sl := range []isa.Slice{isa.SliceAt(r0, 0), isa.SliceAt(r0, 2),
+		isa.SliceAt(r0+1, 1), isa.SliceAt(r0+1, 3)} {
+		b.cfge(sl, isa.ElemE1, bypass)
+		b.cfge(sl, isa.ElemA1, bypass)
+		b.cfge(sl, isa.ElemA2, bypass)
+	}
+	b.cfge(isa.SliceAt(r0+2, 0), isa.ElemE1, bypass)
+	b.cfge(isa.SliceAt(r0+2, 2), isa.ElemE1, bypass)
+}
+
+// BuildSerpentDecrypt compiles the Serpent-workload decryption on the base
+// architecture (one round per pass; deeper decryption unrolls follow the
+// same pattern and are left at the paper's evaluated granularity).
+func BuildSerpentDecrypt(key []byte) (*Program, error) {
+	ck, err := cipher.NewSerpentCOBRA(key)
+	if err != nil {
+		return nil, err
+	}
+	const rounds = cipher.SerpentRounds
+	geo := datapath.BaseGeometry()
+
+	p := &Program{
+		Name:        "serpent-dec-1",
+		Cipher:      "serpent",
+		HWRounds:    1,
+		TotalRounds: rounds,
+		Geometry:    geo,
+		Window:      1,
+	}
+	b := &builder{}
+	b.disout()
+
+	// Inverse S-box pages into every 4→4 bank.
+	pages := cipher.SerpentInvSBoxes()
+	for bank := 0; bank < 4; bank++ {
+		b.loadS4Pages(isa.SliceAll(), bank, &pages)
+	}
+	// Row 3 hosts the paged inverse S-box followed by the key XOR on A2
+	// (C precedes A2 in the chain); rows 0-2 host the inverse LT from
+	// pass 1 onward.
+	b.cfge(isa.SliceRow(3), isa.ElemA2, aCfg(isa.AXor, isa.SrcINER))
+	for r := 0; r <= 31; r++ {
+		w := ck.RoundKeyWords(r)
+		for c := 0; c < 4; c++ {
+			b.eramw(c, 0, r, w[c])
+		}
+	}
+	k32 := ck.RoundKeyWords(32)
+
+	// 32 passes: pass 0 is the K32/invS7/K31 prefix (inverse LT rows
+	// idle); pass p ≥ 1 handles round 31−p.
+	b.iterativeFlow(1, rounds, iterHooks{
+		FirstPass: func(b *builder) {
+			for c := 0; c < 4; c++ {
+				b.white(c, isa.WhiteXor, true, k32[c])
+			}
+		},
+		SecondPass: func(b *builder) {
+			for c := 0; c < 4; c++ {
+				b.whiteOff(c)
+			}
+			b.serpentInvLTRows(0)
+		},
+		EveryPass: func(b *builder, pass int) {
+			r := 31
+			if pass > 0 {
+				r = 31 - pass
+			}
+			b.cfge(isa.SliceRow(3), isa.ElemC,
+				isa.CCfg{Mode: isa.CS4x4, Page: uint8(r % 8)}.Encode())
+			b.erRow(3, 0, r)
+		},
+		Epilogue: func(b *builder) {
+			b.serpentClearInvLTRows(0)
+		},
+	})
+	p.Instrs = b.ins
+	return p, nil
+}

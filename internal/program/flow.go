@@ -1,0 +1,114 @@
+package program
+
+import "cobra/internal/isa"
+
+// This file factors the two §3.4 control-flow skeletons shared by every
+// cipher mapping:
+//
+//   - streamingFlow: non-feedback pipelined operation for full-length
+//     unrolls — consume one block per cycle, raise data-valid after the
+//     pipeline fill, loop.
+//   - iterativeFlow: feedback-mode operation for partial unrolls — per
+//     block, `passes` passes of `ticks` datapath cycles each, with
+//     per-pass reconfiguration executed in overfull (DISOUT) windows and
+//     the ready/busy/data-valid protocol around it.
+//
+// Cipher builders supply hooks with the pass-specific configuration: key
+// address walks, whitening toggles, first/last-round special handling.
+
+// iterHooks are the per-pass configuration callbacks; nil hooks are
+// skipped.
+type iterHooks struct {
+	// FirstPass runs in pass 0's overfull window (pre-whitening on, etc.);
+	// the skeleton switches the input multiplexor to external right after,
+	// so pass 0's first tick consumes the block.
+	FirstPass func(*builder)
+	// SecondPass runs in pass 1's overfull window (pre-whitening off).
+	SecondPass func(*builder)
+	// LastPass runs in the final pass's overfull window (post-whitening,
+	// final-round element toggles).
+	LastPass func(*builder)
+	// EveryPass runs in every pass's overfull window (key address walks).
+	EveryPass func(*builder, int)
+	// Epilogue runs in the post-block overfull window (restore toggled
+	// configuration, whitening off).
+	Epilogue func(*builder)
+}
+
+// iterativeFlow emits the feedback-mode per-block control flow. ticks is
+// the number of datapath cycles one pass takes (pipeline stages + final
+// combinational segment); passes × hooks must cover every cipher round.
+func (b *builder) iterativeFlow(ticks, passes int, h iterHooks) {
+	b.inmux(isa.InFeedback)
+
+	idle := b.mark()
+	b.flag(isa.FlagReady, 0)
+	b.flag(isa.FlagBusy, isa.FlagReady)
+
+	for pass := 0; pass < passes; pass++ {
+		b.disout()
+		if pass == 0 {
+			if h.FirstPass != nil {
+				h.FirstPass(b)
+			}
+			b.inmux(isa.InExternal)
+		}
+		if pass == 1 {
+			if h.SecondPass != nil {
+				h.SecondPass(b)
+			}
+			if ticks == 1 {
+				// No intra-pass slot carried the switch back to feedback.
+				b.inmux(isa.InFeedback)
+			}
+		}
+		last := pass == passes-1
+		if last {
+			if h.LastPass != nil {
+				h.LastPass(b)
+			}
+			if ticks == 1 {
+				b.flag(isa.FlagDValid, 0)
+			}
+		}
+		if h.EveryPass != nil {
+			h.EveryPass(b, pass)
+		}
+		b.enout() // tick: stage 0 (consumes the block on pass 0)
+		intra := ticks - 1
+		for i := 0; i < intra; i++ {
+			switch {
+			case pass == 0 && i == 0:
+				b.inmux(isa.InFeedback)
+			case last && i == intra-1:
+				b.flag(isa.FlagDValid, 0)
+			default:
+				b.nop()
+			}
+		}
+	}
+
+	b.disout()
+	b.flag(0, isa.FlagDValid|isa.FlagBusy)
+	if h.Epilogue != nil {
+		h.Epilogue(b)
+	}
+	b.jmp(idle)
+}
+
+// streamingFlow emits the non-feedback pipelined control flow for a
+// pipeline of the given depth. All static configuration (whitening, key
+// addresses, registers) must already be emitted.
+func (b *builder) streamingFlow(depth int) {
+	b.inmux(isa.InExternal)
+	b.flag(isa.FlagReady, 0)
+	b.flag(isa.FlagBusy, isa.FlagReady)
+	b.enout() // first consume
+	for i := 0; i < depth-1; i++ {
+		b.nop() // pipeline fill
+	}
+	b.flag(isa.FlagDValid, 0)
+	loop := b.mark()
+	b.nop()
+	b.jmp(loop)
+}

@@ -1,0 +1,169 @@
+package program
+
+import (
+	"cobra/internal/cipher"
+	"cobra/internal/datapath"
+	"cobra/internal/isa"
+)
+
+// GOST 28147-89 on COBRA — a mapping beyond the paper's three evaluated
+// ciphers, demonstrating the §3 claim that the architecture serves the
+// wider studied set. GOST's round function is exactly one RCE row pair:
+//
+//	row T: B ADD INER          (n1 + k_i)
+//	row U: C S8 + E2 ROTL 11 + A2 XOR  (S-boxes, <<<11, ^ n2);
+//	       the Feistel swap comes free via INSEL role selection, with the
+//	       untouched n1 recovered from the one-row bypass.
+//
+// GOST's eight distinct 4-bit S-boxes pair into four 8→8 tables (low and
+// high nibble of each byte lane), which is precisely the C element's 8→8
+// mode with per-lane banks — no paging needed.
+//
+// Because a GOST block is 64 bits, the 128-bit datapath processes TWO
+// blocks per pass: block A in columns 0-1, block B in columns 2-3 — a
+// throughput doubling unavailable to the 128-bit ciphers. The program
+// therefore consumes 16-byte superblocks holding two consecutive 8-byte
+// GOST blocks (little-endian words, matching cipher.GOST).
+//
+// The final round runs unswapped (the standard Feistel identity replacing
+// the paper-protocol output swap), toggled as last-pass overhead.
+
+// gostRoundRows emits one (swapped) GOST round for both parallel blocks at
+// rows (rt, rt+1).
+func (b *builder) gostRoundRows(rt int) {
+	ru := rt + 1
+	for _, base := range []int{0, 2} { // block A in cols 0-1, block B in 2-3
+		// Row T: n1 + k in the even column; n2 passes in the odd one.
+		b.cfge(isa.SliceAt(rt, base), isa.ElemB, bCfg(isa.BAdd, 2, isa.SrcINER))
+		// Row U: f() and the swap.
+		cf := isa.SliceAt(ru, base)
+		b.cfge(cf, isa.ElemC, isa.CCfg{Mode: isa.CS8x8}.Encode())
+		b.cfge(cf, isa.ElemE2, eImm(isa.ERotl, 11))
+		// n2 is the odd block: INB for column 0, IND for column 2.
+		if base == 0 {
+			b.cfge(cf, isa.ElemA2, aCfg(isa.AXor, isa.SrcINB))
+		} else {
+			b.cfge(cf, isa.ElemA2, aCfg(isa.AXor, isa.SrcIND))
+		}
+		// New n2 = old n1, recovered from the bypass bus.
+		b.insel(ru, base+1, uint8(4+base)) // PA / PC
+	}
+}
+
+// gostLastRoundToggle reconfigures the round at rows (rt, rt+1) to run
+// unswapped: (n1, n2) → (n1, n2 ^ f(n1+k)). restore re-emits the swapped
+// form.
+func (b *builder) gostLastRoundToggle(rt int, restore bool) {
+	ru := rt + 1
+	if restore {
+		b.gostRoundRows(rt)
+		for _, base := range []int{0, 2} {
+			// Clear the unswapped-round configuration of the odd columns.
+			co := isa.SliceAt(ru, base+1)
+			b.cfge(co, isa.ElemC, bypass)
+			b.cfge(co, isa.ElemE2, bypass)
+			b.cfge(co, isa.ElemA2, bypass)
+			b.insel(ru, base, 0) // even column back to INA
+		}
+		return
+	}
+	for _, base := range []int{0, 2} {
+		// Even column: pass the untouched n1 from the bypass.
+		ce := isa.SliceAt(ru, base)
+		b.cfge(ce, isa.ElemC, bypass)
+		b.cfge(ce, isa.ElemE2, bypass)
+		b.cfge(ce, isa.ElemA2, bypass)
+		b.insel(ru, base, uint8(4+base)) // PA / PC
+		// Odd column: n2 ^ f(n1+k); the sum arrives in the even block of
+		// the row input, n2 is the column's own primary block.
+		co := isa.SliceAt(ru, base+1)
+		if base == 0 {
+			b.insel(ru, base+1, 1) // col1's INB = block 0
+		} else {
+			b.insel(ru, base+1, 3) // col3's IND = block 2
+		}
+		b.cfge(co, isa.ElemC, isa.CCfg{Mode: isa.CS8x8}.Encode())
+		b.cfge(co, isa.ElemE2, eImm(isa.ERotl, 11))
+		b.cfge(co, isa.ElemA2, aCfg(isa.AXor, isa.SrcINA))
+	}
+}
+
+// gostComposedTables pairs GOST's eight 4-bit S-boxes into the four 8→8
+// byte-lane tables: lane L substitutes nibbles 2L (low) and 2L+1 (high).
+func gostComposedTables(sbox [8][16]uint8) [4][256]uint8 {
+	var out [4][256]uint8
+	for lane := 0; lane < 4; lane++ {
+		for v := 0; v < 256; v++ {
+			lo := sbox[2*lane][v&0xf]
+			hi := sbox[2*lane+1][v>>4]
+			out[lane][v] = hi<<4 | lo
+		}
+	}
+	return out
+}
+
+// BuildGOST compiles GOST 28147-89 encryption onto the base architecture:
+// two rounds (for two parallel blocks) per pass, 16 passes per superblock.
+func BuildGOST(key []byte) (*Program, error) {
+	if _, err := cipher.NewGOST(key); err != nil {
+		return nil, err
+	}
+	geo := datapath.BaseGeometry()
+	p := &Program{
+		Name:        "gost-2",
+		Cipher:      "gost",
+		HWRounds:    2,
+		TotalRounds: 32,
+		Geometry:    geo,
+		Window:      1,
+	}
+	b := &builder{}
+	b.disout()
+
+	tables := gostComposedTables(cipher.GOSTTestSBox)
+	for bank := 0; bank < 4; bank++ {
+		b.loadS8(isa.SliceAll(), bank, &tables[bank])
+	}
+	b.gostRoundRows(0)
+	b.gostRoundRows(2)
+
+	// Keys: address i holds the round-i subkey in every column (the two
+	// parallel blocks share the schedule).
+	var kw [8]uint32
+	for i := 0; i < 8; i++ {
+		kw[i] = uint32(key[4*i]) | uint32(key[4*i+1])<<8 |
+			uint32(key[4*i+2])<<16 | uint32(key[4*i+3])<<24
+	}
+	for i := 0; i < 32; i++ {
+		k := kw[gostKeyIndex(i)]
+		for c := 0; c < 4; c++ {
+			b.eramw(c, 0, i, k)
+		}
+	}
+	b.regRow(1, true) // two stages per pass
+
+	const passes = 16
+	b.iterativeFlow(2, passes, iterHooks{
+		LastPass: func(b *builder) {
+			b.gostLastRoundToggle(2, false)
+		},
+		EveryPass: func(b *builder, pass int) {
+			b.erRow(0, 0, 2*pass)
+			b.erRow(2, 0, 2*pass+1)
+		},
+		Epilogue: func(b *builder) {
+			b.gostLastRoundToggle(2, true)
+		},
+	})
+	p.Instrs = b.ins
+	return p, nil
+}
+
+// gostKeyIndex mirrors the encryption key order: three forward walks, one
+// backward.
+func gostKeyIndex(r int) int {
+	if r < 24 {
+		return r % 8
+	}
+	return 7 - r%8
+}

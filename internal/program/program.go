@@ -1,0 +1,207 @@
+// Package program compiles block ciphers onto the COBRA architecture: it
+// emits the microcode (§3.3 instruction words) that configures the
+// datapath, loads round keys into the eRAMs, drives the §3.4
+// ready/go/busy/data-valid protocol, and performs on-the-fly
+// reconfiguration between passes.
+//
+// Each builder corresponds to one row of the paper's Table 3: a cipher at
+// an unroll depth ("Rnds" in the table — the number of rounds mapped into
+// hardware). Configurations whose hardware covers every round operate as
+// round-atomic pipelines streaming one block per cycle (non-feedback mode,
+// §4.1); partial configurations iterate blocks through the array via the
+// feedback multiplexor, walking the eRAM key addresses between passes and
+// bracketing larger reconfigurations with DISOUT/ENOUT overfull cycles.
+//
+// Programs embed the round keys as ERAMW immediates: like the JBits
+// approach the paper cites, the microcode image is key-specific and
+// regenerated per key by the external system.
+package program
+
+import (
+	"fmt"
+
+	"cobra/internal/datapath"
+	"cobra/internal/isa"
+)
+
+// Program is a compiled cipher mapping plus the execution metadata the
+// measurement harness needs.
+type Program struct {
+	// Name identifies the configuration, e.g. "rc6-2".
+	Name string
+	// Cipher is the algorithm family ("rc6", "rijndael", "serpent").
+	Cipher string
+	// HWRounds is the unroll depth: rounds mapped into hardware (Table 3's
+	// "Rnds" column).
+	HWRounds int
+	// TotalRounds is the cipher's full round count.
+	TotalRounds int
+	// Geometry is the array instance the program targets.
+	Geometry datapath.Geometry
+	// Window is the instruction window size (§3.4).
+	Window int
+	// Streaming reports non-feedback pipelined operation (full unroll):
+	// the program consumes one block per cycle and the host must append
+	// PipelineDepth flush blocks to drain the final outputs.
+	Streaming bool
+	// PipelineDepth is the number of in-flight blocks in streaming mode.
+	PipelineDepth int
+	// NeedsKey marks a key-independent program that expects the raw key
+	// as its first input block over the KEYREQ handshake (see LoadKeyed).
+	NeedsKey bool
+	// Instrs is the decoded program; Words() packs it.
+	Instrs []isa.Instr
+}
+
+// Words packs the program into 80-bit microcode words.
+func (p *Program) Words() []isa.Word {
+	w := make([]isa.Word, len(p.Instrs))
+	for i, in := range p.Instrs {
+		w[i] = in.Pack()
+	}
+	return w
+}
+
+// builder accumulates instructions with small helpers for each statement
+// form. It deliberately mirrors the assembly language so emitted programs
+// disassemble into idiomatic COBRA assembly.
+type builder struct {
+	ins []isa.Instr
+}
+
+func (b *builder) raw(in isa.Instr) { b.ins = append(b.ins, in) }
+
+func (b *builder) nop() { b.raw(isa.Instr{Op: isa.OpNop}) }
+
+func (b *builder) halt() { b.raw(isa.Instr{Op: isa.OpHalt}) }
+
+// mark returns the address of the next instruction (label support).
+func (b *builder) mark() int { return len(b.ins) }
+
+func (b *builder) jmp(addr int) {
+	b.raw(isa.Instr{Op: isa.OpJmp, Data: uint64(addr)})
+}
+
+func (b *builder) flag(set, clear uint16) {
+	b.raw(isa.Instr{Op: isa.OpCtlFlag, Data: isa.FlagCfg{Set: set, Clear: clear}.Encode()})
+}
+
+func (b *builder) cfge(s isa.Slice, e isa.Elem, data uint64) {
+	b.raw(isa.Instr{Op: isa.OpCfgElem, Slice: s, Elem: e, Data: data})
+}
+
+func (b *builder) insel(row, col int, src uint8) {
+	b.cfge(isa.SliceAt(row, col), isa.ElemInsel, isa.InselCfg{Source: src}.Encode())
+}
+
+func (b *builder) erRow(row, bank, addr int) {
+	b.cfge(isa.SliceRow(row), isa.ElemER, isa.ERCfg{Bank: uint8(bank), Addr: uint8(addr)}.Encode())
+}
+
+func (b *builder) er(row, col, bank, addr int) {
+	b.cfge(isa.SliceAt(row, col), isa.ElemER, isa.ERCfg{Bank: uint8(bank), Addr: uint8(addr)}.Encode())
+}
+
+func (b *builder) regRow(row int, on bool) {
+	b.cfge(isa.SliceRow(row), isa.ElemReg, isa.RegCfg{Enabled: on}.Encode())
+}
+
+func (b *builder) enout()  { b.raw(isa.Instr{Op: isa.OpEnOut, Slice: isa.SliceAll()}) }
+func (b *builder) disout() { b.raw(isa.Instr{Op: isa.OpDisOut, Slice: isa.SliceAll()}) }
+
+func (b *builder) inmux(mode isa.InMuxMode) {
+	b.raw(isa.Instr{Op: isa.OpCfgInMux, Data: isa.InMuxCfg{Mode: mode}.Encode()})
+}
+
+func (b *builder) white(col int, mode isa.WhiteMode, atInput bool, key uint32) {
+	b.raw(isa.Instr{Op: isa.OpCfgWhite,
+		Data: isa.WhiteCfg{Col: uint8(col), Mode: mode, In: atInput, Key: key}.Encode()})
+}
+
+func (b *builder) whiteOff(col int) { b.white(col, isa.WhiteOff, false, 0) }
+
+func (b *builder) eramw(col, bank, addr int, value uint32) {
+	b.raw(isa.Instr{Op: isa.OpERAMWrite, Slice: isa.SliceCol(col),
+		Data: isa.ERAMWriteCfg{Bank: uint8(bank), Addr: uint8(addr), Value: value}.Encode()})
+}
+
+func (b *builder) shuf(idx int, perm [16]uint8) {
+	var lo, hi isa.ShufCfg
+	copy(lo.Perm[:], perm[:8])
+	hi.High = true
+	copy(hi.Perm[:], perm[8:])
+	b.raw(isa.Instr{Op: isa.OpCfgShuf, Slice: isa.SliceRow(idx), Data: lo.Encode()})
+	b.raw(isa.Instr{Op: isa.OpCfgShuf, Slice: isa.SliceRow(idx), Data: hi.Encode()})
+}
+
+// loadS8 emits the LUTLD stream installing an 8→8 table into one bank of
+// every RCE addressed by the slice (64 group loads).
+func (b *builder) loadS8(s isa.Slice, bank int, tbl *[256]uint8) {
+	for g := 0; g < 64; g++ {
+		var d uint64
+		for i := 0; i < 4; i++ {
+			d |= uint64(tbl[g*4+i]) << (8 * i)
+		}
+		b.raw(isa.Instr{Op: isa.OpLoadLUT, Slice: s, LUT: isa.LUTAddr(false, bank, g), Data: d})
+	}
+}
+
+// loadS4Pages installs eight 16-entry pages into one 4→4 table bank of
+// every RCE addressed by the slice (16 group loads).
+func (b *builder) loadS4Pages(s isa.Slice, bank int, pages *[8][16]uint8) {
+	for g := 0; g < 16; g++ {
+		page, half := g/2, g%2
+		var d uint64
+		for i := 0; i < 8; i++ {
+			d |= uint64(pages[page][half*8+i]&0xf) << (4 * i)
+		}
+		b.raw(isa.Instr{Op: isa.OpLoadLUT, Slice: s, LUT: isa.LUTAddr(true, bank, g), Data: d})
+	}
+}
+
+// Element configuration shorthands used by the cipher builders.
+
+func eCfg(mode isa.EMode, amtSrc isa.Src, amt uint8) uint64 {
+	return isa.ECfg{Mode: mode, AmtSrc: amtSrc, Amt: amt}.Encode()
+}
+
+func eImm(mode isa.EMode, amt uint8) uint64 { return eCfg(mode, isa.SrcImm, amt) }
+
+func aCfg(op isa.AOp, src isa.Src) uint64 {
+	return isa.ACfg{Op: op, Operand: src}.Encode()
+}
+
+func aImm(op isa.AOp, imm uint32) uint64 {
+	return isa.ACfg{Op: op, Operand: isa.SrcImm, Imm: imm}.Encode()
+}
+
+func aShl(op isa.AOp, src isa.Src, preShift uint8) uint64 {
+	return isa.ACfg{Op: op, Operand: src, PreShift: preShift}.Encode()
+}
+
+func bCfg(mode isa.BMode, width uint8, src isa.Src) uint64 {
+	return isa.BCfg{Mode: mode, Width: width, Operand: src}.Encode()
+}
+
+func dCfg(mode isa.DMode, src isa.Src) uint64 {
+	return isa.DCfg{Mode: mode, Operand: src}.Encode()
+}
+
+const bypass = 0 // the zero control word bypasses every element type
+
+// validateUnroll checks the depth divides the round count and the geometry
+// fits the slice address space.
+func validateUnroll(cipher string, hw, total, rowsPerRound, extraRows int) (datapath.Geometry, int, error) {
+	if hw < 1 || hw > total {
+		return datapath.Geometry{}, 0, fmt.Errorf("program/%s: unroll depth %d out of range", cipher, hw)
+	}
+	if total%hw != 0 {
+		return datapath.Geometry{}, 0, fmt.Errorf("program/%s: unroll depth %d does not divide %d rounds", cipher, hw, total)
+	}
+	rows := hw*rowsPerRound + extraRows
+	geo := datapath.Geometry{Rows: rows}
+	if err := geo.Validate(); err != nil {
+		return datapath.Geometry{}, 0, err
+	}
+	return geo, total / hw, nil
+}

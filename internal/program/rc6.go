@@ -1,0 +1,242 @@
+package program
+
+import (
+	"fmt"
+
+	"cobra/internal/cipher"
+	"cobra/internal/isa"
+)
+
+// RC6 mapping (§4: "up to two rounds of RC6 ... may be mapped").
+//
+// State words (A,B,C,D) live in blocks 0..3. One round occupies two rows:
+//
+//	row T:  col1/col3 (RCE MULs) compute t = (B(2B+1)) <<< 5 and
+//	        u = (D(2D+1)) <<< 5 via E1 SHL 1, A1 OR 1, D MUL32, E3 ROTL 5;
+//	        the other columns pass A and C.
+//	row U:  two columns compute A' = ((A^t) <<< u) + S[2i] and
+//	        C' = ((C^u) <<< t) + S[2i+1] (A1 XOR, E2 ROTL data-dependent,
+//	        B ADD INER); the other two recover the untouched B and D from
+//	        the one-row bypass bus (INSEL PB/PD).
+//
+// The per-round rotation (A,B,C,D) → (B,C',D,A') is absorbed by INSEL role
+// relabeling: rounds alternate between "form A" (canonical layout in) and
+// "form B" (rotated layout in), and after a form-B round the layout is
+// canonical again. Odd unroll depths append a rotate-fix row pair so every
+// pass starts canonical.
+//
+// Pre-whitening (B += S[0], D += S[1]) uses the input-side whitening
+// registers; post-whitening (A += S[2r+2], C += S[2r+3]) uses the
+// output-side ones, exactly the "post encryption key whitening" role §3.1
+// assigns them.
+
+// rc6FormARows emits the static configuration of one form-A round at rows
+// (rt, rt+1).
+func (b *builder) rc6FormARows(rt int) {
+	ru := rt + 1
+	// Row T: t in col1 (from B = its own primary), u in col3 (from D).
+	for _, col := range []int{1, 3} {
+		s := isa.SliceAt(rt, col)
+		b.cfge(s, isa.ElemE1, eImm(isa.EShl, 1))
+		b.cfge(s, isa.ElemA1, aImm(isa.AOr, 1))
+		b.cfge(s, isa.ElemD, dCfg(isa.DMul32, isa.SrcINA))
+		b.cfge(s, isa.ElemE3, eImm(isa.ERotl, 5))
+	}
+	// Row U: A' in col0, C' in col2; B, D recovered via the bypass bus.
+	c0 := isa.SliceAt(ru, 0)
+	b.cfge(c0, isa.ElemA1, aCfg(isa.AXor, isa.SrcINB))     // A ^ t
+	b.cfge(c0, isa.ElemE2, eCfg(isa.ERotl, isa.SrcIND, 0)) // <<< u
+	b.cfge(c0, isa.ElemB, bCfg(isa.BAdd, 2, isa.SrcINER))  // + S[2i]
+	b.insel(ru, 1, 5)                                      // PB: pass B
+	c2 := isa.SliceAt(ru, 2)
+	b.cfge(c2, isa.ElemA1, aCfg(isa.AXor, isa.SrcIND))     // C ^ u
+	b.cfge(c2, isa.ElemE2, eCfg(isa.ERotl, isa.SrcINC, 0)) // <<< t
+	b.cfge(c2, isa.ElemB, bCfg(isa.BAdd, 2, isa.SrcINER))  // + S[2i+1]
+	b.insel(ru, 3, 7)                                      // PD: pass D
+}
+
+// rc6FormBRows emits one form-B round at rows (rt, rt+1): input layout
+// (A1', B, C1', D) whose roles are (D2, A2, B2, C2).
+func (b *builder) rc6FormBRows(rt int) {
+	ru := rt + 1
+	// Row T: pass A2 (block 1) in col0, t2 = g(B2 = block 2) in col1,
+	// pass C2 (block 3) in col2, u2 = g(D2 = block 0) in col3.
+	b.insel(rt, 0, 1) // INB = block 1
+	c1 := isa.SliceAt(rt, 1)
+	b.insel(rt, 1, 2) // INC = block 2
+	b.cfge(c1, isa.ElemE1, eImm(isa.EShl, 1))
+	b.cfge(c1, isa.ElemA1, aImm(isa.AOr, 1))
+	b.cfge(c1, isa.ElemD, dCfg(isa.DMul32, isa.SrcINC))
+	b.cfge(c1, isa.ElemE3, eImm(isa.ERotl, 5))
+	b.insel(rt, 2, 3) // IND = block 3
+	c3 := isa.SliceAt(rt, 3)
+	b.insel(rt, 3, 1) // col3's INB = block 0
+	b.cfge(c3, isa.ElemE1, eImm(isa.EShl, 1))
+	b.cfge(c3, isa.ElemA1, aImm(isa.AOr, 1))
+	b.cfge(c3, isa.ElemD, dCfg(isa.DMul32, isa.SrcINB))
+	b.cfge(c3, isa.ElemE3, eImm(isa.ERotl, 5))
+	// Row U input: (A2, t2, C2, u2); bypass carries (D2, A2, B2, C2).
+	// Outputs restore the canonical layout (A3, B3, C3, D3) =
+	// (B2, C2', D2, A2').
+	b.insel(ru, 0, 6) // PC: B2
+	u1 := isa.SliceAt(ru, 1)
+	b.insel(ru, 1, 2)                                      // INC = C2
+	b.cfge(u1, isa.ElemA1, aCfg(isa.AXor, isa.SrcIND))     // C2 ^ u2
+	b.cfge(u1, isa.ElemE2, eCfg(isa.ERotl, isa.SrcINA, 0)) // <<< t2 (own block)
+	b.cfge(u1, isa.ElemB, bCfg(isa.BAdd, 2, isa.SrcINER))  // + S[2i+1]
+	b.insel(ru, 2, 4)                                      // PA: D2
+	u3 := isa.SliceAt(ru, 3)
+	b.insel(ru, 3, 1)                                      // INB = A2
+	b.cfge(u3, isa.ElemA1, aCfg(isa.AXor, isa.SrcINC))     // A2 ^ t2
+	b.cfge(u3, isa.ElemE2, eCfg(isa.ERotl, isa.SrcINA, 0)) // <<< u2 (own block)
+	b.cfge(u3, isa.ElemB, bCfg(isa.BAdd, 2, isa.SrcINER))  // + S[2i]
+}
+
+// rc6RotateFixRows emits the word-rotation pass (A',B,C',D) → (B,C',D,A')
+// at rows (r, r+1); the second row is identity.
+func (b *builder) rc6RotateFixRows(r int) {
+	b.insel(r, 0, 1) // block 1 = B
+	b.insel(r, 1, 2) // block 2 = C'
+	b.insel(r, 2, 3) // block 3 = D
+	b.insel(r, 3, 1) // col3's INB = block 0 = A'
+}
+
+// BuildRC6 compiles RC6-32/rounds/16 at unroll depth hw onto COBRA. rounds
+// is normally cipher.RC6Rounds (20); reduced-round variants are supported
+// for testing. The key must be 16, 24 or 32 bytes.
+func BuildRC6(key []byte, hw, rounds int) (*Program, error) {
+	ck, err := cipher.NewRC6Rounds(key, rounds)
+	if err != nil {
+		return nil, err
+	}
+	s := ck.RoundKeys()
+
+	full := hw == rounds
+	fix := hw%2 == 1 && !full
+	extra := 0
+	if fix {
+		extra = 2
+	}
+	geo, passes, err := validateUnroll("rc6", hw, rounds, 2, extra)
+	if err != nil {
+		return nil, err
+	}
+	if geo.Rows < 4 {
+		geo.Rows = 4 // the paper's base architecture is the minimum build
+	}
+
+	p := &Program{
+		Name:        fmt.Sprintf("rc6-%d", hw),
+		Cipher:      "rc6",
+		HWRounds:    hw,
+		TotalRounds: rounds,
+		Geometry:    geo,
+		Window:      1,
+		Streaming:   full,
+	}
+	b := &builder{}
+
+	// --- Setup phase (key-specific configuration; runs once) -------------
+	b.disout()
+
+	// Static round rows: stage s occupies rows 2s, 2s+1; even stages are
+	// form A, odd stages form B.
+	for st := 0; st < hw; st++ {
+		if st%2 == 0 {
+			b.rc6FormARows(2 * st)
+		} else {
+			b.rc6FormBRows(2 * st)
+		}
+	}
+	if fix {
+		b.rc6RotateFixRows(2 * hw)
+	}
+
+	// Key layout: eRAM bank 0, address r holds the two round keys of round
+	// r (1-based) in the columns that consume them: form-A rounds read
+	// S[2r] in col0 and S[2r+1] in col2; form-B rounds read S[2r] in col3
+	// and S[2r+1] in col1.
+	for r := 1; r <= rounds; r++ {
+		formA := (r-1)%hw%2 == 0
+		if formA {
+			b.eramw(0, 0, r, s[2*r])
+			b.eramw(2, 0, r, s[2*r+1])
+		} else {
+			b.eramw(3, 0, r, s[2*r])
+			b.eramw(1, 0, r, s[2*r+1])
+		}
+	}
+
+	regRows := b.rc6Regs(hw, full, fix)
+	for _, row := range regRows {
+		b.regRow(row, true)
+	}
+
+	if full {
+		b.buildRC6Streaming(p, s, hw, len(regRows))
+	} else {
+		b.buildRC6Iterative(p, s, hw, passes, len(regRows)+1)
+	}
+	p.Instrs = b.ins
+	return p, nil
+}
+
+// rc6Regs returns the registered rows: every round boundary for streaming;
+// all but the final stage for iterative operation, unless a combinational
+// rotate-fix tail follows the final stage.
+func (b *builder) rc6Regs(hw int, full, fix bool) []int {
+	var rows []int
+	for st := 0; st < hw; st++ {
+		last := st == hw-1
+		if full || !last || fix {
+			rows = append(rows, 2*st+1)
+		}
+	}
+	return rows
+}
+
+// buildRC6Streaming emits the non-feedback pipelined control flow.
+func (b *builder) buildRC6Streaming(p *Program, s []uint32, hw, depth int) {
+	p.PipelineDepth = depth
+	// Whitening is static: input-side pre-whitening applies to every
+	// consumed block, output-side post-whitening to every emitted one.
+	b.white(1, isa.WhiteAdd, true, s[0])
+	b.white(3, isa.WhiteAdd, true, s[1])
+	b.white(0, isa.WhiteAdd, false, s[2*hw+2])
+	b.white(2, isa.WhiteAdd, false, s[2*hw+3])
+	// Static key addresses: stage s serves round s+1 on every block.
+	for st := 0; st < hw; st++ {
+		b.erRow(2*st+1, 0, st+1)
+	}
+	b.streamingFlow(depth)
+}
+
+// buildRC6Iterative emits the feedback-mode control flow: `passes` passes
+// of `ticks` datapath cycles per block, reconfiguring key addresses in
+// overfull (DISOUT) windows between passes.
+func (b *builder) buildRC6Iterative(p *Program, s []uint32, hw, passes, ticks int) {
+	rounds := p.TotalRounds
+	b.iterativeFlow(ticks, passes, iterHooks{
+		FirstPass: func(b *builder) {
+			b.white(1, isa.WhiteAdd, true, s[0])
+			b.white(3, isa.WhiteAdd, true, s[1])
+		},
+		SecondPass: func(b *builder) {
+			b.whiteOff(1)
+			b.whiteOff(3)
+		},
+		LastPass: func(b *builder) {
+			b.white(0, isa.WhiteAdd, false, s[2*rounds+2])
+			b.white(2, isa.WhiteAdd, false, s[2*rounds+3])
+		},
+		EveryPass: func(b *builder, pass int) {
+			for st := 0; st < hw; st++ {
+				b.erRow(2*st+1, 0, pass*hw+st+1)
+			}
+		},
+		Epilogue: func(b *builder) {
+			b.whiteOff(0)
+			b.whiteOff(2)
+		},
+	})
+}

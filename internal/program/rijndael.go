@@ -1,0 +1,161 @@
+package program
+
+import (
+	"fmt"
+
+	"cobra/internal/cipher"
+	"cobra/internal/isa"
+)
+
+// Rijndael mapping (§4: "up to two rounds of Rijndael"). The AES state is
+// held column-major: block c is state column c with the row-0 byte in the
+// least significant lane. One round occupies two rows:
+//
+//	row S:  C element in 8→8 mode performs SubBytes on all four columns.
+//	[byte shuffler]: ShiftRows is a pure byte permutation of the 128-bit
+//	        stream, exactly what the embedded shufflers provide.
+//	row M:  F element in MDS mode computes MixColumns; A2 XORs the round
+//	        key word from the eRAM (AddRoundKey).
+//
+// The initial AddRoundKey is the input-side whitening XOR; the final round
+// omits MixColumns (F bypassed on its row).
+
+// aesShiftRowsPerm returns the ShiftRows byte permutation: destination byte
+// 4c+r takes source byte 4((c+r) mod 4)+r.
+func aesShiftRowsPerm() [16]uint8 {
+	var p [16]uint8
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			p[4*c+r] = uint8(4*((c+r)%4) + r)
+		}
+	}
+	return p
+}
+
+// rijndaelRoundRows emits the static configuration of one round at rows
+// (rs, rs+1). mixColumns selects whether the F element is active (false
+// for the final round).
+func (b *builder) rijndaelRoundRows(rs int, mixColumns bool) {
+	b.cfge(isa.SliceRow(rs), isa.ElemC, isa.CCfg{Mode: isa.CS8x8}.Encode())
+	rm := rs + 1
+	if mixColumns {
+		b.cfge(isa.SliceRow(rm), isa.ElemF,
+			isa.FCfg{Mode: isa.FMDS, Consts: [4]uint8{2, 3, 1, 1}}.Encode())
+	}
+	b.cfge(isa.SliceRow(rm), isa.ElemA2, aCfg(isa.AXor, isa.SrcINER))
+}
+
+// BuildRijndael compiles AES-128 at unroll depth hw onto COBRA.
+func BuildRijndael(key []byte, hw int) (*Program, error) {
+	ck, err := cipher.NewRijndael(key)
+	if err != nil {
+		return nil, err
+	}
+	const rounds = cipher.AESRounds
+	full := hw == rounds
+	geo, passes, err := validateUnroll("rijndael", hw, rounds, 2, 0)
+	if err != nil {
+		return nil, err
+	}
+	if geo.Rows < 4 {
+		geo.Rows = 4
+	}
+
+	p := &Program{
+		Name:        fmt.Sprintf("rijndael-%d", hw),
+		Cipher:      "rijndael",
+		HWRounds:    hw,
+		TotalRounds: rounds,
+		Geometry:    geo,
+		Window:      1,
+		Streaming:   full,
+	}
+	b := &builder{}
+
+	// --- Setup ------------------------------------------------------------
+	b.disout()
+
+	// S-box into every C element (the M rows bypass C, so the broadcast is
+	// harmless there).
+	sbox := cipher.AESSBox()
+	for bank := 0; bank < 4; bank++ {
+		b.loadS8(isa.SliceAll(), bank, &sbox)
+	}
+	// ShiftRows on the shuffler of every round stage (shuffler st sits
+	// before row 2st+1); shufflers over identity tail rows stay identity.
+	perm := aesShiftRowsPerm()
+	for st := 0; st < hw; st++ {
+		b.shuf(st, perm)
+	}
+	// Round rows. In full unroll the final round's MixColumns is statically
+	// absent; in iterative operation the last pass toggles it off.
+	for st := 0; st < hw; st++ {
+		mc := !(full && st == hw-1)
+		b.rijndaelRoundRows(2*st, mc)
+	}
+	// Round keys: bank 0, address r holds rk[r][c] in column c.
+	for r := 1; r <= rounds; r++ {
+		w := ck.RoundKeyWords(r)
+		for c := 0; c < 4; c++ {
+			b.eramw(c, 0, r, w[c])
+		}
+	}
+
+	// Registered rows: all round boundaries for streaming; all but the
+	// final stage (or all stages when identity tail rows exist) otherwise.
+	tail := geo.Rows > 2*hw
+	var regs []int
+	for st := 0; st < hw; st++ {
+		if full || st < hw-1 || tail {
+			regs = append(regs, 2*st+1)
+		}
+	}
+	for _, row := range regs {
+		b.regRow(row, true)
+	}
+
+	rk0 := ck.RoundKeyWords(0)
+	if full {
+		p.PipelineDepth = len(regs)
+		for c := 0; c < 4; c++ {
+			b.white(c, isa.WhiteXor, true, rk0[c])
+		}
+		for st := 0; st < hw; st++ {
+			b.erRow(2*st+1, 0, st+1)
+		}
+		b.streamingFlow(len(regs))
+		p.Instrs = b.ins
+		return p, nil
+	}
+
+	// --- Iterative control flow -------------------------------------------
+	ticks := len(regs) + 1
+	lastStageRowM := 2*(hw-1) + 1
+	b.iterativeFlow(ticks, passes, iterHooks{
+		FirstPass: func(b *builder) {
+			for c := 0; c < 4; c++ {
+				b.white(c, isa.WhiteXor, true, rk0[c])
+			}
+		},
+		SecondPass: func(b *builder) {
+			for c := 0; c < 4; c++ {
+				b.whiteOff(c)
+			}
+		},
+		LastPass: func(b *builder) {
+			// The final round has no MixColumns: bypass F on its row.
+			b.cfge(isa.SliceRow(lastStageRowM), isa.ElemF, bypass)
+		},
+		EveryPass: func(b *builder, pass int) {
+			for st := 0; st < hw; st++ {
+				b.erRow(2*st+1, 0, pass*hw+st+1)
+			}
+		},
+		Epilogue: func(b *builder) {
+			b.cfge(isa.SliceRow(lastStageRowM), isa.ElemF,
+				isa.FCfg{Mode: isa.FMDS, Consts: [4]uint8{2, 3, 1, 1}}.Encode())
+		},
+	})
+	p.Instrs = b.ins
+	return p, nil
+}

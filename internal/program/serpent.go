@@ -1,0 +1,193 @@
+package program
+
+import (
+	"fmt"
+
+	"cobra/internal/cipher"
+	"cobra/internal/isa"
+)
+
+// Serpent mapping (§4: "one round of Serpent"). One round occupies four
+// rows:
+//
+//	row 0: A1 XOR INER (round key), C element in paged 4→4 mode (S-box
+//	       r mod 8 — the page select exists for exactly this schedule).
+//	row 1: LT step 1: X0 <<<= 13 (col0 E1), X2 <<<= 3 (col2 E1).
+//	row 2: LT step 2: X1 = (X1 ^ X0 ^ X2) <<< 1 (col1: A1, A2, E3);
+//	       X3 = (X3 ^ X2 ^ (X0 << 3)) <<< 7 (col3: A1, A2 with operand
+//	       pre-shift, E3).
+//	row 3: LT step 3: X0 = (X0 ^ X1 ^ X3) <<< 5 (col0);
+//	       X2 = (X2 ^ X3 ^ (X1 << 7)) <<< 22 (col2).
+//
+// The final round (31) replaces the LT with the K32 XOR, realized by the
+// output-side whitening registers in XOR mode.
+//
+// The S-box is applied to the eight contiguous nibbles of each word — the
+// operation the C element provides. Real Serpent's bitsliced S-box spans
+// the four words and is not realizable by per-column LUTs; the functional
+// oracle for this mapping is therefore cipher.SerpentCOBRA (identical round
+// structure, schedule and operation counts; see that type's documentation
+// and DESIGN.md).
+
+// serpentRoundRows emits the static configuration of one round at rows
+// r0..r0+3 using S-box page `page`; withLT selects whether the linear
+// transformation rows are active.
+func (b *builder) serpentRoundRows(r0 int, page uint8, withLT bool) {
+	b.cfge(isa.SliceRow(r0), isa.ElemA1, aCfg(isa.AXor, isa.SrcINER))
+	b.cfge(isa.SliceRow(r0), isa.ElemC, isa.CCfg{Mode: isa.CS4x4, Page: page}.Encode())
+	if !withLT {
+		return
+	}
+	b.serpentLTRows(r0 + 1)
+}
+
+// serpentLTRows emits the three linear-transformation rows starting at r1.
+func (b *builder) serpentLTRows(r1 int) {
+	b.cfge(isa.SliceAt(r1, 0), isa.ElemE1, eImm(isa.ERotl, 13))
+	b.cfge(isa.SliceAt(r1, 2), isa.ElemE1, eImm(isa.ERotl, 3))
+	r2 := r1 + 1
+	c1 := isa.SliceAt(r2, 1)
+	b.cfge(c1, isa.ElemA1, aCfg(isa.AXor, isa.SrcINB)) // ^ X0
+	b.cfge(c1, isa.ElemA2, aCfg(isa.AXor, isa.SrcINC)) // ^ X2
+	b.cfge(c1, isa.ElemE3, eImm(isa.ERotl, 1))
+	c3 := isa.SliceAt(r2, 3)
+	b.cfge(c3, isa.ElemA1, aCfg(isa.AXor, isa.SrcIND))    // ^ X2; X2 is col3's IND
+	b.cfge(c3, isa.ElemA2, aShl(isa.AXor, isa.SrcINB, 3)) // ^ (X0 << 3)
+	b.cfge(c3, isa.ElemE3, eImm(isa.ERotl, 7))
+	r3 := r2 + 1
+	c0 := isa.SliceAt(r3, 0)
+	b.cfge(c0, isa.ElemA1, aCfg(isa.AXor, isa.SrcINB)) // ^ X1
+	b.cfge(c0, isa.ElemA2, aCfg(isa.AXor, isa.SrcIND)) // ^ X3
+	b.cfge(c0, isa.ElemE3, eImm(isa.ERotl, 5))
+	c2 := isa.SliceAt(r3, 2)
+	b.cfge(c2, isa.ElemA1, aCfg(isa.AXor, isa.SrcIND))    // ^ X3
+	b.cfge(c2, isa.ElemA2, aShl(isa.AXor, isa.SrcINC, 7)) // ^ (X1 << 7); X1 is col2's INC
+	b.cfge(c2, isa.ElemE3, eImm(isa.ERotl, 22))
+}
+
+// serpentClearLTRows emits the bypass toggles for the three LT rows
+// starting at r1 (used when the final round shares rows with earlier
+// rounds in iterative operation).
+func (b *builder) serpentClearLTRows(r1 int) {
+	b.cfge(isa.SliceAt(r1, 0), isa.ElemE1, bypass)
+	b.cfge(isa.SliceAt(r1, 2), isa.ElemE1, bypass)
+	for _, sl := range []isa.Slice{isa.SliceAt(r1+1, 1), isa.SliceAt(r1+1, 3),
+		isa.SliceAt(r1+2, 0), isa.SliceAt(r1+2, 2)} {
+		b.cfge(sl, isa.ElemA1, bypass)
+		b.cfge(sl, isa.ElemA2, bypass)
+		b.cfge(sl, isa.ElemE3, bypass)
+	}
+}
+
+// BuildSerpent compiles the Serpent workload at unroll depth hw onto COBRA.
+func BuildSerpent(key []byte, hw int) (*Program, error) {
+	ck, err := cipher.NewSerpentCOBRA(key)
+	if err != nil {
+		return nil, err
+	}
+	const rounds = cipher.SerpentRounds
+	full := hw == rounds
+	geo, passes, err := validateUnroll("serpent", hw, rounds, 4, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Program{
+		Name:        fmt.Sprintf("serpent-%d", hw),
+		Cipher:      "serpent",
+		HWRounds:    hw,
+		TotalRounds: rounds,
+		Geometry:    geo,
+		Window:      1,
+		Streaming:   full,
+	}
+	b := &builder{}
+
+	// --- Setup ------------------------------------------------------------
+	b.disout()
+
+	// All eight S-box pages into every 4→4 bank of every RCE (only the
+	// S-box rows select C, so the broadcast is harmless elsewhere).
+	var pages [8][16]uint8
+	for pg := range pages {
+		pages[pg] = cipher.SerpentSBoxes[pg]
+	}
+	for bank := 0; bank < 4; bank++ {
+		b.loadS4Pages(isa.SliceAll(), bank, &pages)
+	}
+
+	// Round rows: stage st occupies rows 4st..4st+3 with page (st mod 8);
+	// the page schedule is static because every pass advances the round
+	// index by hw, a multiple of 8 or a divisor pattern handled below.
+	pageStatic := hw%8 == 0
+	for st := 0; st < hw; st++ {
+		withLT := !(full && st == hw-1)
+		b.serpentRoundRows(4*st, uint8(st%8), withLT)
+	}
+
+	// Round keys: bank 0, address r holds rk[r][c] in column c; address 32
+	// holds K32 (consumed by the output whitening configuration instead of
+	// the eRAMs, but stored for completeness).
+	for r := 0; r <= rounds; r++ {
+		w := ck.RoundKeyWords(r)
+		for c := 0; c < 4; c++ {
+			b.eramw(c, 0, r, w[c])
+		}
+	}
+
+	var regs []int
+	for st := 0; st < hw; st++ {
+		if full || st < hw-1 {
+			regs = append(regs, 4*st+3)
+		}
+	}
+	for _, row := range regs {
+		b.regRow(row, true)
+	}
+
+	k32 := ck.RoundKeyWords(32)
+	if full {
+		p.PipelineDepth = len(regs)
+		for c := 0; c < 4; c++ {
+			b.white(c, isa.WhiteXor, false, k32[c])
+		}
+		for st := 0; st < hw; st++ {
+			b.erRow(4*st, 0, st)
+		}
+		b.streamingFlow(len(regs))
+		p.Instrs = b.ins
+		return p, nil
+	}
+
+	// --- Iterative control flow -------------------------------------------
+	ticks := len(regs) + 1
+	lastStageRow := 4 * (hw - 1)
+	b.iterativeFlow(ticks, passes, iterHooks{
+		LastPass: func(b *builder) {
+			// Final round: LT off on the last stage's rows; K32 via
+			// output whitening.
+			b.serpentClearLTRows(lastStageRow + 1)
+			for c := 0; c < 4; c++ {
+				b.white(c, isa.WhiteXor, false, k32[c])
+			}
+		},
+		EveryPass: func(b *builder, pass int) {
+			for st := 0; st < hw; st++ {
+				r := pass*hw + st
+				b.erRow(4*st, 0, r)
+				if !pageStatic {
+					b.cfge(isa.SliceRow(4*st), isa.ElemC,
+						isa.CCfg{Mode: isa.CS4x4, Page: uint8(r % 8)}.Encode())
+				}
+			}
+		},
+		Epilogue: func(b *builder) {
+			b.serpentLTRows(lastStageRow + 1)
+			for c := 0; c < 4; c++ {
+				b.whiteOff(c)
+			}
+		},
+	})
+	p.Instrs = b.ins
+	return p, nil
+}

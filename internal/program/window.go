@@ -1,0 +1,169 @@
+package program
+
+import (
+	"fmt"
+
+	"cobra/internal/cipher"
+	"cobra/internal/datapath"
+	"cobra/internal/isa"
+)
+
+// Instruction-window support (§3.4). With window size w, the datapath
+// clock is F_DP = F_iRAM/(2w): w instructions execute per datapath cycle,
+// so a pass that needs several reconfiguration instructions can complete
+// them inside one (slower) cycle instead of burning overfull stall cycles
+// at w = 1. "The programmer must determine the optimal number of
+// instructions that must be executed within a datapath clock cycle by
+// examining the number of overfull and underfull instruction cycles" — the
+// window sweep in package bench performs exactly that analysis for the
+// Serpent single-round configuration, whose two reconfigurations per pass
+// (S-box page and key address) make it the paper's textbook overfull case.
+//
+// The ready flag resynchronizes the window (see sim), so alignment is
+// relative to the idle point and identical for every block.
+
+// winBuilder tracks the slot position within the instruction-window grid.
+type winBuilder struct {
+	*builder
+	w   int
+	pos int // slots since the idle-point resync
+}
+
+// emit appends instructions, advancing the slot position.
+func (wb *winBuilder) emit(f func(*builder)) {
+	n := len(wb.ins)
+	f(wb.builder)
+	wb.pos += len(wb.ins) - n
+}
+
+// padToBoundary fills with NOPs (underfull padding, §3.4) until the next
+// instruction starts a fresh window.
+func (wb *winBuilder) padToBoundary() {
+	for wb.pos%wb.w != 0 {
+		wb.nop()
+		wb.pos++
+	}
+}
+
+// tickAt emits padding so that the next instruction is the last slot of
+// the current window, then emits it; the window's datapath cycle fires
+// right after it executes.
+func (wb *winBuilder) tickAt(f func(*builder)) {
+	for wb.pos%wb.w != wb.w-1 {
+		wb.nop()
+		wb.pos++
+	}
+	wb.emit(f)
+}
+
+// BuildSerpentWindowed compiles the single-round Serpent configuration
+// with instruction window w ≥ 2: the per-pass S-box page and key-address
+// reconfigurations share one datapath cycle with the round computation
+// instead of costing overfull stalls. w = 1 returns the standard build.
+func BuildSerpentWindowed(key []byte, w int) (*Program, error) {
+	if w == 1 {
+		return BuildSerpent(key, 1)
+	}
+	if w < 1 || w > 16 {
+		return nil, fmt.Errorf("program/serpent: window %d out of range", w)
+	}
+	ck, err := cipher.NewSerpentCOBRA(key)
+	if err != nil {
+		return nil, err
+	}
+	const rounds = cipher.SerpentRounds
+	p := &Program{
+		Name:        fmt.Sprintf("serpent-1-w%d", w),
+		Cipher:      "serpent",
+		HWRounds:    1,
+		TotalRounds: rounds,
+		Geometry:    datapath.BaseGeometry(),
+		Window:      w,
+	}
+	b := &builder{}
+
+	// Static setup (identical to the w=1 build): S-box pages, the round
+	// rows with the linear transformation, the round keys.
+	b.disout()
+	var pages [8][16]uint8
+	for pg := range pages {
+		pages[pg] = cipher.SerpentSBoxes[pg]
+	}
+	for bank := 0; bank < 4; bank++ {
+		b.loadS4Pages(isa.SliceAll(), bank, &pages)
+	}
+	b.serpentRoundRows(0, 0, true)
+	for r := 0; r <= rounds; r++ {
+		kw := ck.RoundKeyWords(r)
+		for c := 0; c < 4; c++ {
+			b.eramw(c, 0, r, kw[c])
+		}
+	}
+	k32 := ck.RoundKeyWords(32)
+	b.inmux(isa.InFeedback)
+
+	idle := b.mark()
+	b.flag(isa.FlagReady, 0) // resynchronizes the window
+
+	wb := &winBuilder{builder: b, w: w}
+	pageER := func(r int) func(*builder) {
+		return func(b *builder) {
+			b.cfge(isa.SliceRow(0), isa.ElemC,
+				isa.CCfg{Mode: isa.CS4x4, Page: uint8(r % 8)}.Encode())
+			b.erRow(0, 0, r)
+		}
+	}
+
+	// Prologue windows (array still frozen from the epilogue): protocol
+	// flags, round-0 configuration, external input; the consume tick fires
+	// at the end of the ENOUT window and computes round 0.
+	wb.emit(func(b *builder) {
+		b.flag(isa.FlagBusy, isa.FlagReady)
+	})
+	wb.emit(pageER(0))
+	wb.emit(func(b *builder) { b.inmux(isa.InExternal) })
+	wb.tickAt(func(b *builder) { b.enout() })
+
+	// Pass 1 needs three reconfigurations (input mux back to feedback plus
+	// page/key); freeze while they land, then tick round 1.
+	wb.emit(func(b *builder) {
+		b.disout()
+		b.inmux(isa.InFeedback)
+	})
+	wb.emit(pageER(1))
+	wb.tickAt(func(b *builder) { b.enout() })
+
+	// Steady passes: the page and key reconfigurations fit the window
+	// alongside the round's datapath cycle — no overfull stalls.
+	for r := 2; r < rounds-1; r++ {
+		wb.emit(pageER(r))
+		wb.padToBoundary()
+	}
+
+	// Final round: the linear transformation comes off, K32 goes onto the
+	// output whitening, data-valid marks the collecting cycle.
+	wb.emit(func(b *builder) {
+		b.disout()
+		b.serpentClearLTRows(1)
+		for c := 0; c < 4; c++ {
+			b.white(c, isa.WhiteXor, false, k32[c])
+		}
+		b.flag(isa.FlagDValid, 0)
+	})
+	wb.emit(pageER(31))
+	wb.tickAt(func(b *builder) { b.enout() })
+
+	// Epilogue: freeze before the next window's tick, restore, loop.
+	wb.emit(func(b *builder) {
+		b.disout()
+		b.flag(0, isa.FlagDValid|isa.FlagBusy)
+		b.serpentLTRows(1)
+		for c := 0; c < 4; c++ {
+			b.whiteOff(c)
+		}
+		b.jmp(idle)
+	})
+
+	p.Instrs = b.ins
+	return p, nil
+}

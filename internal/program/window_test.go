@@ -1,0 +1,65 @@
+package program
+
+import (
+	"bytes"
+	"testing"
+
+	"cobra/internal/cipher"
+)
+
+func TestSerpentWindowedCorrectAllWindows(t *testing.T) {
+	ref, err := cipher.NewSerpentCOBRA(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refEncryptECB(t, ref, testPlain)
+	for _, w := range []int{1, 2, 3, 4, 8} {
+		p, err := BuildSerpentWindowed(testKey, w)
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		if p.Window != w {
+			t.Fatalf("w=%d: program window = %d", w, p.Window)
+		}
+		got, stats := cobraEncryptECB(t, p, testPlain)
+		if !bytes.Equal(got, want) {
+			t.Errorf("w=%d: ciphertext mismatch", w)
+		}
+		t.Logf("serpent-1 w=%d: %.1f cycles/block, %d NOP slots",
+			w, float64(stats.Cycles)/float64(stats.BlocksOut), stats.Nops)
+	}
+}
+
+func TestSerpentWindowedCyclesDropWithWindow(t *testing.T) {
+	// The §3.4 tradeoff: a larger window removes overfull stall cycles
+	// (fewer datapath cycles) at the cost of a slower datapath clock.
+	cpb := func(w int) float64 {
+		p, err := BuildSerpentWindowed(testKey, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stats := cobraEncryptECB(t, p, testPlain)
+		return float64(stats.Cycles) / float64(stats.BlocksOut)
+	}
+	c1, c2 := cpb(1), cpb(2)
+	if c2 >= c1 {
+		t.Errorf("window 2 (%.1f cyc/blk) should beat window 1 (%.1f)", c2, c1)
+	}
+	// And the throughput at the derated clock must still win for w=2.
+	if 128.0/2/c2 <= 128.0/c1 {
+		t.Errorf("w=2 should win in throughput: %.3f vs %.3f bits/ns-ish",
+			128.0/2/c2, 128.0/c1)
+	}
+}
+
+func TestSerpentWindowedRejectsBadWindow(t *testing.T) {
+	if _, err := BuildSerpentWindowed(testKey, 0); err == nil {
+		t.Error("expected error for window 0")
+	}
+	if _, err := BuildSerpentWindowed(testKey, 99); err == nil {
+		t.Error("expected error for window 99")
+	}
+	if _, err := BuildSerpentWindowed(make([]byte, 3), 2); err == nil {
+		t.Error("expected key error")
+	}
+}

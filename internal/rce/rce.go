@@ -1,0 +1,393 @@
+// Package rce models the Reconfigurable Cryptographic Element, the primary
+// processing element of the COBRA architecture (§3.2 of the paper).
+//
+// Each RCE operates on one 32-bit block of the 128-bit data stream. The
+// data flow through the elements is fixed; every element may be selectively
+// disabled (bypassed) via microcode. The chain is:
+//
+//	INSEL → E1 → A1 → C → E2 → D → B → F → A2 → E3 → REG → OUT
+//
+// where E is a shift/rotate unit, A a Boolean unit, B an adder/subtractor
+// mod 2^8/2^16/2^32 (placed after the mid-chain rotator so a key addition
+// can follow a data-dependent rotation, as RC6 requires), C the
+// look-up-table unit, D the multiplier (present only in RCE MULs, columns 1
+// and 3), F the GF(2^8) fixed-field-constant multiplier, and REG an
+// optional output register enabling pipelined operation. INSEL selects the
+// pipeline's starting block from the current row input or, via the one-row
+// bypass bus, the previous row's input (see DESIGN.md).
+//
+// Evaluation is purely combinational here; registering and output-enable
+// freezing are sequenced by the datapath (package datapath), which owns the
+// register state.
+package rce
+
+import (
+	"fmt"
+	"strings"
+
+	"cobra/internal/bits"
+	"cobra/internal/isa"
+)
+
+// Inputs carries everything an RCE can observe in one datapath cycle: the
+// full 128-bit row input partitioned into the primary block INA and the
+// three secondary blocks INB/INC/IND (§3.1), plus the eRAM read port INER.
+type Inputs struct {
+	INA, INB, INC, IND uint32
+	INER               uint32
+	// Prev is the previous row's input vector (the one-row bypass bus),
+	// indexed by block number; only INSEL can tap it.
+	Prev [4]uint32
+}
+
+// Select returns the operand designated by src, with imm substituted for
+// the immediate source.
+func (in Inputs) Select(src isa.Src, imm uint32) uint32 {
+	switch src {
+	case isa.SrcINB:
+		return in.INB
+	case isa.SrcINC:
+		return in.INC
+	case isa.SrcIND:
+		return in.IND
+	case isa.SrcINER:
+		return in.INER
+	case isa.SrcImm:
+		return imm
+	case isa.SrcINA:
+		return in.INA
+	}
+	return 0
+}
+
+// LUTStore is the C element storage: four 256×8 tables and four 128×4
+// tables, 10,240 bits in total, matching the §4.2 accounting. The 4→4
+// tables hold eight 16-entry pages; nibble lane i uses table i/2 (lanes
+// share tables pair-wise).
+type LUTStore struct {
+	S8 [4][256]uint8
+	S4 [4][128]uint8 // eight pages × sixteen 4-bit entries, low nibble used
+}
+
+// Config is the complete control state of one RCE, the union of all element
+// control registers. The zero value is the identity configuration: every
+// element bypassed, register disabled, output enabled at the datapath
+// level.
+type Config struct {
+	Insel isa.InselCfg
+	E1    isa.ECfg
+	A1    isa.ACfg
+	B     isa.BCfg
+	C     isa.CCfg
+	E2    isa.ECfg
+	D     isa.DCfg
+	F     isa.FCfg
+	A2    isa.ACfg
+	E3    isa.ECfg
+	Reg   isa.RegCfg
+	ER    isa.ERCfg
+}
+
+// RCE is one reconfigurable cryptographic element: its configuration
+// registers and LUT storage. HasMul distinguishes RCE MULs (columns 1 and
+// 3) from plain RCEs; configuring D on a plain RCE is rejected.
+type RCE struct {
+	HasMul bool
+	Cfg    Config
+	LUT    LUTStore
+}
+
+// New returns an RCE in the identity configuration.
+func New(hasMul bool) *RCE { return &RCE{HasMul: hasMul} }
+
+// Reset restores the identity configuration and clears the LUTs.
+func (r *RCE) Reset() {
+	r.Cfg = Config{}
+	r.LUT = LUTStore{}
+}
+
+// ApplyElem decodes and installs the control word for one element. It
+// returns an error when the element does not exist in this RCE type (D on a
+// plain RCE) so that bad microcode is surfaced rather than silently
+// ignored.
+func (r *RCE) ApplyElem(e isa.Elem, data uint64) error {
+	switch e {
+	case isa.ElemInsel:
+		r.Cfg.Insel = isa.DecodeInsel(data)
+	case isa.ElemE1:
+		r.Cfg.E1 = isa.DecodeE(data)
+	case isa.ElemA1:
+		r.Cfg.A1 = isa.DecodeA(data)
+	case isa.ElemB:
+		r.Cfg.B = isa.DecodeB(data)
+	case isa.ElemC:
+		r.Cfg.C = isa.DecodeC(data)
+	case isa.ElemE2:
+		r.Cfg.E2 = isa.DecodeE(data)
+	case isa.ElemD:
+		if !r.HasMul {
+			return fmt.Errorf("rce: D element configured on an RCE without a multiplier")
+		}
+		r.Cfg.D = isa.DecodeD(data)
+	case isa.ElemF:
+		r.Cfg.F = isa.DecodeF(data)
+	case isa.ElemA2:
+		r.Cfg.A2 = isa.DecodeA(data)
+	case isa.ElemE3:
+		r.Cfg.E3 = isa.DecodeE(data)
+	case isa.ElemReg:
+		r.Cfg.Reg = isa.DecodeReg(data)
+	case isa.ElemER:
+		r.Cfg.ER = isa.DecodeER(data)
+	case isa.ElemOut:
+		// Output enable is sequenced by the datapath via OpEnOut/OpDisOut;
+		// ElemOut via OpCfgElem is accepted as a no-op for forward
+		// compatibility with whole-RCE configuration streams.
+	default:
+		return fmt.Errorf("rce: unknown element address %v", e)
+	}
+	return nil
+}
+
+// LoadLUT installs one OpLoadLUT group: four bytes (8→8 space) or eight
+// nibbles (4→4 space) from the low 32 bits of data.
+func (r *RCE) LoadLUT(addr uint16, data uint64) error {
+	space4, bank, group := isa.SplitLUTAddr(addr)
+	if space4 {
+		if group > 15 {
+			return fmt.Errorf("rce: 4x4 LUT group %d out of range", group)
+		}
+		for i := 0; i < 8; i++ {
+			r.LUT.S4[bank][group*8+i] = uint8(data>>(4*i)) & 0xf
+		}
+		return nil
+	}
+	if group > 63 {
+		return fmt.Errorf("rce: 8x8 LUT group %d out of range", group)
+	}
+	for i := 0; i < 4; i++ {
+		r.LUT.S8[bank][group*4+i] = uint8(data >> (8 * i))
+	}
+	return nil
+}
+
+// evalE applies a shift/rotate element.
+func evalE(cfg isa.ECfg, x uint32, in Inputs) uint32 {
+	var amt uint
+	if cfg.AmtSrc == isa.SrcImm {
+		amt = uint(cfg.Amt)
+	} else {
+		// The 5-bit M mux taps the low five bits of the selected block.
+		amt = uint(in.Select(cfg.AmtSrc, 0) & 31)
+	}
+	if cfg.Neg {
+		amt = (32 - amt) & 31
+	}
+	switch cfg.Mode {
+	case isa.EShl:
+		return bits.Shl(x, amt)
+	case isa.EShr:
+		return bits.Shr(x, amt)
+	case isa.ERotl:
+		return bits.RotL(x, amt)
+	default:
+		return x
+	}
+}
+
+// evalA applies a Boolean element, including the operand pre-shift used by
+// the A2 instance.
+func evalA(cfg isa.ACfg, x uint32, in Inputs) uint32 {
+	if cfg.Op == isa.ABypass {
+		return x
+	}
+	op := in.Select(cfg.Operand, cfg.Imm)
+	if cfg.PreShift != 0 {
+		if cfg.PreShiftRot {
+			op = bits.RotL(op, uint(cfg.PreShift))
+		} else {
+			op = bits.Shl(op, uint(cfg.PreShift))
+		}
+	}
+	switch cfg.Op {
+	case isa.AXor:
+		return x ^ op
+	case isa.AAnd:
+		return x & op
+	default:
+		return x | op
+	}
+}
+
+// evalB applies the adder/subtractor element.
+func evalB(cfg isa.BCfg, x uint32, in Inputs) uint32 {
+	if cfg.Mode == isa.BBypass {
+		return x
+	}
+	op := in.Select(cfg.Operand, cfg.Imm)
+	w := bits.Width(cfg.Width)
+	if cfg.Mode == isa.BAdd {
+		return bits.AddMod(x, op, w)
+	}
+	return bits.SubMod(x, op, w)
+}
+
+// evalC applies the look-up-table element.
+func (r *RCE) evalC(x uint32) uint32 {
+	switch r.Cfg.C.Mode {
+	case isa.CS8x8:
+		var out uint32
+		for lane := 0; lane < 4; lane++ {
+			b := uint8(x >> (8 * uint(lane)))
+			out |= uint32(r.LUT.S8[lane][b]) << (8 * uint(lane))
+		}
+		return out
+	case isa.CS4x4:
+		page := uint32(r.Cfg.C.Page) & 7
+		var out uint32
+		for lane := 0; lane < 8; lane++ {
+			n := x >> (4 * uint(lane)) & 0xf
+			tbl := lane / 2 // nibble lanes share tables pair-wise
+			out |= uint32(r.LUT.S4[tbl][page*16+n]&0xf) << (4 * uint(lane))
+		}
+		return out
+	case isa.CS8to32:
+		b := uint8(x >> (8 * uint(r.Cfg.C.ByteSel)))
+		return uint32(r.LUT.S8[0][b]) | uint32(r.LUT.S8[1][b])<<8 |
+			uint32(r.LUT.S8[2][b])<<16 | uint32(r.LUT.S8[3][b])<<24
+	default:
+		return x
+	}
+}
+
+// evalD applies the multiplier element (RCE MUL only).
+func evalD(cfg isa.DCfg, x uint32, in Inputs) uint32 {
+	switch cfg.Mode {
+	case isa.DMul16:
+		return bits.MulMod(x, in.Select(cfg.Operand, cfg.Imm), bits.W16)
+	case isa.DMul32:
+		return bits.MulMod(x, in.Select(cfg.Operand, cfg.Imm), bits.W32)
+	case isa.DSquare:
+		return bits.SquareMod32(x)
+	default:
+		return x
+	}
+}
+
+// evalF applies the GF(2^8) fixed-field-constant multiplier.
+func evalF(cfg isa.FCfg, x uint32) uint32 {
+	switch cfg.Mode {
+	case isa.FLanes:
+		return bits.GFMulWord(x, cfg.Consts)
+	case isa.FMDS:
+		return bits.GFMDSColumn(x, cfg.Consts)
+	default:
+		return x
+	}
+}
+
+// Eval computes the RCE's combinational output for the given inputs. The
+// pipeline value starts from the INSEL-selected block and passes through
+// every enabled element in the fixed order.
+func (r *RCE) Eval(in Inputs) uint32 {
+	var x uint32
+	switch src := r.Cfg.Insel.Source & 7; src {
+	case 1:
+		x = in.INB
+	case 2:
+		x = in.INC
+	case 3:
+		x = in.IND
+	case 4, 5, 6, 7:
+		x = in.Prev[src-4]
+	default:
+		x = in.INA
+	}
+	x = evalE(r.Cfg.E1, x, in)
+	x = evalA(r.Cfg.A1, x, in)
+	x = r.evalC(x)
+	x = evalE(r.Cfg.E2, x, in)
+	if r.HasMul {
+		x = evalD(r.Cfg.D, x, in)
+	}
+	x = evalB(r.Cfg.B, x, in)
+	x = evalF(r.Cfg.F, x)
+	x = evalA(r.Cfg.A2, x, in)
+	x = evalE(r.Cfg.E3, x, in)
+	return x
+}
+
+// ActiveElements lists the enabled (non-bypassed) elements in data-flow
+// order; the timing model uses this to form the critical path and Describe
+// uses it for the figure-2/3 rendering.
+func (r *RCE) ActiveElements() []isa.Elem {
+	var out []isa.Elem
+	if r.Cfg.Insel.Source != 0 {
+		out = append(out, isa.ElemInsel)
+	}
+	if r.Cfg.E1.Mode != isa.EBypass {
+		out = append(out, isa.ElemE1)
+	}
+	if r.Cfg.A1.Op != isa.ABypass {
+		out = append(out, isa.ElemA1)
+	}
+	if r.Cfg.C.Mode != isa.CBypass {
+		out = append(out, isa.ElemC)
+	}
+	if r.Cfg.E2.Mode != isa.EBypass {
+		out = append(out, isa.ElemE2)
+	}
+	if r.HasMul && r.Cfg.D.Mode != isa.DBypass {
+		out = append(out, isa.ElemD)
+	}
+	if r.Cfg.B.Mode != isa.BBypass {
+		out = append(out, isa.ElemB)
+	}
+	if r.Cfg.F.Mode != isa.FBypass {
+		out = append(out, isa.ElemF)
+	}
+	if r.Cfg.A2.Op != isa.ABypass {
+		out = append(out, isa.ElemA2)
+	}
+	if r.Cfg.E3.Mode != isa.EBypass {
+		out = append(out, isa.ElemE3)
+	}
+	if r.Cfg.Reg.Enabled {
+		out = append(out, isa.ElemReg)
+	}
+	return out
+}
+
+// Describe renders the element chain with the current configuration, the
+// textual equivalent of the paper's figures 2 and 3.
+func (r *RCE) Describe() string {
+	var b strings.Builder
+	kind := "RCE"
+	if r.HasMul {
+		kind = "RCE MUL"
+	}
+	fmt.Fprintf(&b, "%s: IN[%s]", kind, isa.InselNames[r.Cfg.Insel.Source&7])
+	step := func(name, mode string, enabled bool) {
+		if enabled {
+			fmt.Fprintf(&b, " -> %s(%s)", name, mode)
+		} else {
+			fmt.Fprintf(&b, " -> %s", name)
+		}
+	}
+	step("E1", r.Cfg.E1.Mode.String(), r.Cfg.E1.Mode != isa.EBypass)
+	step("A1", fmt.Sprintf("%s %s", r.Cfg.A1.Op, r.Cfg.A1.Operand), r.Cfg.A1.Op != isa.ABypass)
+	step("C", r.Cfg.C.Mode.String(), r.Cfg.C.Mode != isa.CBypass)
+	step("E2", r.Cfg.E2.Mode.String(), r.Cfg.E2.Mode != isa.EBypass)
+	if r.HasMul {
+		step("D", r.Cfg.D.Mode.String(), r.Cfg.D.Mode != isa.DBypass)
+	}
+	step("B", fmt.Sprintf("%s %s", r.Cfg.B.Mode, r.Cfg.B.Operand), r.Cfg.B.Mode != isa.BBypass)
+	step("F", r.Cfg.F.Mode.String(), r.Cfg.F.Mode != isa.FBypass)
+	step("A2", fmt.Sprintf("%s %s", r.Cfg.A2.Op, r.Cfg.A2.Operand), r.Cfg.A2.Op != isa.ABypass)
+	step("E3", r.Cfg.E3.Mode.String(), r.Cfg.E3.Mode != isa.EBypass)
+	if r.Cfg.Reg.Enabled {
+		b.WriteString(" -> REG")
+	}
+	b.WriteString(" -> OUT")
+	return b.String()
+}

@@ -1,0 +1,447 @@
+package rce
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cobra/internal/bits"
+	"cobra/internal/isa"
+)
+
+func TestIdentityConfigPassesPrimaryInput(t *testing.T) {
+	f := func(a, b, c, d, er uint32) bool {
+		r := New(false)
+		in := Inputs{INA: a, INB: b, INC: c, IND: d, INER: er}
+		return r.Eval(in) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInselSelectsBlocks(t *testing.T) {
+	in := Inputs{INA: 10, INB: 20, INC: 30, IND: 40}
+	want := []uint32{10, 20, 30, 40}
+	for s := uint8(0); s < 4; s++ {
+		r := New(false)
+		if err := r.ApplyElem(isa.ElemInsel, isa.InselCfg{Source: s}.Encode()); err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Eval(in); got != want[s] {
+			t.Errorf("INSEL=%d: got %d, want %d", s, got, want[s])
+		}
+	}
+}
+
+func TestInputsSelect(t *testing.T) {
+	in := Inputs{INA: 1, INB: 2, INC: 3, IND: 4, INER: 5}
+	cases := []struct {
+		src  isa.Src
+		want uint32
+	}{
+		{isa.SrcINA, 1}, {isa.SrcINB, 2}, {isa.SrcINC, 3},
+		{isa.SrcIND, 4}, {isa.SrcINER, 5}, {isa.SrcImm, 99},
+	}
+	for _, c := range cases {
+		if got := in.Select(c.src, 99); got != c.want {
+			t.Errorf("Select(%v) = %d, want %d", c.src, got, c.want)
+		}
+	}
+	if got := in.Select(isa.Src(7), 99); got != 0 {
+		t.Errorf("Select(invalid) = %d, want 0", got)
+	}
+}
+
+func applyElem(t *testing.T, r *RCE, e isa.Elem, data uint64) {
+	t.Helper()
+	if err := r.ApplyElem(e, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEElementModes(t *testing.T) {
+	in := Inputs{INA: 0x80000001, INB: 3}
+	cases := []struct {
+		cfg  isa.ECfg
+		want uint32
+	}{
+		{isa.ECfg{Mode: isa.EShl, AmtSrc: isa.SrcImm, Amt: 4}, 0x00000010},
+		{isa.ECfg{Mode: isa.EShr, AmtSrc: isa.SrcImm, Amt: 4}, 0x08000000},
+		{isa.ECfg{Mode: isa.ERotl, AmtSrc: isa.SrcImm, Amt: 1}, 0x00000003},
+		{isa.ECfg{Mode: isa.EBypass}, 0x80000001},
+		// Data-dependent amount: low 5 bits of INB = 3.
+		{isa.ECfg{Mode: isa.ERotl, AmtSrc: isa.SrcINB}, bits.RotL(0x80000001, 3)},
+	}
+	for _, c := range cases {
+		r := New(false)
+		applyElem(t, r, isa.ElemE1, c.cfg.Encode())
+		if got := r.Eval(in); got != c.want {
+			t.Errorf("E %+v: got %#x, want %#x", c.cfg, got, c.want)
+		}
+	}
+}
+
+func TestEElementAllThreeInstances(t *testing.T) {
+	// E1, E2 and E3 each rotate by 1; composition must rotate by 3.
+	r := New(false)
+	cfg := isa.ECfg{Mode: isa.ERotl, AmtSrc: isa.SrcImm, Amt: 1}.Encode()
+	applyElem(t, r, isa.ElemE1, cfg)
+	applyElem(t, r, isa.ElemE2, cfg)
+	applyElem(t, r, isa.ElemE3, cfg)
+	f := func(x uint32) bool {
+		return r.Eval(Inputs{INA: x}) == bits.RotL(x, 3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAElementOps(t *testing.T) {
+	in := Inputs{INA: 0xf0f0f0f0, INB: 0x0ff00ff0}
+	cases := []struct {
+		op   isa.AOp
+		want uint32
+	}{
+		{isa.AXor, 0xf0f0f0f0 ^ 0x0ff00ff0},
+		{isa.AAnd, 0xf0f0f0f0 & 0x0ff00ff0},
+		{isa.AOr, 0xf0f0f0f0 | 0x0ff00ff0},
+		{isa.ABypass, 0xf0f0f0f0},
+	}
+	for _, c := range cases {
+		r := New(false)
+		applyElem(t, r, isa.ElemA1, isa.ACfg{Op: c.op, Operand: isa.SrcINB}.Encode())
+		if got := r.Eval(in); got != c.want {
+			t.Errorf("A %v: got %#x, want %#x", c.op, got, c.want)
+		}
+	}
+}
+
+func TestAElementImmediate(t *testing.T) {
+	r := New(false)
+	applyElem(t, r, isa.ElemA1, isa.ACfg{Op: isa.AXor, Operand: isa.SrcImm, Imm: 0xdeadbeef}.Encode())
+	if got := r.Eval(Inputs{INA: 0}); got != 0xdeadbeef {
+		t.Errorf("A imm: got %#x", got)
+	}
+}
+
+func TestAElementPreShift(t *testing.T) {
+	// x ^ (op << 3), the Serpent linear-transform primitive.
+	r := New(false)
+	applyElem(t, r, isa.ElemA2, isa.ACfg{Op: isa.AXor, Operand: isa.SrcINB, PreShift: 3}.Encode())
+	f := func(x, y uint32) bool {
+		return r.Eval(Inputs{INA: x, INB: y}) == x^(y<<3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Rotate variant.
+	applyElem(t, r, isa.ElemA2, isa.ACfg{Op: isa.AXor, Operand: isa.SrcINB, PreShift: 7, PreShiftRot: true}.Encode())
+	g := func(x, y uint32) bool {
+		return r.Eval(Inputs{INA: x, INB: y}) == x^bits.RotL(y, 7)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBElementWidths(t *testing.T) {
+	r := New(false)
+	applyElem(t, r, isa.ElemB, isa.BCfg{Mode: isa.BAdd, Width: 2, Operand: isa.SrcINB}.Encode())
+	if got := r.Eval(Inputs{INA: 0xffffffff, INB: 2}); got != 1 {
+		t.Errorf("B add32: got %#x, want 1", got)
+	}
+	applyElem(t, r, isa.ElemB, isa.BCfg{Mode: isa.BAdd, Width: 0, Operand: isa.SrcINB}.Encode())
+	if got := r.Eval(Inputs{INA: 0x00ff00ff, INB: 0x00010001}); got != 0 {
+		t.Errorf("B add8 lanes: got %#x, want 0", got)
+	}
+	applyElem(t, r, isa.ElemB, isa.BCfg{Mode: isa.BSub, Width: 2, Operand: isa.SrcImm, Imm: 5}.Encode())
+	if got := r.Eval(Inputs{INA: 3}); got != 0xfffffffe {
+		t.Errorf("B sub imm: got %#x", got)
+	}
+}
+
+func TestCElementS8x8(t *testing.T) {
+	r := New(false)
+	// Each lane's table maps v -> v+lane+1 (mod 256).
+	for lane := 0; lane < 4; lane++ {
+		for v := 0; v < 256; v++ {
+			r.LUT.S8[lane][v] = uint8(v + lane + 1)
+		}
+	}
+	applyElem(t, r, isa.ElemC, isa.CCfg{Mode: isa.CS8x8}.Encode())
+	got := r.Eval(Inputs{INA: 0x00000000})
+	want := uint32(1) | 2<<8 | 3<<16 | 4<<24
+	if got != want {
+		t.Errorf("C s8x8: got %#x, want %#x", got, want)
+	}
+}
+
+func TestCElementS4x4Paged(t *testing.T) {
+	r := New(false)
+	// Page p of every table maps n -> n XOR p.
+	for tbl := 0; tbl < 4; tbl++ {
+		for page := 0; page < 8; page++ {
+			for n := 0; n < 16; n++ {
+				r.LUT.S4[tbl][page*16+n] = uint8(n ^ page)
+			}
+		}
+	}
+	for page := uint8(0); page < 8; page++ {
+		applyElem(t, r, isa.ElemC, isa.CCfg{Mode: isa.CS4x4, Page: page}.Encode())
+		in := uint32(0x76543210)
+		got := r.Eval(Inputs{INA: in})
+		var want uint32
+		for lane := 0; lane < 8; lane++ {
+			n := in >> (4 * uint(lane)) & 0xf
+			want |= (n ^ uint32(page)) << (4 * uint(lane))
+		}
+		if got != want {
+			t.Errorf("C s4x4 page %d: got %#x, want %#x", page, got, want)
+		}
+	}
+}
+
+func TestCElementS8to32(t *testing.T) {
+	r := New(false)
+	for bank := 0; bank < 4; bank++ {
+		for v := 0; v < 256; v++ {
+			r.LUT.S8[bank][v] = uint8(v ^ (bank << 4))
+		}
+	}
+	applyElem(t, r, isa.ElemC, isa.CCfg{Mode: isa.CS8to32, ByteSel: 2}.Encode())
+	in := uint32(0x00AB0000) // byte 2 = 0xAB
+	got := r.Eval(Inputs{INA: in})
+	want := uint32(0xab) | uint32(0xab^0x10)<<8 | uint32(0xab^0x20)<<16 | uint32(0xab^0x30)<<24
+	if got != want {
+		t.Errorf("C s8to32: got %#x, want %#x", got, want)
+	}
+}
+
+func TestDElementRequiresMul(t *testing.T) {
+	r := New(false)
+	if err := r.ApplyElem(isa.ElemD, isa.DCfg{Mode: isa.DMul32}.Encode()); err == nil {
+		t.Error("expected error configuring D on plain RCE")
+	}
+	m := New(true)
+	if err := m.ApplyElem(isa.ElemD, isa.DCfg{Mode: isa.DMul32}.Encode()); err != nil {
+		t.Errorf("unexpected error on RCE MUL: %v", err)
+	}
+}
+
+func TestDElementModes(t *testing.T) {
+	in := Inputs{INA: 7, INB: 6}
+	cases := []struct {
+		cfg  isa.DCfg
+		want uint32
+	}{
+		{isa.DCfg{Mode: isa.DMul32, Operand: isa.SrcINB}, 42},
+		{isa.DCfg{Mode: isa.DMul16, Operand: isa.SrcINB}, 42},
+		{isa.DCfg{Mode: isa.DSquare}, 49},
+		{isa.DCfg{Mode: isa.DBypass}, 7},
+		{isa.DCfg{Mode: isa.DMul32, Operand: isa.SrcImm, Imm: 3}, 21},
+	}
+	for _, c := range cases {
+		r := New(true)
+		applyElem(t, r, isa.ElemD, c.cfg.Encode())
+		if got := r.Eval(in); got != c.want {
+			t.Errorf("D %+v: got %d, want %d", c.cfg, got, c.want)
+		}
+	}
+}
+
+func TestDSquareMatchesSelfMul(t *testing.T) {
+	r := New(true)
+	applyElem(t, r, isa.ElemD, isa.DCfg{Mode: isa.DSquare}.Encode())
+	m := New(true)
+	applyElem(t, m, isa.ElemD, isa.DCfg{Mode: isa.DMul32, Operand: isa.SrcINA}.Encode())
+	f := func(x uint32) bool {
+		in := Inputs{INA: x}
+		return r.Eval(in) == m.Eval(in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFElementLanes(t *testing.T) {
+	r := New(false)
+	applyElem(t, r, isa.ElemF, isa.FCfg{Mode: isa.FLanes, Consts: [4]uint8{2, 2, 2, 2}}.Encode())
+	f := func(x uint32) bool {
+		return r.Eval(Inputs{INA: x}) == bits.GFMulWord(x, [4]uint8{2, 2, 2, 2})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFElementMDSMixColumns(t *testing.T) {
+	r := New(false)
+	applyElem(t, r, isa.ElemF, isa.FCfg{Mode: isa.FMDS, Consts: [4]uint8{2, 3, 1, 1}}.Encode())
+	in := uint32(0xdb) | uint32(0x13)<<8 | uint32(0x53)<<16 | uint32(0x45)<<24
+	want := uint32(0x8e) | uint32(0x4d)<<8 | uint32(0xa1)<<16 | uint32(0xbc)<<24
+	if got := r.Eval(Inputs{INA: in}); got != want {
+		t.Errorf("F MDS: got %#x, want %#x", got, want)
+	}
+}
+
+func TestLoadLUT8x8(t *testing.T) {
+	r := New(false)
+	// Load bytes 4..7 of bank 1 with 0x11, 0x22, 0x33, 0x44.
+	data := uint64(0x11) | 0x22<<8 | 0x33<<16 | 0x44<<24
+	if err := r.LoadLUT(isa.LUTAddr(false, 1, 1), data); err != nil {
+		t.Fatal(err)
+	}
+	want := [4]uint8{0x11, 0x22, 0x33, 0x44}
+	for i, w := range want {
+		if got := r.LUT.S8[1][4+i]; got != w {
+			t.Errorf("S8[1][%d] = %#x, want %#x", 4+i, got, w)
+		}
+	}
+}
+
+func TestLoadLUT4x4(t *testing.T) {
+	r := New(false)
+	// Load nibbles 8..15 of table 2 with 0..7.
+	var data uint64
+	for i := 0; i < 8; i++ {
+		data |= uint64(i) << (4 * i)
+	}
+	if err := r.LoadLUT(isa.LUTAddr(true, 2, 1), data); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if got := r.LUT.S4[2][8+i]; got != uint8(i) {
+			t.Errorf("S4[2][%d] = %d, want %d", 8+i, got, i)
+		}
+	}
+}
+
+func TestLoadLUTRejectsOutOfRangeGroup(t *testing.T) {
+	r := New(false)
+	if err := r.LoadLUT(isa.LUTAddr(true, 0, 16), 0); err == nil {
+		t.Error("expected error for 4x4 group 16")
+	}
+}
+
+func TestChainOrderAppliesE1BeforeB(t *testing.T) {
+	// (x << 1) + 1: verifies E1 executes before B in the chain.
+	r := New(false)
+	applyElem(t, r, isa.ElemE1, isa.ECfg{Mode: isa.EShl, AmtSrc: isa.SrcImm, Amt: 1}.Encode())
+	applyElem(t, r, isa.ElemB, isa.BCfg{Mode: isa.BAdd, Width: 2, Operand: isa.SrcImm, Imm: 1}.Encode())
+	f := func(x uint32) bool {
+		return r.Eval(Inputs{INA: x}) == (x<<1)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRC6QuadraticOnOneRCEMUL(t *testing.T) {
+	// t = (x*(2x+1)) <<< 5, the RC6 round quadratic, computed by a single
+	// RCE MUL: E1 shl 1, A1 or imm 1 (2x is even, so OR 1 == +1),
+	// D mul32 by INA, E3 rotl 5. The B adder sits after D in the chain,
+	// which is why the +1 uses the Boolean element.
+	r := New(true)
+	applyElem(t, r, isa.ElemE1, isa.ECfg{Mode: isa.EShl, AmtSrc: isa.SrcImm, Amt: 1}.Encode())
+	applyElem(t, r, isa.ElemA1, isa.ACfg{Op: isa.AOr, Operand: isa.SrcImm, Imm: 1}.Encode())
+	applyElem(t, r, isa.ElemD, isa.DCfg{Mode: isa.DMul32, Operand: isa.SrcINA}.Encode())
+	applyElem(t, r, isa.ElemE3, isa.ECfg{Mode: isa.ERotl, AmtSrc: isa.SrcImm, Amt: 5}.Encode())
+	f := func(x uint32) bool {
+		want := bits.RotL(x*(2*x+1), 5)
+		return r.Eval(Inputs{INA: x}) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResetRestoresIdentity(t *testing.T) {
+	r := New(true)
+	applyElem(t, r, isa.ElemE1, isa.ECfg{Mode: isa.ERotl, AmtSrc: isa.SrcImm, Amt: 7}.Encode())
+	r.LUT.S8[0][0] = 0xff
+	r.Reset()
+	if got := r.Eval(Inputs{INA: 0x1234}); got != 0x1234 {
+		t.Errorf("after Reset, Eval = %#x", got)
+	}
+	if r.LUT.S8[0][0] != 0 {
+		t.Error("Reset did not clear LUTs")
+	}
+}
+
+func TestActiveElements(t *testing.T) {
+	r := New(true)
+	if got := r.ActiveElements(); len(got) != 0 {
+		t.Errorf("identity config has active elements: %v", got)
+	}
+	applyElem(t, r, isa.ElemE1, isa.ECfg{Mode: isa.EShl, AmtSrc: isa.SrcImm, Amt: 1}.Encode())
+	applyElem(t, r, isa.ElemD, isa.DCfg{Mode: isa.DSquare}.Encode())
+	applyElem(t, r, isa.ElemReg, isa.RegCfg{Enabled: true}.Encode())
+	got := r.ActiveElements()
+	want := []isa.Elem{isa.ElemE1, isa.ElemD, isa.ElemReg}
+	if len(got) != len(want) {
+		t.Fatalf("ActiveElements = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ActiveElements[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestApplyElemOutIsNoOp(t *testing.T) {
+	r := New(false)
+	if err := r.ApplyElem(isa.ElemOut, 1); err != nil {
+		t.Errorf("ElemOut should be accepted: %v", err)
+	}
+}
+
+func TestApplyElemRejectsUnknown(t *testing.T) {
+	r := New(false)
+	if err := r.ApplyElem(isa.Elem(14), 0); err == nil {
+		t.Error("expected error for unknown element")
+	}
+}
+
+func TestDescribeMentionsActiveModes(t *testing.T) {
+	r := New(true)
+	applyElem(t, r, isa.ElemD, isa.DCfg{Mode: isa.DSquare}.Encode())
+	s := r.Describe()
+	if s == "" {
+		t.Fatal("empty description")
+	}
+	for _, sub := range []string{"RCE MUL", "D(SQR)", "OUT"} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("Describe() = %q, missing %q", s, sub)
+		}
+	}
+}
+
+func TestActiveElementsFullChain(t *testing.T) {
+	r := New(true)
+	applyElem(t, r, isa.ElemInsel, isa.InselCfg{Source: 1}.Encode())
+	applyElem(t, r, isa.ElemE1, isa.ECfg{Mode: isa.EShl, AmtSrc: isa.SrcImm, Amt: 1}.Encode())
+	applyElem(t, r, isa.ElemA1, isa.ACfg{Op: isa.AXor, Operand: isa.SrcINB}.Encode())
+	applyElem(t, r, isa.ElemC, isa.CCfg{Mode: isa.CS8x8}.Encode())
+	applyElem(t, r, isa.ElemE2, isa.ECfg{Mode: isa.ERotl, AmtSrc: isa.SrcImm, Amt: 2}.Encode())
+	applyElem(t, r, isa.ElemD, isa.DCfg{Mode: isa.DMul32, Operand: isa.SrcINC}.Encode())
+	applyElem(t, r, isa.ElemB, isa.BCfg{Mode: isa.BAdd, Width: 2, Operand: isa.SrcIND}.Encode())
+	applyElem(t, r, isa.ElemF, isa.FCfg{Mode: isa.FLanes, Consts: [4]uint8{2, 2, 2, 2}}.Encode())
+	applyElem(t, r, isa.ElemA2, isa.ACfg{Op: isa.AOr, Operand: isa.SrcINER}.Encode())
+	applyElem(t, r, isa.ElemE3, isa.ECfg{Mode: isa.EShr, AmtSrc: isa.SrcImm, Amt: 3}.Encode())
+	applyElem(t, r, isa.ElemReg, isa.RegCfg{Enabled: true}.Encode())
+	want := []isa.Elem{isa.ElemInsel, isa.ElemE1, isa.ElemA1, isa.ElemC, isa.ElemE2,
+		isa.ElemD, isa.ElemB, isa.ElemF, isa.ElemA2, isa.ElemE3, isa.ElemReg}
+	got := r.ActiveElements()
+	if len(got) != len(want) {
+		t.Fatalf("ActiveElements = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("element %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if !strings.Contains(r.Describe(), "IN[INB]") {
+		t.Error("Describe missing INSEL source")
+	}
+}

@@ -1,0 +1,329 @@
+// Package sim ties the iRAM sequencer to the reconfigurable datapath and
+// implements the COBRA execution model of §3.3–3.4:
+//
+//   - The iRAM operates independently from the datapath and reconfigures it
+//     during operation. Loading and executing one instruction takes two iRAM
+//     clock cycles; the datapath clock is derived as
+//     F_DP = F_iRAM / (2 × windowsize), so exactly `window` instructions
+//     execute per datapath cycle.
+//   - Underfull instruction cycles are padded with NOPs by the programmer;
+//     overfull cycles are completed by disabling the RCE outputs (stall
+//     cycles) until reconfiguration finishes.
+//   - The machine idles after power-up until the external system signals
+//     that the iRAM has been loaded, then runs the microcode. Raising the
+//     ready flag halts the machine until the external system raises go;
+//     the data-valid flag marks cycles whose output the external system
+//     must collect.
+//
+// The external system of the paper's VHDL testbench is modelled by the
+// Machine's input queue, output slice and Go signal.
+package sim
+
+import (
+	"fmt"
+
+	"cobra/internal/bits"
+	"cobra/internal/datapath"
+	"cobra/internal/iram"
+	"cobra/internal/isa"
+)
+
+// Stats aggregates the performance counters the evaluation section reports:
+// datapath cycles (Table 3's "Clock Cycles" currency), stall and advance
+// breakdown, and the instruction-stream composition used for the
+// overfull/underfull analysis of §3.4.
+type Stats struct {
+	// Cycles is the total number of datapath clock cycles.
+	Cycles int
+	// Advanced counts cycles in which data moved through the array.
+	Advanced int
+	// Stalled counts overfull/idle cycles (outputs disabled or input
+	// starvation).
+	Stalled int
+	// Instructions counts executed instruction slots, including NOPs.
+	Instructions int
+	// Nops counts executed NOPs (the underfull padding of §3.4).
+	Nops int
+	// BlocksIn counts external blocks consumed.
+	BlocksIn int
+	// BlocksOut counts valid output blocks collected.
+	BlocksOut int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Cycles += other.Cycles
+	s.Advanced += other.Advanced
+	s.Stalled += other.Stalled
+	s.Instructions += other.Instructions
+	s.Nops += other.Nops
+	s.BlocksIn += other.BlocksIn
+	s.BlocksOut += other.BlocksOut
+}
+
+// StopReason explains why Run returned.
+type StopReason int
+
+const (
+	// StopHalted: the program executed OpHalt.
+	StopHalted StopReason = iota
+	// StopWaitGo: the microcode raised the ready flag and the go signal is
+	// inactive; the machine idles at the current program counter.
+	StopWaitGo
+	// StopOutputs: the requested number of output blocks was collected.
+	StopOutputs
+	// StopInputs: the requested number of input blocks was consumed.
+	StopInputs
+	// StopCycleLimit: the cycle budget was exhausted.
+	StopCycleLimit
+)
+
+// String names the stop reason.
+func (r StopReason) String() string {
+	switch r {
+	case StopHalted:
+		return "halted"
+	case StopWaitGo:
+		return "waiting for go"
+	case StopOutputs:
+		return "outputs collected"
+	case StopInputs:
+		return "inputs consumed"
+	case StopCycleLimit:
+		return "cycle limit"
+	}
+	return "?"
+}
+
+// Limits bounds a Run call.
+type Limits struct {
+	// MaxCycles stops the run after this many datapath cycles (0: a large
+	// default guard against runaway microcode).
+	MaxCycles int
+	// StopAfterOutputs returns once this many total output blocks have
+	// been collected (0: don't stop on outputs).
+	StopAfterOutputs int
+	// StopAfterInputs returns once this many input blocks have been
+	// consumed during this call (0: don't stop on inputs). The external
+	// system uses it to regain control after feeding key material in the
+	// §3.4 key-scheduling handshake.
+	StopAfterInputs int
+}
+
+// DefaultMaxCycles guards against microcode that never halts or idles.
+const DefaultMaxCycles = 1 << 22
+
+// Machine is one COBRA device plus its external system interface.
+type Machine struct {
+	Array *datapath.Array
+	Seq   *iram.Sequencer
+
+	// Window is the instruction window size w (§3.4): instructions per
+	// datapath cycle, F_DP = F_iRAM/(2w).
+	Window int
+
+	// Go is the external system's go signal.
+	Go bool
+
+	// Trace, when non-nil, receives every executed instruction with its
+	// address (debug aid; the cobra-sim tool wires this to -trace).
+	Trace func(addr int, in isa.Instr)
+
+	stats   Stats
+	inQ     []bits.Block128
+	outputs []bits.Block128
+	slot    int  // instructions executed within the current window
+	dirty   bool // any Run since the last LoadProgram
+}
+
+// New builds a machine around a fresh array of the given geometry.
+func New(geo datapath.Geometry, window int) (*Machine, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("sim: instruction window must be >= 1, got %d", window)
+	}
+	a, err := datapath.New(geo)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{Array: a, Seq: new(iram.Sequencer), Window: window}, nil
+}
+
+// LoadProgram installs microcode and resets the machine to power-up state
+// (eRAM contents survive, as in the hardware).
+func (m *Machine) LoadProgram(words []isa.Word) error {
+	if err := m.Seq.Load(words); err != nil {
+		return err
+	}
+	m.Array.Reset()
+	m.stats = Stats{}
+	m.inQ = nil
+	m.outputs = nil
+	m.slot = 0
+	m.dirty = false
+	return nil
+}
+
+// Dirty reports whether the machine has executed anything since the last
+// program load. Streaming (non-feedback) programs never return to the idle
+// point, so a dirty machine may hold in-flight pipeline contents; callers
+// that need a deterministic pipeline reload first.
+func (m *Machine) Dirty() bool { return m.dirty }
+
+// PushInput queues external blocks for the input bus.
+func (m *Machine) PushInput(blocks ...bits.Block128) {
+	m.inQ = append(m.inQ, blocks...)
+}
+
+// PendingInputs returns the number of queued, unconsumed input blocks.
+func (m *Machine) PendingInputs() int { return len(m.inQ) }
+
+// Outputs returns the blocks collected so far (valid-output cycles).
+func (m *Machine) Outputs() []bits.Block128 { return m.outputs }
+
+// ClearOutputs discards collected outputs (between measurement phases).
+func (m *Machine) ClearOutputs() { m.outputs = nil }
+
+// Stats returns the accumulated performance counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the counters (e.g. after the key-schedule phase so
+// Table 3 measures bulk encryption only, as §3.4 prescribes).
+func (m *Machine) ResetStats() { m.stats = Stats{} }
+
+// Run executes microcode until a stop condition is reached. It may be
+// called repeatedly; execution resumes where it left off (idle points,
+// go-waits).
+func (m *Machine) Run(lim Limits) (StopReason, error) {
+	maxCycles := lim.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = DefaultMaxCycles
+	}
+	cycleBudget := maxCycles
+	m.dirty = true
+	startIn := m.stats.BlocksIn
+	for {
+		in, err := m.Seq.Fetch()
+		if err != nil {
+			return 0, err
+		}
+		if m.Trace != nil {
+			m.Trace(m.Seq.PC()-1, in)
+		}
+		m.stats.Instructions++
+		halt, waitGo, readySet, err := m.execute(in)
+		if err != nil {
+			return 0, fmt.Errorf("sim: at %#x: %s: %w", m.Seq.PC()-1, in, err)
+		}
+		if halt {
+			return StopHalted, nil
+		}
+		if waitGo {
+			// §3.4: halt upon detection of the ready flag; wait for go.
+			m.slot = 0
+			return StopWaitGo, nil
+		}
+		if readySet {
+			// The idle point resynchronizes the dual clocks (§3.4): the
+			// instruction window restarts whether or not the machine had to
+			// wait for go, so window alignment is identical for every
+			// block of a batch.
+			m.slot = 0
+			continue
+		}
+
+		m.slot++
+		if m.slot < m.Window {
+			continue
+		}
+		m.slot = 0
+
+		// End of instruction window: one datapath clock cycle.
+		res := m.tick()
+		m.stats.Cycles++
+		cycleBudget--
+		if res.Advanced {
+			m.stats.Advanced++
+		} else {
+			m.stats.Stalled++
+		}
+		if lim.StopAfterOutputs > 0 && len(m.outputs) >= lim.StopAfterOutputs {
+			// Counted against the outputs collected since ClearOutputs, so
+			// repeated runs on one machine measure independently.
+			return StopOutputs, nil
+		}
+		if lim.StopAfterInputs > 0 && m.stats.BlocksIn-startIn >= lim.StopAfterInputs {
+			return StopInputs, nil
+		}
+		if cycleBudget <= 0 {
+			return StopCycleLimit, nil
+		}
+	}
+}
+
+// tick advances the datapath one cycle, wiring the input queue and output
+// collection to the array.
+func (m *Machine) tick() datapath.TickResult {
+	var ti datapath.TickInput
+	if len(m.inQ) > 0 {
+		ti.External = m.inQ[0]
+		ti.HaveExternal = true
+	}
+	res := m.Array.Tick(ti)
+	if res.ConsumedExternal {
+		m.inQ = m.inQ[1:]
+		m.stats.BlocksIn++
+	}
+	if res.Advanced && m.Seq.Flag(isa.FlagDValid) {
+		m.outputs = append(m.outputs, res.Output)
+		m.stats.BlocksOut++
+	}
+	return res
+}
+
+// execute dispatches one instruction to the datapath or sequencer.
+// readySet reports that the ready flag was raised (the idle point), which
+// resynchronizes the instruction window.
+func (m *Machine) execute(in isa.Instr) (halt, waitGo, readySet bool, err error) {
+	switch in.Op {
+	case isa.OpNop:
+		m.stats.Nops++
+	case isa.OpCfgElem:
+		err = m.Array.ApplyElem(in.Slice, in.Elem, in.Data)
+	case isa.OpEnOut:
+		err = m.Array.SetOutEnable(in.Slice, true)
+	case isa.OpDisOut:
+		err = m.Array.SetOutEnable(in.Slice, false)
+	case isa.OpLoadLUT:
+		err = m.Array.LoadLUT(in.Slice, in.LUT, in.Data)
+	case isa.OpCfgShuf:
+		err = m.Array.SetShuffler(int(in.Slice.Row), isa.DecodeShuf(in.Data))
+	case isa.OpCfgInMux:
+		m.Array.SetInMux(isa.DecodeInMux(in.Data))
+	case isa.OpCfgWhite:
+		m.Array.SetWhitening(isa.DecodeWhite(in.Data))
+	case isa.OpERAMWrite:
+		cfg := isa.DecodeERAMWrite(in.Data)
+		m.Array.WriteERAM(int(in.Slice.Col), int(cfg.Bank), int(cfg.Addr), cfg.Value)
+	case isa.OpCfgCapture:
+		m.Array.SetCapture(int(in.Slice.Col), isa.DecodeCapture(in.Data))
+	case isa.OpCtlFlag:
+		cfg := isa.DecodeFlag(in.Data)
+		m.Seq.SetFlags(cfg)
+		if cfg.Set&isa.FlagReady != 0 {
+			return false, !m.Go, true, nil
+		}
+	case isa.OpJmp:
+		err = m.Seq.Jump(int(in.Data & 0xfff))
+	case isa.OpHalt:
+		return true, false, false, nil
+	default:
+		err = fmt.Errorf("sim: unimplemented opcode %v", in.Op)
+	}
+	return false, false, false, err
+}
+
+// DatapathMHz converts an iRAM clock frequency to the datapath frequency
+// under the dual-clocking scheme: F_DP = F_iRAM / (2 × window) (§3.4).
+func DatapathMHz(iramMHz float64, window int) float64 {
+	return iramMHz / (2 * float64(window))
+}

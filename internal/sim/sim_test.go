@@ -1,0 +1,461 @@
+package sim
+
+import (
+	"testing"
+
+	"cobra/internal/bits"
+	"cobra/internal/datapath"
+	"cobra/internal/isa"
+)
+
+// buildWords packs a decoded program.
+func buildWords(prog []isa.Instr) []isa.Word {
+	words := make([]isa.Word, len(prog))
+	for i, in := range prog {
+		words[i] = in.Pack()
+	}
+	return words
+}
+
+func newMachine(t *testing.T, window int) *Machine {
+	t.Helper()
+	m, err := New(datapath.BaseGeometry(), window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewRejectsBadWindow(t *testing.T) {
+	if _, err := New(datapath.BaseGeometry(), 0); err == nil {
+		t.Error("expected error for window 0")
+	}
+}
+
+func TestHaltStops(t *testing.T) {
+	m := newMachine(t, 1)
+	if err := m.LoadProgram(buildWords([]isa.Instr{{Op: isa.OpHalt}})); err != nil {
+		t.Fatal(err)
+	}
+	reason, err := m.Run(Limits{})
+	if err != nil || reason != StopHalted {
+		t.Errorf("Run = %v, %v; want halted", reason, err)
+	}
+}
+
+func TestRunawayProgramHitsCycleLimit(t *testing.T) {
+	m := newMachine(t, 1)
+	prog := []isa.Instr{
+		{Op: isa.OpNop},
+		{Op: isa.OpJmp, Data: 0},
+	}
+	if err := m.LoadProgram(buildWords(prog)); err != nil {
+		t.Fatal(err)
+	}
+	reason, err := m.Run(Limits{MaxCycles: 100})
+	if err != nil || reason != StopCycleLimit {
+		t.Errorf("Run = %v, %v; want cycle limit", reason, err)
+	}
+	if m.Stats().Cycles != 100 {
+		t.Errorf("cycles = %d, want 100", m.Stats().Cycles)
+	}
+}
+
+func TestReadyWaitsForGo(t *testing.T) {
+	m := newMachine(t, 1)
+	prog := []isa.Instr{
+		{Op: isa.OpCtlFlag, Data: isa.FlagCfg{Set: isa.FlagReady}.Encode()},
+		{Op: isa.OpHalt},
+	}
+	if err := m.LoadProgram(buildWords(prog)); err != nil {
+		t.Fatal(err)
+	}
+	reason, err := m.Run(Limits{})
+	if err != nil || reason != StopWaitGo {
+		t.Fatalf("Run = %v, %v; want wait-go", reason, err)
+	}
+	// With go raised, execution resumes past the idle point.
+	m.Go = true
+	reason, err = m.Run(Limits{})
+	if err != nil || reason != StopHalted {
+		t.Errorf("resumed Run = %v, %v; want halted", reason, err)
+	}
+}
+
+func TestReadyWithGoActiveContinues(t *testing.T) {
+	// §3.4: if go is still active, a new operation commences immediately.
+	m := newMachine(t, 1)
+	m.Go = true
+	prog := []isa.Instr{
+		{Op: isa.OpCtlFlag, Data: isa.FlagCfg{Set: isa.FlagReady}.Encode()},
+		{Op: isa.OpHalt},
+	}
+	if err := m.LoadProgram(buildWords(prog)); err != nil {
+		t.Fatal(err)
+	}
+	reason, err := m.Run(Limits{})
+	if err != nil || reason != StopHalted {
+		t.Errorf("Run = %v, %v; want halted without waiting", reason, err)
+	}
+}
+
+// streamProgram configures column 0 to XOR an immediate key, raises
+// ready/busy/data-valid, and streams blocks through the identity datapath.
+func streamProgram(key uint32) []isa.Instr {
+	return []isa.Instr{
+		{Op: isa.OpCfgElem, Slice: isa.SliceAt(0, 0), Elem: isa.ElemA1,
+			Data: isa.ACfg{Op: isa.AXor, Operand: isa.SrcImm, Imm: key}.Encode()},
+		{Op: isa.OpCtlFlag, Data: isa.FlagCfg{Set: isa.FlagReady}.Encode()},
+		{Op: isa.OpCtlFlag, Data: isa.FlagCfg{Set: isa.FlagBusy | isa.FlagDValid, Clear: isa.FlagReady}.Encode()},
+		{Op: isa.OpNop},
+		{Op: isa.OpJmp, Data: 3},
+	}
+}
+
+func TestStreamingEncryptsQueuedBlocks(t *testing.T) {
+	m := newMachine(t, 1)
+	if err := m.LoadProgram(buildWords(streamProgram(0xa5a5a5a5))); err != nil {
+		t.Fatal(err)
+	}
+	reason, err := m.Run(Limits{})
+	if err != nil || reason != StopWaitGo {
+		t.Fatalf("setup Run = %v, %v", reason, err)
+	}
+	inputs := []bits.Block128{
+		{1, 2, 3, 4},
+		{5, 6, 7, 8},
+		{9, 10, 11, 12},
+	}
+	m.PushInput(inputs...)
+	m.Go = true
+	reason, err = m.Run(Limits{StopAfterOutputs: len(inputs)})
+	if err != nil || reason != StopOutputs {
+		t.Fatalf("stream Run = %v, %v", reason, err)
+	}
+	outs := m.Outputs()
+	if len(outs) != len(inputs) {
+		t.Fatalf("got %d outputs", len(outs))
+	}
+	for i, in := range inputs {
+		want := in
+		want[0] ^= 0xa5a5a5a5
+		if outs[i] != want {
+			t.Errorf("block %d: got %v, want %v", i, outs[i], want)
+		}
+	}
+	st := m.Stats()
+	if st.BlocksIn != 3 || st.BlocksOut != 3 {
+		t.Errorf("stats blocks in/out = %d/%d", st.BlocksIn, st.BlocksOut)
+	}
+}
+
+func TestInputStarvationStalls(t *testing.T) {
+	m := newMachine(t, 1)
+	m.Go = true
+	if err := m.LoadProgram(buildWords(streamProgram(0))); err != nil {
+		t.Fatal(err)
+	}
+	// No inputs queued: every cycle in external mode stalls.
+	reason, err := m.Run(Limits{MaxCycles: 50})
+	if err != nil || reason != StopCycleLimit {
+		t.Fatalf("Run = %v, %v", reason, err)
+	}
+	st := m.Stats()
+	if st.Advanced != 0 {
+		t.Errorf("advanced %d cycles with no input", st.Advanced)
+	}
+	if st.Stalled != st.Cycles {
+		t.Errorf("stalled=%d cycles=%d", st.Stalled, st.Cycles)
+	}
+}
+
+func TestWindowGroupsInstructionsPerCycle(t *testing.T) {
+	// With window=4, four instructions execute per datapath cycle.
+	m := newMachine(t, 4)
+	prog := []isa.Instr{
+		{Op: isa.OpNop}, {Op: isa.OpNop}, {Op: isa.OpNop}, {Op: isa.OpNop},
+		{Op: isa.OpNop}, {Op: isa.OpNop}, {Op: isa.OpNop}, {Op: isa.OpNop},
+		{Op: isa.OpHalt},
+	}
+	if err := m.LoadProgram(buildWords(prog)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Cycles != 2 {
+		t.Errorf("cycles = %d, want 2 (8 NOPs / window 4)", st.Cycles)
+	}
+	if st.Nops != 8 || st.Instructions != 9 {
+		t.Errorf("nops=%d instructions=%d", st.Nops, st.Instructions)
+	}
+}
+
+func TestOverfullReconfigurationUnderDisabledOutputs(t *testing.T) {
+	// Iterative feedback operation: seed a block, loop it through the
+	// array three passes with a per-pass reconfiguration executed under
+	// disabled outputs (§3.4 overfull handling), then collect.
+	m := newMachine(t, 1)
+	add1 := isa.BCfg{Mode: isa.BAdd, Width: 2, Operand: isa.SrcImm, Imm: 1}.Encode()
+	prog := []isa.Instr{
+		// Setup: column 0 row 0 adds 1 per pass; consume external block.
+		{Op: isa.OpCfgElem, Slice: isa.SliceAt(0, 0), Elem: isa.ElemB, Data: add1},
+		{Op: isa.OpCtlFlag, Data: isa.FlagCfg{Set: isa.FlagReady}.Encode()},
+		{Op: isa.OpCtlFlag, Data: isa.FlagCfg{Set: isa.FlagBusy, Clear: isa.FlagReady}.Encode()},
+		{Op: isa.OpNop}, // pass 1: consumes the external block
+		// Switch to feedback; reconfigure under disabled outputs.
+		{Op: isa.OpDisOut, Slice: isa.SliceAll()},
+		{Op: isa.OpCfgInMux, Data: isa.InMuxCfg{Mode: isa.InFeedback}.Encode()},
+		{Op: isa.OpCfgElem, Slice: isa.SliceAt(0, 0), Elem: isa.ElemB, Data: isa.BCfg{
+			Mode: isa.BAdd, Width: 2, Operand: isa.SrcImm, Imm: 10}.Encode()},
+		{Op: isa.OpEnOut, Slice: isa.SliceAll()}, // pass 2 happens this cycle
+		// Pass 3 with data-valid raised so its result is collected.
+		{Op: isa.OpDisOut, Slice: isa.SliceAll()},
+		{Op: isa.OpCtlFlag, Data: isa.FlagCfg{Set: isa.FlagDValid}.Encode()},
+		{Op: isa.OpEnOut, Slice: isa.SliceAll()}, // pass 3
+		{Op: isa.OpHalt},
+	}
+	if err := m.LoadProgram(buildWords(prog)); err != nil {
+		t.Fatal(err)
+	}
+	if reason, err := m.Run(Limits{}); err != nil || reason != StopWaitGo {
+		t.Fatalf("setup Run = %v, %v", reason, err)
+	}
+	m.Go = true
+	m.PushInput(bits.Block128{100, 0, 0, 0})
+	if reason, err := m.Run(Limits{}); err != nil || reason != StopHalted {
+		t.Fatalf("Run = %v, %v", reason, err)
+	}
+	outs := m.Outputs()
+	if len(outs) != 1 {
+		t.Fatalf("got %d outputs, want 1", len(outs))
+	}
+	// Pass 1: +1 = 101; pass 2: +10 = 111; pass 3: +10 = 121.
+	if outs[0][0] != 121 {
+		t.Errorf("output = %d, want 121", outs[0][0])
+	}
+	st := m.Stats()
+	if st.Stalled == 0 {
+		t.Error("expected stall cycles from the disabled-output reconfiguration")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Cycles: 1, Advanced: 2, Stalled: 3, Instructions: 4, Nops: 5, BlocksIn: 6, BlocksOut: 7}
+	b := a
+	a.Add(b)
+	want := Stats{Cycles: 2, Advanced: 4, Stalled: 6, Instructions: 8, Nops: 10, BlocksIn: 12, BlocksOut: 14}
+	if a != want {
+		t.Errorf("Add = %+v, want %+v", a, want)
+	}
+}
+
+func TestResetStatsAndClearOutputs(t *testing.T) {
+	m := newMachine(t, 1)
+	m.Go = true
+	if err := m.LoadProgram(buildWords(streamProgram(0))); err != nil {
+		t.Fatal(err)
+	}
+	m.PushInput(bits.Block128{1})
+	if _, err := m.Run(Limits{StopAfterOutputs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m.ResetStats()
+	m.ClearOutputs()
+	if m.Stats() != (Stats{}) || len(m.Outputs()) != 0 {
+		t.Error("reset/clear did not empty state")
+	}
+}
+
+func TestTraceCallback(t *testing.T) {
+	m := newMachine(t, 1)
+	var seen []isa.Opcode
+	m.Trace = func(addr int, in isa.Instr) { seen = append(seen, in.Op) }
+	if err := m.LoadProgram(buildWords([]isa.Instr{{Op: isa.OpNop}, {Op: isa.OpHalt}})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0] != isa.OpNop || seen[1] != isa.OpHalt {
+		t.Errorf("trace = %v", seen)
+	}
+}
+
+func TestExecuteErrorsCarryAddress(t *testing.T) {
+	m := newMachine(t, 1)
+	// Configure D on a plain RCE: must fail with context.
+	bad := isa.Instr{Op: isa.OpCfgElem, Slice: isa.SliceAt(0, 0), Elem: isa.ElemD,
+		Data: isa.DCfg{Mode: isa.DSquare}.Encode()}
+	if err := m.LoadProgram(buildWords([]isa.Instr{bad})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(Limits{}); err == nil {
+		t.Error("expected execution error for bad microcode")
+	}
+}
+
+func TestDatapathMHz(t *testing.T) {
+	if got := DatapathMHz(200, 1); got != 100 {
+		t.Errorf("DatapathMHz(200,1) = %v", got)
+	}
+	if got := DatapathMHz(200, 4); got != 25 {
+		t.Errorf("DatapathMHz(200,4) = %v", got)
+	}
+}
+
+func TestStopReasonStrings(t *testing.T) {
+	for r := StopHalted; r <= StopCycleLimit; r++ {
+		if r.String() == "?" {
+			t.Errorf("missing name for reason %d", r)
+		}
+	}
+	if StopReason(99).String() != "?" {
+		t.Error("unknown reason should stringify to ?")
+	}
+}
+
+// TestCaptureAndPlaybackProgram exercises the eRAM intermediate-value path
+// end to end in microcode: capture three streamed blocks into bank 3, then
+// play them back through the array with a different configuration.
+func TestCaptureAndPlaybackProgram(t *testing.T) {
+	m := newMachine(t, 1)
+	m.Go = true
+	prog := []isa.Instr{
+		// Configure all four capture ports under disabled outputs so no
+		// block is consumed before every column is armed.
+		{Op: isa.OpDisOut, Slice: isa.SliceAll()},
+		{Op: isa.OpCfgCapture, Slice: isa.SliceCol(0),
+			Data: isa.CaptureCfg{Enabled: true, Bank: 3}.Encode()},
+		{Op: isa.OpCfgCapture, Slice: isa.SliceCol(1),
+			Data: isa.CaptureCfg{Enabled: true, Bank: 3}.Encode()},
+		{Op: isa.OpCfgCapture, Slice: isa.SliceCol(2),
+			Data: isa.CaptureCfg{Enabled: true, Bank: 3}.Encode()},
+		{Op: isa.OpCfgCapture, Slice: isa.SliceCol(3),
+			Data: isa.CaptureCfg{Enabled: true, Bank: 3}.Encode()},
+		// Stream three external blocks through the identity array.
+		{Op: isa.OpEnOut, Slice: isa.SliceAll()},
+		{Op: isa.OpNop}, {Op: isa.OpNop},
+		// Stop capturing; reconfigure col0 to add 100; play back.
+		{Op: isa.OpDisOut, Slice: isa.SliceAll()},
+		{Op: isa.OpCfgCapture, Slice: isa.SliceCol(0), Data: isa.CaptureCfg{}.Encode()},
+		{Op: isa.OpCfgCapture, Slice: isa.SliceCol(1), Data: isa.CaptureCfg{}.Encode()},
+		{Op: isa.OpCfgCapture, Slice: isa.SliceCol(2), Data: isa.CaptureCfg{}.Encode()},
+		{Op: isa.OpCfgCapture, Slice: isa.SliceCol(3), Data: isa.CaptureCfg{}.Encode()},
+		{Op: isa.OpCfgElem, Slice: isa.SliceAt(0, 0), Elem: isa.ElemB, Data: isa.BCfg{
+			Mode: isa.BAdd, Width: 2, Operand: isa.SrcImm, Imm: 100}.Encode()},
+		{Op: isa.OpCfgInMux, Data: isa.InMuxCfg{Mode: isa.InERAM, Bank: 3}.Encode()},
+		{Op: isa.OpCtlFlag, Data: isa.FlagCfg{Set: isa.FlagDValid}.Encode()},
+		{Op: isa.OpEnOut, Slice: isa.SliceAll()},
+		{Op: isa.OpNop}, {Op: isa.OpNop},
+		{Op: isa.OpHalt},
+	}
+	if err := m.LoadProgram(buildWords(prog)); err != nil {
+		t.Fatal(err)
+	}
+	m.PushInput(
+		bits.Block128{1, 2, 3, 4},
+		bits.Block128{5, 6, 7, 8},
+		bits.Block128{9, 10, 11, 12},
+	)
+	if reason, err := m.Run(Limits{}); err != nil || reason != StopHalted {
+		t.Fatalf("Run = %v, %v", reason, err)
+	}
+	outs := m.Outputs()
+	if len(outs) != 3 {
+		t.Fatalf("outputs = %d, want 3 played-back blocks", len(outs))
+	}
+	for i, want := range []bits.Block128{{101, 2, 3, 4}, {105, 6, 7, 8}, {109, 10, 11, 12}} {
+		if outs[i] != want {
+			t.Errorf("playback %d = %v, want %v", i, outs[i], want)
+		}
+	}
+}
+
+func TestDirtyAndPendingInputs(t *testing.T) {
+	m := newMachine(t, 1)
+	if err := m.LoadProgram(buildWords([]isa.Instr{{Op: isa.OpNop}, {Op: isa.OpHalt}})); err != nil {
+		t.Fatal(err)
+	}
+	if m.Dirty() {
+		t.Error("fresh machine must not be dirty")
+	}
+	m.PushInput(bits.Block128{1}, bits.Block128{2})
+	if m.PendingInputs() != 2 {
+		t.Errorf("pending = %d", m.PendingInputs())
+	}
+	if _, err := m.Run(Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Dirty() {
+		t.Error("machine must be dirty after Run")
+	}
+	if m.PendingInputs() != 1 {
+		t.Errorf("pending after one tick = %d", m.PendingInputs())
+	}
+}
+
+func TestStopAfterInputs(t *testing.T) {
+	m := newMachine(t, 1)
+	m.Go = true
+	prog := []isa.Instr{
+		{Op: isa.OpNop},
+		{Op: isa.OpJmp, Data: 0},
+	}
+	if err := m.LoadProgram(buildWords(prog)); err != nil {
+		t.Fatal(err)
+	}
+	m.PushInput(bits.Block128{1}, bits.Block128{2}, bits.Block128{3})
+	reason, err := m.Run(Limits{StopAfterInputs: 2})
+	if err != nil || reason != StopInputs {
+		t.Fatalf("Run = %v, %v; want inputs consumed", reason, err)
+	}
+	if m.Stats().BlocksIn != 2 || m.PendingInputs() != 1 {
+		t.Errorf("blocks in = %d, pending = %d", m.Stats().BlocksIn, m.PendingInputs())
+	}
+	// The count is per call.
+	reason, err = m.Run(Limits{StopAfterInputs: 1})
+	if err != nil || reason != StopInputs {
+		t.Fatalf("second Run = %v, %v", reason, err)
+	}
+	if m.Stats().BlocksIn != 3 {
+		t.Errorf("cumulative blocks in = %d", m.Stats().BlocksIn)
+	}
+}
+
+func TestExecuteShufAndERAMOps(t *testing.T) {
+	// Exercise the remaining opcode dispatch arms through the machine.
+	m := newMachine(t, 1)
+	prog := []isa.Instr{
+		{Op: isa.OpCfgShuf, Slice: isa.SliceRow(0),
+			Data: isa.ShufCfg{Perm: [8]uint8{4, 1, 2, 3, 0, 5, 6, 7}}.Encode()},
+		{Op: isa.OpERAMWrite, Slice: isa.SliceCol(2),
+			Data: isa.ERAMWriteCfg{Bank: 1, Addr: 9, Value: 0x1234}.Encode()},
+		{Op: isa.OpLoadLUT, Slice: isa.SliceAt(0, 0), LUT: isa.LUTAddr(false, 0, 0), Data: 0xAB},
+		{Op: isa.OpHalt},
+	}
+	if err := m.LoadProgram(buildWords(prog)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Array.ReadERAM(2, 1, 9) != 0x1234 {
+		t.Error("ERAMW did not land")
+	}
+	if m.Array.RCE(0, 0).LUT.S8[0][0] != 0xAB {
+		t.Error("LUTLD did not land")
+	}
+	if m.Array.Shuffler(0)[0] != 4 {
+		t.Error("SHUF did not land")
+	}
+	// Bad shuffler index surfaces as an execution error.
+	bad := []isa.Instr{{Op: isa.OpCfgShuf, Slice: isa.SliceRow(99), Data: 0}}
+	if err := m.LoadProgram(buildWords(bad)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(Limits{}); err == nil {
+		t.Error("expected shuffler range error")
+	}
+}
