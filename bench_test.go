@@ -13,13 +13,16 @@
 package cobra_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"cobra/internal/bench"
 	"cobra/internal/census"
 	"cobra/internal/cipher"
+	"cobra/internal/core"
 	"cobra/internal/datapath"
+	"cobra/internal/farm"
 	"cobra/internal/model"
 	"cobra/internal/program"
 )
@@ -323,6 +326,40 @@ func BenchmarkBatchAblation(b *testing.B) {
 	}
 	b.ReportMetric(single, "cycles/blk(N=1)")
 	b.ReportMetric(amortized, "cycles/blk(N=64)")
+}
+
+// BenchmarkFarmCTR measures the multi-device farm on the counter-mode
+// sharding workload across pool sizes. The headline metric is Mbps(sim) —
+// aggregate simulated throughput derived from the busiest worker's cycle
+// count — which must rise monotonically from 1 to 4 workers (the
+// replication payoff of Table 1's non-feedback column). Host ns/op
+// additionally improves with real cores (GOMAXPROCS permitting).
+func BenchmarkFarmCTR(b *testing.B) {
+	src := make([]byte, 16*2048)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	iv := make([]byte, 16)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			f, err := farm.New(core.Rijndael, benchKey, core.Config{}, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			b.SetBytes(int64(len(src)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.EncryptCTR(context.Background(), iv, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			r := f.Report()
+			b.ReportMetric(r.EffectiveMbps, "Mbps(sim)")
+			b.ReportMetric(float64(r.WallCycles)/float64(b.N), "wall-cyc/op")
+		})
+	}
 }
 
 // BenchmarkDecryption measures the decryption datapath across the three

@@ -9,6 +9,7 @@
 //	cobra-bench -table 3 -compare  # paper-vs-measured columns
 //	cobra-bench -figure 1       # architecture topology
 //	cobra-bench -batch 128      # batch size for the Table 3/6 sweep
+//	cobra-bench -json           # measured tables as JSON (for tooling)
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 	batch := flag.Int("batch", 64, "blocks per measurement")
 	keyHex := flag.String("key", strings.Repeat("00", 16), "key (hex)")
 	rows := flag.Int("rows", 4, "geometry rows for table 5")
+	jsonOut := flag.Bool("json", false, "emit the measured table metrics as JSON instead of text")
 	flag.Parse()
 
 	key, err := hex.DecodeString(*keyHex)
@@ -83,13 +85,22 @@ func main() {
 		return
 	}
 
-	needMeasurements := *table == 0 || *table == 3 || *table == 6
+	needMeasurements := *table == 0 || *table == 3 || *table == 6 || *jsonOut
 	var ms []bench.Measurement
 	if needMeasurements {
 		ms, err = bench.MeasureAll(key, *batch)
 		if err != nil {
 			fatal(err)
 		}
+	}
+
+	if *jsonOut {
+		out, err := bench.ReportJSON(ms, *batch)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		return
 	}
 
 	show := func(n int) bool { return *table == 0 || *table == n }

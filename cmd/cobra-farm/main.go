@@ -1,0 +1,178 @@
+// Command cobra-farm sweeps the worker count of an internal/farm device
+// pool over a fixed counter-mode (or ECB) workload and prints the
+// throughput-scaling table: simulated wall-clock cycles, aggregate
+// simulated throughput and speedup versus one device, plus the host-side
+// wall time of the sweep. This is the replication experiment the paper's
+// Table 1 NFB column implies but never runs — non-feedback modes scale by
+// adding devices.
+//
+// Usage:
+//
+//	cobra-farm                                   # AES-128 CTR, 4096 blocks, workers 1,2,4,8
+//	cobra-farm -alg serpent -workers 1,2,4,8,16  # other datapaths / pool sizes
+//	cobra-farm -mode ecb -rounds 2               # ECB sharding on an iterative pipeline
+package main
+
+import (
+	"context"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"cobra/internal/cipher"
+	"cobra/internal/core"
+	"cobra/internal/farm"
+)
+
+func main() {
+	alg := flag.String("alg", "rijndael", "algorithm: rc6, rijndael, serpent")
+	rounds := flag.Int("rounds", 0, "unroll depth (0: full unroll, maximum throughput)")
+	blocks := flag.Int("blocks", 4096, "message size in 128-bit blocks")
+	workersCSV := flag.String("workers", "1,2,4,8", "comma-separated pool sizes to sweep")
+	mode := flag.String("mode", "ctr", "mode of operation: ctr or ecb")
+	keyHex := flag.String("key", strings.Repeat("00", 16), "key (hex)")
+	ivHex := flag.String("iv", strings.Repeat("00", 16), "initial counter block (hex, ctr mode)")
+	timeout := flag.Duration("timeout", 0, "per-sweep-point deadline (0: none)")
+	flag.Parse()
+
+	key, err := hex.DecodeString(*keyHex)
+	if err != nil {
+		fatal(fmt.Errorf("bad -key: %v", err))
+	}
+	iv, err := hex.DecodeString(*ivHex)
+	if err != nil {
+		fatal(fmt.Errorf("bad -iv: %v", err))
+	}
+	workers, err := parseWorkers(*workersCSV)
+	if err != nil {
+		fatal(err)
+	}
+
+	msg := make([]byte, 16**blocks)
+	for i := range msg {
+		msg[i] = byte(i*31 + i>>8)
+	}
+	want, err := hostReference(core.Algorithm(*alg), key, iv, msg, *mode)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("cobra-farm: %s-%s, %d blocks (%d KiB), shard cap %d blocks\n\n",
+		*alg, *mode, *blocks, len(msg)/1024, farm.DefaultShardBlocks)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "workers\tjobs\twall cycles\tcyc/blk\tMbps (sim)\tspeedup\thost ms")
+	base := 0.0
+	for _, n := range workers {
+		f, err := farm.New(core.Algorithm(*alg), key, core.Config{Unroll: *rounds}, n)
+		if err != nil {
+			fatal(err)
+		}
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if *timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		startHost := time.Now()
+		var got []byte
+		switch *mode {
+		case "ctr":
+			got, err = f.EncryptCTR(ctx, iv, msg)
+		case "ecb":
+			got, err = f.EncryptECB(ctx, msg)
+		default:
+			err = fmt.Errorf("unknown -mode %q", *mode)
+		}
+		hostMS := float64(time.Since(startHost).Microseconds()) / 1000
+		cancel()
+		if err != nil {
+			fatal(err)
+		}
+		if string(got) != string(want) {
+			fatal(fmt.Errorf("workers=%d: output differs from host reference", n))
+		}
+		r := f.Report()
+		f.Close()
+		if base == 0 {
+			base = r.EffectiveMbps
+		}
+		speedup := 1.0
+		if base > 0 {
+			speedup = r.EffectiveMbps / base
+		}
+		jobs := 0
+		for _, wr := range r.PerWorker {
+			jobs += wr.Jobs
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.2f\t%.1f\t%.2fx\t%.1f\n",
+			n, jobs, r.WallCycles, r.CyclesPerBlock, r.EffectiveMbps, speedup, hostMS)
+	}
+	w.Flush()
+}
+
+// parseWorkers parses the -workers sweep list.
+func parseWorkers(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// hostReference computes the expected output with the host reference
+// cipher, so every sweep point is verified before its measurement prints.
+func hostReference(alg core.Algorithm, key, iv, msg []byte, mode string) ([]byte, error) {
+	var blk cipher.Block
+	var err error
+	switch alg {
+	case core.RC6:
+		blk, err = cipher.NewRC6(key)
+	case core.Rijndael:
+		blk, err = cipher.NewRijndael(key)
+	case core.Serpent:
+		blk, err = cipher.NewSerpentCOBRA(key)
+	default:
+		err = fmt.Errorf("unknown -alg %q", alg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	dst := make([]byte, len(msg))
+	switch mode {
+	case "ctr":
+		var c, ks [16]byte
+		copy(c[:], iv)
+		for off := 0; off < len(msg); off += 16 {
+			blk.Encrypt(ks[:], c[:])
+			for i := 15; i >= 0; i-- {
+				c[i]++
+				if c[i] != 0 {
+					break
+				}
+			}
+			for j := 0; j < 16 && off+j < len(msg); j++ {
+				dst[off+j] = msg[off+j] ^ ks[j]
+			}
+		}
+	case "ecb":
+		for off := 0; off < len(msg); off += 16 {
+			blk.Encrypt(dst[off:], msg[off:])
+		}
+	default:
+		return nil, fmt.Errorf("unknown -mode %q", mode)
+	}
+	return dst, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cobra-farm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"encoding/json"
+
+	"cobra/internal/datapath"
+	"cobra/internal/model"
+)
+
+// JSONReport is the machine-readable form of the measured evaluation,
+// emitted by cobra-bench -json so the benchmark trajectory (BENCH_*.json)
+// and other tooling can consume the reproduction's metrics without
+// scraping the tabwriter output.
+type JSONReport struct {
+	// ATMRequirementMbps is the §1 headline requirement.
+	ATMRequirementMbps int `json:"atm_requirement_mbps"`
+	// Batch is the blocks-per-measurement used for the sweep.
+	Batch int `json:"batch"`
+	// Table3 is the per-configuration performance sweep.
+	Table3 []Measurement `json:"table3"`
+	// Table6 is the cycle-gates product sweep derived from Table3.
+	Table6 []model.CGRow `json:"table6"`
+	// GatesBase is the Table 5 total for the base 4x4 geometry.
+	GatesBase int `json:"gates_base_4x4"`
+}
+
+// ReportJSON renders the measured tables as indented JSON.
+func ReportJSON(ms []Measurement, batch int) ([]byte, error) {
+	r := JSONReport{
+		ATMRequirementMbps: ATMRequirementMbps,
+		Batch:              batch,
+		Table3:             ms,
+		Table6:             Table6Rows(ms),
+		GatesBase:          model.Table5(model.Table4(), datapath.BaseGeometry()).Total(),
+	}
+	return json.MarshalIndent(r, "", "  ")
+}

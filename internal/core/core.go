@@ -57,6 +57,12 @@ type Config struct {
 }
 
 // Device is one COBRA chip with loaded microcode.
+//
+// A Device is not safe for concurrent use: it owns a single sim.Machine
+// (itself single-threaded silicon) and every Encrypt/Decrypt call mutates
+// the machine's queues and counters. To serve a non-feedback workload in
+// parallel, replicate devices — one per goroutine — and shard the data
+// between them; internal/farm packages exactly that pattern.
 type Device struct {
 	alg     Algorithm
 	prog    *program.Program
@@ -64,6 +70,11 @@ type Device struct {
 	timing  model.Timing
 	ref     cipher.Block
 	key     []byte
+
+	// oneBlk is the one-block scratch reused by the chaining modes'
+	// block-at-a-time path (EncryptCBC), avoiding a fresh input and output
+	// slice per block.
+	oneBlk [1]bits.Block128
 
 	// Decryption datapath, built lazily on first DecryptECB call (in
 	// hardware terms: a second device, or this one re-loaded between
@@ -171,6 +182,26 @@ func (d *Device) EncryptBlocks(blocks []bits.Block128) ([]bits.Block128, error) 
 	return out, err
 }
 
+// EncryptECBInto is EncryptECB writing into a caller-supplied buffer
+// (len(dst) >= len(src)) and returning the simulator counters for exactly
+// this call — the farm's worker path, where per-shard stats are aggregated
+// into a pool-wide report.
+func (d *Device) EncryptECBInto(dst, src []byte) (sim.Stats, error) {
+	return program.EncryptBytesInto(d.machine, d.prog, dst, src)
+}
+
+// encryptBlockInPlace runs a single block through the datapath, reusing
+// the device's one-block scratch so the chaining loop performs no per-block
+// slice allocations.
+func (d *Device) encryptBlockInPlace(b *[16]byte) error {
+	d.oneBlk[0] = bits.LoadBlock128(b[:])
+	if _, err := program.EncryptInto(d.machine, d.prog, d.oneBlk[:], d.oneBlk[:]); err != nil {
+		return err
+	}
+	d.oneBlk[0].StoreBlock128(b[:])
+	return nil
+}
+
 // EncryptCBC encrypts src in cipher-block-chaining mode: each block is
 // XORed with the previous ciphertext before entering the datapath. The
 // chaining dependency serializes the device — one block in flight — which
@@ -185,20 +216,110 @@ func (d *Device) EncryptCBC(iv, src []byte) ([]byte, error) {
 		return nil, fmt.Errorf("core: input length %d is not a multiple of the block size", len(src))
 	}
 	dst := make([]byte, len(src))
-	prev := append([]byte(nil), iv...)
-	var xored [16]byte
+	prev := iv
+	var blk [16]byte
 	for i := 0; i < len(src); i += 16 {
 		for j := 0; j < 16; j++ {
-			xored[j] = src[i+j] ^ prev[j]
+			blk[j] = src[i+j] ^ prev[j]
 		}
-		ct, err := d.EncryptECB(xored[:])
-		if err != nil {
+		if err := d.encryptBlockInPlace(&blk); err != nil {
 			return nil, err
 		}
-		copy(dst[i:], ct)
-		copy(prev, ct)
+		copy(dst[i:], blk[:])
+		prev = dst[i : i+16]
 	}
 	return dst, nil
+}
+
+// incCounter increments a CTR counter block interpreted as a 128-bit
+// big-endian integer — the standard incrementing function of NIST
+// SP 800-38A — wrapping at 2^128.
+func incCounter(c *[16]byte) {
+	for i := 15; i >= 0; i-- {
+		c[i]++
+		if c[i] != 0 {
+			return
+		}
+	}
+}
+
+// AddCounter returns iv + n with the counter block interpreted as a
+// 128-bit big-endian integer, wrapping modulo 2^128. iv must be 16 bytes.
+// The farm uses it to derive the starting counter of each shard from the
+// shard's block offset.
+func AddCounter(iv []byte, n uint64) ([16]byte, error) {
+	var c [16]byte
+	if len(iv) != 16 {
+		return c, fmt.Errorf("core: iv must be 16 bytes")
+	}
+	copy(c[:], iv)
+	carry := n
+	for i := 15; i >= 0 && carry != 0; i-- {
+		sum := uint64(c[i]) + carry&0xff
+		c[i] = byte(sum)
+		carry = carry>>8 + sum>>8
+	}
+	return c, nil
+}
+
+// EncryptCTR encrypts src in counter mode: keystream block i is the
+// datapath encryption of iv+i and ciphertext is plaintext XOR keystream
+// (the XOR is host-side, as block assembly is in the paper's external
+// system). Counter mode is the non-feedback workload of Table 1's NFB
+// column — every keystream block is independent, so the counters stream
+// through the pipeline back to back, and a message shards across devices
+// by counter range (internal/farm). src may end in a partial block: CTR
+// turns the block cipher into a stream cipher. Decryption is the same
+// operation (DecryptCTR).
+func (d *Device) EncryptCTR(iv, src []byte) ([]byte, error) {
+	dst := make([]byte, len(src))
+	if _, err := d.EncryptCTRInto(dst, iv, src); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// DecryptCTR inverts EncryptCTR; counter mode is an involution.
+func (d *Device) DecryptCTR(iv, src []byte) ([]byte, error) { return d.EncryptCTR(iv, src) }
+
+// EncryptCTRInto is EncryptCTR writing into a caller-supplied buffer
+// (len(dst) >= len(src)) and returning the simulator counters for exactly
+// this call.
+func (d *Device) EncryptCTRInto(dst, iv, src []byte) (sim.Stats, error) {
+	if len(iv) != 16 {
+		return sim.Stats{}, fmt.Errorf("core: iv must be 16 bytes")
+	}
+	if len(dst) < len(src) {
+		return sim.Stats{}, fmt.Errorf("core: dst is %d bytes, need %d", len(dst), len(src))
+	}
+	if len(src) == 0 {
+		return sim.Stats{}, nil
+	}
+	n := (len(src) + 15) / 16
+	ctrs := make([]bits.Block128, n)
+	var c [16]byte
+	copy(c[:], iv)
+	for i := range ctrs {
+		ctrs[i] = bits.LoadBlock128(c[:])
+		incCounter(&c)
+	}
+	stats, err := program.EncryptInto(d.machine, d.prog, ctrs, ctrs)
+	if err != nil {
+		return sim.Stats{}, err
+	}
+	var ks [16]byte
+	for i := 0; i < n; i++ {
+		ctrs[i].StoreBlock128(ks[:])
+		off := 16 * i
+		m := len(src) - off
+		if m > 16 {
+			m = 16
+		}
+		for j := 0; j < m; j++ {
+			dst[off+j] = src[off+j] ^ ks[j]
+		}
+	}
+	return stats, nil
 }
 
 // DecryptCBC inverts EncryptCBC on the decryption datapath.

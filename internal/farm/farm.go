@@ -1,0 +1,340 @@
+// Package farm scales the COBRA reproduction beyond a single device: it
+// owns a pool of independently configured core.Device replicas — each
+// device drives its own sim.Machine, which is not safe for concurrent use
+// — and shards non-feedback workloads across them. The paper's Table 1
+// splits modes of operation into feedback and non-feedback precisely
+// because the latter admit this replication: in counter mode every
+// keystream block E(iv+i) is independent, so a message splits into
+// contiguous counter ranges that N devices encrypt concurrently. This is
+// the software analogue of tiling several COBRA parts on a board, and the
+// same data-parallel mapping the related work applies to replicated SIMON
+// cores and programmable-hardware crypto kernels (PAPERS.md).
+//
+// Jobs are dispatched round-robin over per-worker buffered channels:
+// dispatch blocks when a worker's queue is full (backpressure), each job
+// carries its caller's context so cancellation and timeouts short-circuit
+// queued work, and workers write ciphertext directly into disjoint regions
+// of the caller's destination buffer, so reassembly is ordered by
+// construction. Round-robin rather than a single shared queue is
+// deliberate: the shards of one message are uniform in cost, and a shared
+// queue lets whichever goroutine the scheduler wakes first drain several
+// shards while its siblings sleep — serializing the simulated wall-clock
+// and defeating the scaling measurement this subsystem exists to make.
+// Per-worker simulator counters are aggregated into a farm-wide Report
+// whose EffectiveMbps is the simulated aggregate throughput the
+// cmd/cobra-farm scaling table sweeps.
+package farm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cobra/internal/core"
+	"cobra/internal/sim"
+)
+
+// ErrClosed is returned by Encrypt calls made after Close.
+var ErrClosed = errors.New("farm: closed")
+
+// DefaultShardBlocks caps a shard at this many 128-bit blocks. Large
+// messages therefore split into several jobs per worker, which keeps the
+// queue busy (pipelining across shards) at the cost of one pipeline
+// fill-and-drain per shard on streaming configurations.
+const DefaultShardBlocks = 1024
+
+type mode int
+
+const (
+	modeCTR mode = iota
+	modeECB
+)
+
+// A job is one contiguous shard of an Encrypt call: a counter range plus
+// the matching source and destination windows.
+type job struct {
+	ctx  context.Context
+	mode mode
+	ctr  [16]byte // starting counter block (CTR only)
+	src  []byte
+	dst  []byte
+	errc chan<- error
+}
+
+// workerQueueDepth is each worker's buffered queue capacity; dispatch
+// blocks (backpressure) once a worker is this many shards behind.
+const workerQueueDepth = 2
+
+// A worker owns one device exclusively; only its goroutine touches dev.
+// The mutex guards the accumulated counters, which Report reads while
+// jobs are in flight.
+type worker struct {
+	dev   *core.Device
+	queue chan job
+	mu    sync.Mutex
+	jobs  int
+	stats sim.Stats
+}
+
+// Farm is a pool of replicated COBRA devices behind a job queue. Unlike a
+// single Device, a Farm is safe for concurrent use: any number of
+// goroutines may call EncryptCTR/EncryptECB simultaneously and their
+// shards interleave across the pool.
+type Farm struct {
+	alg     core.Algorithm
+	mhz     float64
+	workers []*worker
+	wg      sync.WaitGroup
+	next    atomic.Uint64 // round-robin cursor, advanced once per call
+
+	mu     sync.RWMutex // serializes Close against job submission
+	closed bool
+}
+
+// New configures workers identical devices for the algorithm/key pair and
+// starts one goroutine per device. The caller must Close the farm to stop
+// them.
+func New(alg core.Algorithm, key []byte, cfg core.Config, workers int) (*Farm, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("farm: need at least 1 worker, got %d", workers)
+	}
+	f := &Farm{alg: alg}
+	for i := 0; i < workers; i++ {
+		dev, err := core.Configure(alg, key, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("farm: configuring worker %d: %w", i, err)
+		}
+		f.workers = append(f.workers, &worker{dev: dev, queue: make(chan job, workerQueueDepth)})
+	}
+	// All devices share a geometry and unroll, hence a modeled clock.
+	f.mhz = f.workers[0].dev.Report().DatapathMHz
+	for _, w := range f.workers {
+		f.wg.Add(1)
+		go f.run(w)
+	}
+	return f, nil
+}
+
+// Algorithm returns the configured algorithm.
+func (f *Farm) Algorithm() core.Algorithm { return f.alg }
+
+// Workers returns the pool size.
+func (f *Farm) Workers() int { return len(f.workers) }
+
+// run is one worker goroutine. The device is used only here — never
+// shared between goroutines (the -race regression in race_test.go pins
+// this).
+func (f *Farm) run(w *worker) {
+	defer f.wg.Done()
+	for j := range w.queue {
+		if err := j.ctx.Err(); err != nil {
+			// The caller gave up; skip the simulation, not the reply.
+			j.errc <- err
+			continue
+		}
+		var (
+			st  sim.Stats
+			err error
+		)
+		switch j.mode {
+		case modeCTR:
+			st, err = w.dev.EncryptCTRInto(j.dst, j.ctr[:], j.src)
+		case modeECB:
+			st, err = w.dev.EncryptECBInto(j.dst, j.src)
+		}
+		w.mu.Lock()
+		w.jobs++
+		w.stats.Add(st)
+		w.mu.Unlock()
+		j.errc <- err
+	}
+}
+
+// span is a half-open byte range of one shard.
+type span struct{ off, end int }
+
+// shards splits n bytes into contiguous block-aligned spans: one per
+// worker when the message is small, capped at DefaultShardBlocks so large
+// messages pipeline through the queue.
+func (f *Farm) shards(n int) []span {
+	nb := (n + 15) / 16
+	per := (nb + len(f.workers) - 1) / len(f.workers)
+	if per > DefaultShardBlocks {
+		per = DefaultShardBlocks
+	}
+	var out []span
+	for off := 0; off < n; off += per * 16 {
+		end := off + per*16
+		if end > n {
+			end = n
+		}
+		out = append(out, span{off, end})
+	}
+	return out
+}
+
+// dispatch fans the shards of one call out round-robin over the worker
+// queues and waits for every dispatched shard to report back. mk fills in
+// the mode-specific job fields for a shard. The round-robin cursor
+// advances once per call so concurrent callers start on different workers
+// instead of all queueing behind worker 0.
+func (f *Farm) dispatch(ctx context.Context, src, dst []byte, mk func(span) (job, error)) error {
+	if len(src) == 0 {
+		return ctx.Err()
+	}
+	f.mu.RLock()
+	if f.closed {
+		f.mu.RUnlock()
+		return ErrClosed
+	}
+	shards := f.shards(len(src))
+	errc := make(chan error, len(shards))
+	start := int(f.next.Add(1) - 1)
+	sent := 0
+	var firstErr error
+	for i, s := range shards {
+		j, err := mk(s)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		j.ctx, j.src, j.dst, j.errc = ctx, src[s.off:s.end], dst[s.off:s.end], errc
+		w := f.workers[(start+i)%len(f.workers)]
+		select {
+		case w.queue <- j:
+			sent++
+		case <-ctx.Done():
+			firstErr = ctx.Err()
+		}
+		if firstErr != nil {
+			break
+		}
+	}
+	f.mu.RUnlock()
+	// Drain every dispatched shard, even after an error: workers always
+	// reply, so this cannot deadlock, and it keeps dst ownership clean.
+	for i := 0; i < sent; i++ {
+		if err := <-errc; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// EncryptCTR encrypts src in counter mode with initial counter block iv
+// (16 bytes), sharding the counter range across the pool: shard k starting
+// at block offset b is keyed by counter iv+b, so the farm's output is
+// byte-identical to a single device's EncryptCTR. src may end in a partial
+// block. ctx cancels or times out the call; queued shards short-circuit,
+// and the in-flight ones finish their simulation before the call returns.
+func (f *Farm) EncryptCTR(ctx context.Context, iv, src []byte) ([]byte, error) {
+	if len(iv) != 16 {
+		return nil, fmt.Errorf("farm: iv must be 16 bytes")
+	}
+	dst := make([]byte, len(src))
+	err := f.dispatch(ctx, src, dst, func(s span) (job, error) {
+		ctr, err := core.AddCounter(iv, uint64(s.off/16))
+		if err != nil {
+			return job{}, err
+		}
+		return job{mode: modeCTR, ctr: ctr}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// DecryptCTR inverts EncryptCTR; counter mode is an involution.
+func (f *Farm) DecryptCTR(ctx context.Context, iv, src []byte) ([]byte, error) {
+	return f.EncryptCTR(ctx, iv, src)
+}
+
+// EncryptECB encrypts src (a multiple of 16 bytes) in electronic-codebook
+// mode, sharding by block range — ECB is the paper's measurement mode and
+// the other non-feedback workload of Table 1.
+func (f *Farm) EncryptECB(ctx context.Context, src []byte) ([]byte, error) {
+	if len(src)%16 != 0 {
+		return nil, fmt.Errorf("farm: input length %d is not a multiple of the block size", len(src))
+	}
+	dst := make([]byte, len(src))
+	err := f.dispatch(ctx, src, dst, func(span) (job, error) {
+		return job{mode: modeECB}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// Close shuts the worker queues and waits for the workers to drain.
+// Encrypt calls already dispatching finish normally; calls made after
+// Close return ErrClosed. Close is idempotent.
+func (f *Farm) Close() error {
+	f.mu.Lock()
+	if !f.closed {
+		f.closed = true
+		for _, w := range f.workers {
+			close(w.queue)
+		}
+	}
+	f.mu.Unlock()
+	f.wg.Wait()
+	return nil
+}
+
+// WorkerReport is one worker's accumulated counters.
+type WorkerReport struct {
+	Jobs  int
+	Stats sim.Stats
+}
+
+// Report aggregates the pool's counters. With every device clocked alike,
+// WallCycles — the busiest worker's datapath cycles — is the simulated
+// wall-clock of the farm, so EffectiveMbps = output bits / (WallCycles /
+// DatapathMHz) is the aggregate simulated throughput: N ideally-scaling
+// workers multiply a single device's Table 3 rate by N.
+type Report struct {
+	Algorithm      core.Algorithm
+	Workers        int
+	DatapathMHz    float64
+	PerWorker      []WorkerReport
+	Total          sim.Stats
+	WallCycles     int
+	CyclesPerBlock float64
+	EffectiveMbps  float64
+}
+
+// Report snapshots the farm-wide counters; safe to call while jobs are in
+// flight.
+func (f *Farm) Report() Report {
+	r := Report{Algorithm: f.alg, Workers: len(f.workers), DatapathMHz: f.mhz}
+	for _, w := range f.workers {
+		w.mu.Lock()
+		wr := WorkerReport{Jobs: w.jobs, Stats: w.stats}
+		w.mu.Unlock()
+		r.PerWorker = append(r.PerWorker, wr)
+		r.Total.Add(wr.Stats)
+		if wr.Stats.Cycles > r.WallCycles {
+			r.WallCycles = wr.Stats.Cycles
+		}
+	}
+	if r.Total.BlocksOut > 0 {
+		r.CyclesPerBlock = float64(r.Total.Cycles) / float64(r.Total.BlocksOut)
+	}
+	if r.WallCycles > 0 {
+		r.EffectiveMbps = float64(r.Total.BlocksOut) * 128 * f.mhz / float64(r.WallCycles)
+	}
+	return r
+}
+
+// ResetStats zeroes every worker's counters between measurement phases.
+func (f *Farm) ResetStats() {
+	for _, w := range f.workers {
+		w.mu.Lock()
+		w.jobs, w.stats = 0, sim.Stats{}
+		w.mu.Unlock()
+	}
+}

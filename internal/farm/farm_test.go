@@ -1,0 +1,276 @@
+package farm
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"cobra/internal/cipher"
+	"cobra/internal/core"
+)
+
+var key = []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+
+// refCTR is the host-reference counter-mode oracle.
+func refCTR(t *testing.T, blk cipher.Block, iv, src []byte) []byte {
+	t.Helper()
+	dst := make([]byte, len(src))
+	var c, ks [16]byte
+	copy(c[:], iv)
+	for off := 0; off < len(src); off += 16 {
+		blk.Encrypt(ks[:], c[:])
+		for i := 15; i >= 0; i-- {
+			c[i]++
+			if c[i] != 0 {
+				break
+			}
+		}
+		n := len(src) - off
+		if n > 16 {
+			n = 16
+		}
+		for j := 0; j < n; j++ {
+			dst[off+j] = src[off+j] ^ ks[j]
+		}
+	}
+	return dst
+}
+
+func reference(t *testing.T, alg core.Algorithm) cipher.Block {
+	t.Helper()
+	var blk cipher.Block
+	var err error
+	switch alg {
+	case core.RC6:
+		blk, err = cipher.NewRC6(key)
+	case core.Rijndael:
+		blk, err = cipher.NewRijndael(key)
+	case core.Serpent:
+		blk, err = cipher.NewSerpentCOBRA(key)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blk
+}
+
+func testMessage(n int) []byte {
+	msg := make([]byte, n)
+	for i := range msg {
+		msg[i] = byte(i*31 + i>>8)
+	}
+	return msg
+}
+
+// TestFarmCTRMatchesSingleDevice pins the sharding: the farm's CTR output
+// must be byte-identical to one device's, for messages that span several
+// shards and end on a partial block.
+func TestFarmCTRMatchesSingleDevice(t *testing.T) {
+	for _, alg := range []core.Algorithm{core.RC6, core.Rijndael, core.Serpent} {
+		f, err := New(alg, key, core.Config{}, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		d, err := core.Configure(alg, key, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		iv := bytes.Repeat([]byte{0xf0}, 16)
+		for _, n := range []int{16, 16 * 7, 16*20 + 5} {
+			msg := testMessage(n)
+			got, err := f.EncryptCTR(context.Background(), iv, msg)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", alg, n, err)
+			}
+			want, err := d.EncryptCTR(iv, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s n=%d: farm CTR differs from single device", alg, n)
+			}
+			if ref := refCTR(t, reference(t, alg), iv, msg); !bytes.Equal(got, ref) {
+				t.Errorf("%s n=%d: farm CTR differs from host reference", alg, n)
+			}
+		}
+		f.Close()
+	}
+}
+
+// TestFarmCTRCrossesShardBoundaryCounters uses an iv close to a byte
+// carry so shard-start counters derived via AddCounter exercise the carry
+// chain.
+func TestFarmCTRCrossesShardBoundaryCounters(t *testing.T) {
+	f, err := New(core.Rijndael, key, core.Config{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	iv := bytes.Repeat([]byte{0xff}, 16) // wraps to zero after one block
+	msg := testMessage(16 * 12)
+	got, err := f.EncryptCTR(context.Background(), iv, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := refCTR(t, reference(t, core.Rijndael), iv, msg); !bytes.Equal(got, want) {
+		t.Error("farm CTR differs from host reference across counter wraparound")
+	}
+	back, err := f.DecryptCTR(context.Background(), iv, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, msg) {
+		t.Error("DecryptCTR(EncryptCTR(x)) != x")
+	}
+}
+
+func TestFarmECBMatchesSingleDevice(t *testing.T) {
+	f, err := New(core.Rijndael, key, core.Config{Unroll: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := core.Configure(core.Rijndael, key, core.Config{Unroll: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := testMessage(16 * 13)
+	got, err := f.EncryptECB(context.Background(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.EncryptECB(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("farm ECB differs from single device")
+	}
+	if _, err := f.EncryptECB(context.Background(), msg[:17]); err == nil {
+		t.Error("ragged ECB input accepted")
+	}
+}
+
+func TestFarmValidation(t *testing.T) {
+	if _, err := New(core.Rijndael, key, core.Config{}, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := New(core.Rijndael, key[:3], core.Config{}, 1); err == nil {
+		t.Error("bad key accepted")
+	}
+	f, err := New(core.Rijndael, key, core.Config{Unroll: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.EncryptCTR(context.Background(), []byte{1}, make([]byte, 16)); err == nil {
+		t.Error("short iv accepted")
+	}
+	if out, err := f.EncryptCTR(context.Background(), make([]byte, 16), nil); err != nil || len(out) != 0 {
+		t.Errorf("empty src: out=%v err=%v", out, err)
+	}
+}
+
+func TestFarmContextCancellation(t *testing.T) {
+	f, err := New(core.Rijndael, key, core.Config{Unroll: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.EncryptCTR(ctx, make([]byte, 16), testMessage(16*64)); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled context: err = %v, want context.Canceled", err)
+	}
+	// An expired deadline behaves the same way.
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer dcancel()
+	<-dctx.Done()
+	if _, err := f.EncryptCTR(dctx, make([]byte, 16), testMessage(16*64)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+	// The farm stays usable after cancellations.
+	if _, err := f.EncryptCTR(context.Background(), make([]byte, 16), testMessage(32)); err != nil {
+		t.Errorf("farm unusable after cancellation: %v", err)
+	}
+}
+
+func TestFarmClose(t *testing.T) {
+	f, err := New(core.Rijndael, key, core.Config{Unroll: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal("Close is not idempotent:", err)
+	}
+	if _, err := f.EncryptCTR(context.Background(), make([]byte, 16), make([]byte, 16)); !errors.Is(err, ErrClosed) {
+		t.Errorf("encrypt after close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestFarmReportAggregation(t *testing.T) {
+	const workers = 2
+	f, err := New(core.Rijndael, key, core.Config{}, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	const blocks = 64
+	if _, err := f.EncryptCTR(context.Background(), make([]byte, 16), testMessage(16*blocks)); err != nil {
+		t.Fatal(err)
+	}
+	r := f.Report()
+	if r.Workers != workers || len(r.PerWorker) != workers {
+		t.Fatalf("report covers %d/%d workers, want %d", r.Workers, len(r.PerWorker), workers)
+	}
+	if r.Total.BlocksOut != blocks {
+		t.Errorf("Total.BlocksOut = %d, want %d", r.Total.BlocksOut, blocks)
+	}
+	jobs := 0
+	for _, w := range r.PerWorker {
+		jobs += w.Jobs
+		if w.Stats.Cycles > r.WallCycles {
+			t.Errorf("WallCycles %d below worker cycles %d", r.WallCycles, w.Stats.Cycles)
+		}
+	}
+	if jobs != workers { // 64 blocks over 2 workers -> 2 shards
+		t.Errorf("total jobs = %d, want %d", jobs, workers)
+	}
+	if r.DatapathMHz <= 0 || r.EffectiveMbps <= 0 || r.CyclesPerBlock <= 0 {
+		t.Errorf("degenerate report: %+v", r)
+	}
+	f.ResetStats()
+	r = f.Report()
+	if r.Total != (Report{}.Total) || r.WallCycles != 0 {
+		t.Errorf("ResetStats left counters: %+v", r.Total)
+	}
+}
+
+// TestFarmScalingMonotonic checks the acceptance criterion directly: the
+// simulated aggregate throughput must rise monotonically from 1 to 4
+// workers (sharding shrinks the busiest worker's cycle count).
+func TestFarmScalingMonotonic(t *testing.T) {
+	msg := testMessage(16 * 256)
+	iv := make([]byte, 16)
+	prev := 0.0
+	for _, workers := range []int{1, 2, 4} {
+		f, err := New(core.Rijndael, key, core.Config{}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.EncryptCTR(context.Background(), iv, msg); err != nil {
+			t.Fatal(err)
+		}
+		mbps := f.Report().EffectiveMbps
+		f.Close()
+		if mbps <= prev {
+			t.Errorf("workers=%d: EffectiveMbps %.1f did not improve on %.1f", workers, mbps, prev)
+		}
+		prev = mbps
+	}
+}

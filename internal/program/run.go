@@ -40,15 +40,41 @@ func Encrypt(m *sim.Machine, p *Program, blocks []bits.Block128) ([]bits.Block12
 	if len(blocks) == 0 {
 		return nil, sim.Stats{}, nil
 	}
+	out := make([]bits.Block128, len(blocks))
+	stats, err := EncryptInto(m, p, out, blocks)
+	if err != nil {
+		return nil, sim.Stats{}, err
+	}
+	return out, stats, nil
+}
+
+// EncryptInto is Encrypt writing the ciphertext into dst, which must hold
+// at least len(blocks) elements; dst may alias blocks (inputs are copied to
+// the machine's queue before any output is written back). It exists so
+// block-at-a-time callers — the CBC chaining loop, the farm's CTR keystream
+// path — can reuse buffers across calls instead of allocating per block.
+//
+// The returned stats cover exactly this call: a snapshot delta for
+// iterative programs, and the full post-reload counters for streaming
+// programs (the reload zeroes them), so repeated calls on one machine
+// measure independently in both cases.
+func EncryptInto(m *sim.Machine, p *Program, dst, blocks []bits.Block128) (sim.Stats, error) {
+	if len(blocks) == 0 {
+		return sim.Stats{}, nil
+	}
+	if len(dst) < len(blocks) {
+		return sim.Stats{}, fmt.Errorf("program: dst holds %d blocks, need %d", len(dst), len(blocks))
+	}
 	if p.Streaming && m.Dirty() {
 		// A streaming program never returns to the idle point, so a used
 		// machine still holds in-flight flush blocks whose outputs would be
 		// misattributed to this call. Reload for a clean pipeline (the
 		// setup phase re-runs; counters restart at zero).
 		if err := Load(m, p); err != nil {
-			return nil, sim.Stats{}, err
+			return sim.Stats{}, err
 		}
 	}
+	start := m.Stats()
 	m.ClearOutputs()
 	m.PushInput(blocks...)
 	if p.Streaming {
@@ -60,34 +86,46 @@ func Encrypt(m *sim.Machine, p *Program, blocks []bits.Block128) ([]bits.Block12
 	m.Go = true
 	reason, err := m.Run(sim.Limits{StopAfterOutputs: len(blocks)})
 	if err != nil {
-		return nil, sim.Stats{}, err
+		return sim.Stats{}, err
 	}
 	if reason != sim.StopOutputs {
-		return nil, sim.Stats{}, fmt.Errorf("program: run stopped with %v before %d outputs (got %d)",
+		return sim.Stats{}, fmt.Errorf("program: run stopped with %v before %d outputs (got %d)",
 			reason, len(blocks), len(m.Outputs()))
 	}
-	out := make([]bits.Block128, len(blocks))
-	copy(out, m.Outputs()[:len(blocks)])
-	return out, m.Stats(), nil
+	copy(dst, m.Outputs()[:len(blocks)])
+	return m.Stats().Delta(start), nil
 }
 
 // EncryptBytes is Encrypt for byte-oriented callers: src must be a multiple
 // of 16 bytes (ECB over 128-bit blocks).
 func EncryptBytes(m *sim.Machine, p *Program, src []byte) ([]byte, sim.Stats, error) {
+	dst := make([]byte, len(src))
+	stats, err := EncryptBytesInto(m, p, dst, src)
+	if err != nil {
+		return nil, stats, err
+	}
+	return dst, stats, nil
+}
+
+// EncryptBytesInto is EncryptBytes writing into dst, which must hold at
+// least len(src) bytes; dst may alias src.
+func EncryptBytesInto(m *sim.Machine, p *Program, dst, src []byte) (sim.Stats, error) {
 	if len(src)%16 != 0 {
-		return nil, sim.Stats{}, fmt.Errorf("program: input length %d is not a multiple of the block size", len(src))
+		return sim.Stats{}, fmt.Errorf("program: input length %d is not a multiple of the block size", len(src))
+	}
+	if len(dst) < len(src) {
+		return sim.Stats{}, fmt.Errorf("program: dst is %d bytes, need %d", len(dst), len(src))
 	}
 	blocks := make([]bits.Block128, len(src)/16)
 	for i := range blocks {
 		blocks[i] = bits.LoadBlock128(src[16*i:])
 	}
-	out, stats, err := Encrypt(m, p, blocks)
+	stats, err := EncryptInto(m, p, blocks, blocks)
 	if err != nil {
-		return nil, stats, err
+		return stats, err
 	}
-	dst := make([]byte, len(src))
-	for i, blk := range out {
+	for i, blk := range blocks {
 		blk.StoreBlock128(dst[16*i:])
 	}
-	return dst, stats, nil
+	return stats, nil
 }

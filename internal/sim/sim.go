@@ -61,6 +61,21 @@ func (s *Stats) Add(other Stats) {
 	s.BlocksOut += other.BlocksOut
 }
 
+// Delta returns the counter movement from since to s, fieldwise s−since.
+// Both snapshots must come from the same machine with no LoadProgram (which
+// zeroes the counters) in between.
+func (s Stats) Delta(since Stats) Stats {
+	return Stats{
+		Cycles:       s.Cycles - since.Cycles,
+		Advanced:     s.Advanced - since.Advanced,
+		Stalled:      s.Stalled - since.Stalled,
+		Instructions: s.Instructions - since.Instructions,
+		Nops:         s.Nops - since.Nops,
+		BlocksIn:     s.BlocksIn - since.BlocksIn,
+		BlocksOut:    s.BlocksOut - since.BlocksOut,
+	}
+}
+
 // StopReason explains why Run returned.
 type StopReason int
 
@@ -114,6 +129,12 @@ type Limits struct {
 const DefaultMaxCycles = 1 << 22
 
 // Machine is one COBRA device plus its external system interface.
+//
+// A Machine is not safe for concurrent use: it is one piece of silicon
+// with a single sequencer, datapath and input/output bus, and every method
+// mutates that state. To parallelize a non-feedback workload, replicate
+// machines — one per goroutine — and shard the data between them, which is
+// what internal/farm does.
 type Machine struct {
 	Array *datapath.Array
 	Seq   *iram.Sequencer
