@@ -218,11 +218,17 @@ func flagName(bit uint16) string {
 func parseFlagList(tok string) (uint16, error) {
 	var mask uint16
 	for _, f := range strings.Split(tok, ",") {
-		bit, ok := flagNames[strings.ToUpper(f)]
-		if !ok {
+		if bit, ok := flagNames[strings.ToUpper(f)]; ok {
+			mask |= bit
+			continue
+		}
+		// Numeric masks cover the flag bits without surface names (the
+		// disassembler emits them as hex), keeping the round trip total.
+		v, err := parseNum(f)
+		if err != nil || v > 0xffff {
 			return 0, fmt.Errorf("unknown flag %q", f)
 		}
-		mask |= bit
+		mask |= uint16(v)
 	}
 	return mask, nil
 }
@@ -643,7 +649,10 @@ func encodeShuf(args []string) (isa.Instr, error) {
 		return isa.Instr{}, fmt.Errorf("SHUF requires <idx> LO|HI and 8 byte indices")
 	}
 	idx, err := parseNum(args[0])
-	if err != nil || idx > 127 {
+	if err != nil || idx > 255 {
+		// 255 is the slice row field's encoding limit; whether the machine
+		// actually has that many shufflers is a question for cobra-vet,
+		// which knows the target geometry.
 		return isa.Instr{}, fmt.Errorf("bad shuffler index %q", args[0])
 	}
 	var cfg isa.ShufCfg

@@ -36,6 +36,18 @@ func DisassembleInstrs(prog []isa.Instr) (string, error) {
 	return Disassemble(words)
 }
 
+// Line renders one decoded instruction as a single line of canonical
+// assembly, falling back to the instruction's raw String form for words
+// the surface syntax cannot express (diagnostic use: cobra-vet attaches
+// the offending source line to every finding).
+func Line(in isa.Instr) string {
+	s, err := disasmInstr(in)
+	if err != nil {
+		return in.String()
+	}
+	return s
+}
+
 func disasmInstr(in isa.Instr) (string, error) {
 	switch in.Op {
 	case isa.OpNop:
@@ -149,11 +161,17 @@ func disasmCfgE(in isa.Instr) (string, error) {
 		if cfg.AmtSrc == isa.SrcImm {
 			return fmt.Sprintf("%s %s IMM %d", head, mode, cfg.Amt), nil
 		}
+		if !cfg.AmtSrc.Valid() {
+			return fmt.Sprintf("%s RAW %#x", head, in.Data), nil
+		}
 		return fmt.Sprintf("%s %s %s", head, mode, cfg.AmtSrc), nil
 	case isa.ElemA1, isa.ElemA2:
 		cfg := isa.DecodeA(in.Data)
 		if cfg.Op == isa.ABypass {
 			return head + " BYP", nil
+		}
+		if !cfg.Operand.Valid() {
+			return fmt.Sprintf("%s RAW %#x", head, in.Data), nil
 		}
 		s := fmt.Sprintf("%s %s %s", head, cfg.Op, srcString(cfg.Operand, cfg.Imm))
 		if cfg.PreShift != 0 {
@@ -168,6 +186,12 @@ func disasmCfgE(in isa.Instr) (string, error) {
 		cfg := isa.DecodeB(in.Data)
 		if cfg.Mode == isa.BBypass {
 			return head + " BYP", nil
+		}
+		if !cfg.Mode.Valid() {
+			return fmt.Sprintf("%s RAW %#x", head, in.Data), nil
+		}
+		if !cfg.Operand.Valid() {
+			return fmt.Sprintf("%s RAW %#x", head, in.Data), nil
 		}
 		return fmt.Sprintf("%s %s W%d %s", head, cfg.Mode,
 			[3]int{8, 16, 32}[cfg.Width%3], srcString(cfg.Operand, cfg.Imm)), nil
@@ -187,6 +211,9 @@ func disasmCfgE(in isa.Instr) (string, error) {
 		cfg := isa.DecodeD(in.Data)
 		switch cfg.Mode {
 		case isa.DMul16, isa.DMul32:
+			if !cfg.Operand.Valid() {
+				return fmt.Sprintf("%s RAW %#x", head, in.Data), nil
+			}
 			return fmt.Sprintf("%s %s %s", head, cfg.Mode, srcString(cfg.Operand, cfg.Imm)), nil
 		case isa.DSquare:
 			return head + " SQR", nil

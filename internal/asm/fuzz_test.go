@@ -1,0 +1,67 @@
+package asm
+
+import (
+	"testing"
+
+	"cobra/internal/isa"
+)
+
+// FuzzDisassembleAssemble checks totality and convergence of the surface
+// syntax over the whole packed instruction space: every decodable word
+// disassembles to a line the assembler accepts, and assemble∘disassemble
+// is a normalization — one pass may canonicalize don't-care bits (a JMP's
+// high data bits, a bypassed element's stale operand field), but a second
+// pass is the identity on the normalized program.
+//
+// The one excluded region is a 4→4 LUT load addressing a nibble group
+// beyond 15: the hardware has 16 groups per bank, the assembler rejects the
+// address, and cobra-vet reports it as "lut-range".
+func FuzzDisassembleAssemble(f *testing.F) {
+	seed := []isa.Instr{
+		{Op: isa.OpNop},
+		{Op: isa.OpJmp, Data: 7},
+		{Op: isa.OpCtlFlag, Data: isa.FlagCfg{Set: isa.FlagReady, Clear: isa.FlagBusy}.Encode()},
+		{Op: isa.OpCfgElem, Slice: isa.Slice{Scope: isa.ScopeAll}, Elem: isa.ElemC,
+			Data: isa.CCfg{Mode: isa.CS8x8}.Encode()},
+		{Op: isa.OpLoadLUT, Slice: isa.Slice{Scope: isa.ScopeCol, Col: 1},
+			LUT: isa.LUTAddr(true, 2, 15), Data: 0x89abcdef},
+	}
+	for _, in := range seed {
+		w := in.Pack()
+		f.Add(w.Hi, w.Lo)
+	}
+	f.Fuzz(func(t *testing.T, hi uint16, lo uint64) {
+		w := isa.Word{Hi: hi, Lo: lo}
+		in, err := isa.Unpack(w)
+		if err != nil {
+			return
+		}
+		if in.Op == isa.OpLoadLUT {
+			if space4, _, group := isa.SplitLUTAddr(in.LUT); space4 && group > 15 {
+				return
+			}
+		}
+		text, err := Disassemble([]isa.Word{w})
+		if err != nil {
+			t.Fatalf("Disassemble(%v): %v", in, err)
+		}
+		norm, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("Assemble(Disassemble(%v)) rejected %q: %v", in, text, err)
+		}
+		if len(norm) != 1 {
+			t.Fatalf("one instruction became %d", len(norm))
+		}
+		text2, err := Disassemble(norm)
+		if err != nil {
+			t.Fatalf("Disassemble of normalized %v: %v", norm[0], err)
+		}
+		again, err := Assemble(text2)
+		if err != nil {
+			t.Fatalf("second Assemble rejected %q: %v", text2, err)
+		}
+		if again[0] != norm[0] {
+			t.Fatalf("not a fixed point: %v -> %v -> %v", w, norm[0], again[0])
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 
 	"cobra/internal/cipher"
 	"cobra/internal/core"
+	"cobra/internal/sim"
 )
 
 var key = []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
@@ -248,6 +249,70 @@ func TestFarmReportAggregation(t *testing.T) {
 	r = f.Report()
 	if r.Total != (Report{}.Total) || r.WallCycles != 0 {
 		t.Errorf("ResetStats left counters: %+v", r.Total)
+	}
+}
+
+// TestFarmZeroLengthMessage pins the zero-block edge: an empty message is
+// a no-op that dispatches no jobs, and the report's derived rates stay
+// zero instead of dividing by zero.
+func TestFarmZeroLengthMessage(t *testing.T) {
+	f, err := New(core.Rijndael, key, core.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	out, err := f.EncryptCTR(context.Background(), make([]byte, 16), nil)
+	if err != nil {
+		t.Fatalf("empty message: %v", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("empty message produced %d bytes", len(out))
+	}
+	r := f.Report()
+	if r.Total != (Report{}.Total) || r.WallCycles != 0 {
+		t.Errorf("zero-block job moved counters: %+v", r.Total)
+	}
+	if r.CyclesPerBlock != 0 || r.EffectiveMbps != 0 {
+		t.Errorf("zero-block rates not zero: cpb=%v mbps=%v", r.CyclesPerBlock, r.EffectiveMbps)
+	}
+	for _, w := range r.PerWorker {
+		if w.Jobs != 0 {
+			t.Errorf("zero-length message dispatched a job: %+v", r.PerWorker)
+		}
+	}
+}
+
+// TestFarmPartialFinalBlockReport pins the partial-block edge: a message
+// ending mid-block still counts the final keystream block, the ciphertext
+// matches the host oracle, and the per-worker counters sum to the total.
+func TestFarmPartialFinalBlockReport(t *testing.T) {
+	f, err := New(core.Rijndael, key, core.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	iv := make([]byte, 16)
+	msg := testMessage(16*2 + 8) // two full blocks and half a final one
+	out, err := f.EncryptCTR(context.Background(), iv, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := refCTR(t, reference(t, core.Rijndael), iv, msg); !bytes.Equal(out, want) {
+		t.Fatal("partial-final-block ciphertext mismatch")
+	}
+	r := f.Report()
+	if r.Total.BlocksOut != 3 {
+		t.Errorf("Total.BlocksOut = %d, want 3 (partial block costs a full keystream block)", r.Total.BlocksOut)
+	}
+	var sum sim.Stats
+	for _, w := range r.PerWorker {
+		sum.Add(w.Stats)
+	}
+	if sum != r.Total {
+		t.Errorf("per-worker sum %+v != total %+v", sum, r.Total)
+	}
+	if r.CyclesPerBlock <= 0 || r.EffectiveMbps <= 0 {
+		t.Errorf("degenerate rates: %+v", r)
 	}
 }
 

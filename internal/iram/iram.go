@@ -42,6 +42,15 @@ func (s *Sequencer) Load(words []isa.Word) error {
 		}
 		prog[i] = in
 	}
+	for i, in := range prog {
+		if in.Op != isa.OpJmp {
+			continue
+		}
+		if t := int(in.Data & 0xfff); t >= len(prog) {
+			return fmt.Errorf("iram: address %#x: jump target %#x outside program of %d instructions",
+				i, t, len(prog))
+		}
+	}
 	s.prog = prog
 	s.Reset()
 	return nil

@@ -1,6 +1,7 @@
 package iram
 
 import (
+	"strings"
 	"testing"
 
 	"cobra/internal/isa"
@@ -29,6 +30,35 @@ func TestLoadRejectsCorruptWord(t *testing.T) {
 	bad := isa.Instr{Op: isa.Opcode(31)}.Pack()
 	if err := s.Load([]isa.Word{bad}); err == nil {
 		t.Error("expected error for corrupt word")
+	}
+}
+
+func TestLoadRejectsOutOfRangeJump(t *testing.T) {
+	var s Sequencer
+	words := []isa.Word{
+		isa.Instr{Op: isa.OpNop}.Pack(),
+		isa.Instr{Op: isa.OpJmp, Data: 2}.Pack(), // target == len: out of range
+	}
+	err := s.Load(words)
+	if err == nil {
+		t.Fatal("expected error for out-of-range jump target")
+	}
+	if want := "address 0x1"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not name the offending %s", err, want)
+	}
+	if s.Len() != 0 {
+		t.Error("rejected image must not be installed")
+	}
+}
+
+func TestLoadAcceptsInRangeJump(t *testing.T) {
+	var s Sequencer
+	words := []isa.Word{
+		isa.Instr{Op: isa.OpJmp, Data: 1}.Pack(),
+		isa.Instr{Op: isa.OpHalt}.Pack(),
+	}
+	if err := s.Load(words); err != nil {
+		t.Fatalf("in-range jump rejected: %v", err)
 	}
 }
 

@@ -187,6 +187,10 @@ const (
 
 var bModeNames = [...]string{"BYP", "ADD", "SUB"}
 
+// Valid reports whether the mode is a defined encoding (the 2-bit field
+// has one undefined value).
+func (m BMode) Valid() bool { return int(m) < len(bModeNames) }
+
 // String returns the assembler name of the mode.
 func (m BMode) String() string {
 	if int(m) < len(bModeNames) {

@@ -1,0 +1,14 @@
+package program
+
+import (
+	"cobra/internal/vet"
+)
+
+// Vet statically verifies the program's microcode against the geometry and
+// instruction window it was built for, returning cobravet findings. Every
+// builder in this package is lint-clean (regression-tested at every unroll
+// depth and window size); a non-empty result on a hand-written or edited
+// program points at the §3.4 conventions the change broke.
+func (p *Program) Vet() []vet.Finding {
+	return vet.Check(p.Instrs, vet.Config{Rows: p.Geometry.Rows, Window: p.Window})
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+
+	"cobra/internal/bits"
+)
+
+func TestStatsDelta(t *testing.T) {
+	since := Stats{Cycles: 10, Advanced: 7, Stalled: 3, Instructions: 40, Nops: 5, BlocksIn: 6, BlocksOut: 6}
+	now := Stats{Cycles: 25, Advanced: 20, Stalled: 5, Instructions: 100, Nops: 11, BlocksIn: 16, BlocksOut: 15}
+	want := Stats{Cycles: 15, Advanced: 13, Stalled: 2, Instructions: 60, Nops: 6, BlocksIn: 10, BlocksOut: 9}
+	if got := now.Delta(since); got != want {
+		t.Errorf("Delta = %+v, want %+v", got, want)
+	}
+}
+
+func TestStatsDeltaZeroAndAddInverse(t *testing.T) {
+	s := Stats{Cycles: 3, Advanced: 2, Stalled: 1, Instructions: 9, Nops: 4, BlocksIn: 2, BlocksOut: 2}
+	if got := s.Delta(s); got != (Stats{}) {
+		t.Errorf("s.Delta(s) = %+v, want zero", got)
+	}
+	// Add then Delta round-trips: (since + d).Delta(since) == d.
+	d := Stats{Cycles: 7, Advanced: 5, Stalled: 2, Instructions: 30, Nops: 1, BlocksIn: 4, BlocksOut: 3}
+	sum := s
+	sum.Add(d)
+	if got := sum.Delta(s); got != d {
+		t.Errorf("(s+d).Delta(s) = %+v, want %+v", got, d)
+	}
+}
+
+// TestStatsDeltaOnMachine checks Delta against live counters: the movement
+// between two snapshots equals an isolated measurement of the same work.
+func TestStatsDeltaOnMachine(t *testing.T) {
+	m := newMachine(t, 1)
+	if err := m.LoadProgram(buildWords(streamProgram(0xa5a5a5a5))); err != nil {
+		t.Fatal(err)
+	}
+	if reason, err := m.Run(Limits{}); err != nil || reason != StopWaitGo {
+		t.Fatalf("setup Run = %v, %v", reason, err)
+	}
+	runBlocks := func(n int) {
+		t.Helper()
+		blocks := make([]bits.Block128, n)
+		for i := range blocks {
+			blocks[i] = bits.Block128{uint32(i) + 1}
+		}
+		m.PushInput(blocks...)
+		m.Go = true
+		have := m.Stats().BlocksOut
+		if reason, err := m.Run(Limits{StopAfterOutputs: have + n}); err != nil || reason != StopOutputs {
+			t.Fatalf("Run = %v, %v", reason, err)
+		}
+	}
+
+	before := m.Stats()
+	runBlocks(4)
+	mid := m.Stats()
+	runBlocks(4)
+	after := m.Stats()
+
+	d1 := mid.Delta(before)
+	d2 := after.Delta(mid)
+	if d1.BlocksOut != 4 || d2.BlocksOut != 4 {
+		t.Fatalf("deltas cover %d and %d blocks, want 4 and 4", d1.BlocksOut, d2.BlocksOut)
+	}
+	// The steady state is periodic: equal work costs equal cycles.
+	if d1.Cycles != d2.Cycles || d1.Instructions != d2.Instructions {
+		t.Errorf("equal work, unequal deltas: %+v vs %+v", d1, d2)
+	}
+}
