@@ -10,6 +10,8 @@
 //	cobra-bench -figure 1       # architecture topology
 //	cobra-bench -batch 128      # batch size for the Table 3/6 sweep
 //	cobra-bench -json           # measured tables as JSON (for tooling)
+//	cobra-bench -fastpath       # trace-compiled executor vs interpreter
+//	cobra-bench -fastpath -json # ...archived in the JSON report
 package main
 
 import (
@@ -34,6 +36,7 @@ func main() {
 	keyHex := flag.String("key", strings.Repeat("00", 16), "key (hex)")
 	rows := flag.Int("rows", 4, "geometry rows for table 5")
 	jsonOut := flag.Bool("json", false, "emit the measured table metrics as JSON instead of text")
+	fastpath := flag.Bool("fastpath", false, "measure the trace-compiled executor against the interpreter")
 	flag.Parse()
 
 	key, err := hex.DecodeString(*keyHex)
@@ -85,6 +88,18 @@ func main() {
 		return
 	}
 
+	var fms []bench.FastpathMeasurement
+	if *fastpath {
+		fms, err = bench.MeasureFastpathAll(key, *batch)
+		if err != nil {
+			fatal(err)
+		}
+		if !*jsonOut {
+			fmt.Println(bench.FastpathTableText(fms))
+			return
+		}
+	}
+
 	needMeasurements := *table == 0 || *table == 3 || *table == 6 || *jsonOut
 	var ms []bench.Measurement
 	if needMeasurements {
@@ -95,7 +110,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		out, err := bench.ReportJSON(ms, *batch)
+		out, err := bench.ReportJSON(ms, fms, *batch)
 		if err != nil {
 			fatal(err)
 		}

@@ -22,16 +22,21 @@ type JSONReport struct {
 	Table6 []model.CGRow `json:"table6"`
 	// GatesBase is the Table 5 total for the base 4x4 geometry.
 	GatesBase int `json:"gates_base_4x4"`
+	// Fastpath archives the interpreter-vs-trace-compiled executor
+	// comparison (cobra-bench -fastpath); omitted when not measured.
+	Fastpath []FastpathMeasurement `json:"fastpath,omitempty"`
 }
 
-// ReportJSON renders the measured tables as indented JSON.
-func ReportJSON(ms []Measurement, batch int) ([]byte, error) {
+// ReportJSON renders the measured tables as indented JSON. fms may be nil
+// when the fastpath comparison was not requested.
+func ReportJSON(ms []Measurement, fms []FastpathMeasurement, batch int) ([]byte, error) {
 	r := JSONReport{
 		ATMRequirementMbps: ATMRequirementMbps,
 		Batch:              batch,
 		Table3:             ms,
 		Table6:             Table6Rows(ms),
 		GatesBase:          model.Table5(model.Table4(), datapath.BaseGeometry()).Total(),
+		Fastpath:           fms,
 	}
 	return json.MarshalIndent(r, "", "  ")
 }

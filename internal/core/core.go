@@ -19,6 +19,7 @@ import (
 	"cobra/internal/bits"
 	"cobra/internal/cipher"
 	"cobra/internal/datapath"
+	"cobra/internal/fastpath"
 	"cobra/internal/model"
 	"cobra/internal/program"
 	"cobra/internal/sim"
@@ -54,6 +55,12 @@ type Config struct {
 	// Unroll is the number of rounds mapped into hardware (Table 3's
 	// "Rnds"); 0 selects the full unroll (maximum throughput).
 	Unroll int
+	// Interpreter forces every encryption through the cycle-accurate
+	// interpreter even when the program trace-compiles (the comparison and
+	// debugging path; cobra-bench -fastpath measures against it). The
+	// default uses the fastpath executor for bulk modes when the program
+	// proves steady-state compilable.
+	Interpreter bool
 }
 
 // Device is one COBRA chip with loaded microcode.
@@ -75,6 +82,18 @@ type Device struct {
 	// block-at-a-time path (EncryptCBC), avoiding a fresh input and output
 	// slice per block.
 	oneBlk [1]bits.Block128
+
+	// fast is the trace-compiled executor (package fastpath) serving the
+	// bulk encryption paths; nil when compilation was refused (fastErr
+	// records why) or forced off (interpOnly). stats accumulates the
+	// per-call counter deltas of every bulk encryption regardless of the
+	// engine that ran it — the machine's own counters are zeroed whenever a
+	// streaming program reloads, so Report sums deltas instead of reading
+	// machine totals.
+	fast       *fastpath.Exec
+	fastErr    error
+	stats      sim.Stats
+	interpOnly bool
 
 	// Decryption datapath, built lazily on first DecryptECB call (in
 	// hardware terms: a second device, or this one re-loaded between
@@ -118,20 +137,55 @@ func Configure(alg Algorithm, key []byte, cfg Config) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Device{alg: alg, prog: p, machine: m, ref: ref, key: append([]byte(nil), key...)}
+	d := &Device{alg: alg, prog: p, machine: m, ref: ref,
+		key: append([]byte(nil), key...), interpOnly: cfg.Interpreter}
 	if err := d.load(); err != nil {
 		return nil, err
 	}
 	return d, nil
 }
 
-// load (re)loads the program and refreshes the timing analysis.
+// load (re)loads the program, refreshes the timing analysis, and
+// (re)compiles the fastpath trace — any previously compiled trace is
+// invalidated, since it encodes the old program's configuration schedule.
 func (d *Device) load() error {
 	if err := program.Load(d.machine, d.prog); err != nil {
 		return err
 	}
 	d.timing = model.Analyze(d.machine.Array, model.DefaultDelays())
+	d.fast, d.fastErr = nil, nil
+	d.stats = sim.Stats{}
+	if !d.interpOnly {
+		d.fast, d.fastErr = d.prog.Compile()
+	}
 	return nil
+}
+
+// UsesFastpath reports whether bulk encryption runs on the trace-compiled
+// executor rather than the cycle-accurate interpreter.
+func (d *Device) UsesFastpath() bool { return d.fast != nil }
+
+// FastpathErr returns why trace compilation was refused (nil when the
+// fastpath is active or was forced off by Config.Interpreter).
+func (d *Device) FastpathErr() error { return d.fastErr }
+
+// encryptInto routes a bulk block batch through the fastpath executor when
+// one is compiled, falling back to the interpreter otherwise. A machine
+// that has interpreted since its last load owns the in-flight stats chain,
+// so such a device stays on the interpreter.
+func (d *Device) encryptInto(dst, blocks []bits.Block128) (sim.Stats, error) {
+	var st sim.Stats
+	var err error
+	if d.fast != nil && !d.machine.Dirty() {
+		st, err = d.fast.EncryptInto(dst, blocks)
+	} else {
+		st, err = program.EncryptInto(d.machine, d.prog, dst, blocks)
+	}
+	if err != nil {
+		return st, err
+	}
+	d.stats.Add(st)
+	return st, nil
 }
 
 // Reconfigure switches the device to a new algorithm/key — the §1
@@ -146,10 +200,18 @@ func (d *Device) Reconfigure(alg Algorithm, key []byte, cfg Config) error {
 	if nd.prog.Geometry == d.prog.Geometry {
 		// Same silicon: reload microcode on the existing machine. The
 		// decryption datapath is dropped and rebuilt lazily for the new
-		// algorithm/key.
+		// algorithm/key, and the compiled trace is replaced by the new
+		// configuration's (nd already compiled it — no second recording).
 		d.alg, d.prog, d.ref, d.key = nd.alg, nd.prog, nd.ref, nd.key
 		d.decProg, d.decMachine = nil, nil
-		return d.load()
+		d.interpOnly = nd.interpOnly
+		if err := program.Load(d.machine, d.prog); err != nil {
+			return err
+		}
+		d.timing = nd.timing
+		d.fast, d.fastErr = nd.fast, nd.fastErr
+		d.stats = sim.Stats{}
+		return nil
 	}
 	*d = *nd
 	return nil
@@ -172,14 +234,23 @@ func (d *Device) BlockSize() int { return 16 }
 // streaming the blocks through the datapath in electronic-codebook mode,
 // the paper's measurement mode.
 func (d *Device) EncryptECB(src []byte) ([]byte, error) {
-	dst, _, err := program.EncryptBytes(d.machine, d.prog, src)
-	return dst, err
+	dst := make([]byte, len(src))
+	if _, err := d.EncryptECBInto(dst, src); err != nil {
+		return nil, err
+	}
+	return dst, nil
 }
 
 // EncryptBlocks encrypts 128-bit blocks in place of the byte API.
 func (d *Device) EncryptBlocks(blocks []bits.Block128) ([]bits.Block128, error) {
-	out, _, err := program.Encrypt(d.machine, d.prog, blocks)
-	return out, err
+	if len(blocks) == 0 {
+		return nil, nil
+	}
+	out := make([]bits.Block128, len(blocks))
+	if _, err := d.encryptInto(out, blocks); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // EncryptECBInto is EncryptECB writing into a caller-supplied buffer
@@ -187,7 +258,27 @@ func (d *Device) EncryptBlocks(blocks []bits.Block128) ([]bits.Block128, error) 
 // this call — the farm's worker path, where per-shard stats are aggregated
 // into a pool-wide report.
 func (d *Device) EncryptECBInto(dst, src []byte) (sim.Stats, error) {
-	return program.EncryptBytesInto(d.machine, d.prog, dst, src)
+	if len(src)%16 != 0 {
+		return sim.Stats{}, fmt.Errorf("core: input length %d is not a multiple of the block size", len(src))
+	}
+	if len(dst) < len(src) {
+		return sim.Stats{}, fmt.Errorf("core: dst is %d bytes, need %d", len(dst), len(src))
+	}
+	if len(src) == 0 {
+		return sim.Stats{}, nil
+	}
+	blocks := make([]bits.Block128, len(src)/16)
+	for i := range blocks {
+		blocks[i] = bits.LoadBlock128(src[16*i:])
+	}
+	stats, err := d.encryptInto(blocks, blocks)
+	if err != nil {
+		return stats, err
+	}
+	for i, blk := range blocks {
+		blk.StoreBlock128(dst[16*i:])
+	}
+	return stats, nil
 }
 
 // encryptBlockInPlace runs a single block through the datapath, reusing
@@ -195,7 +286,7 @@ func (d *Device) EncryptECBInto(dst, src []byte) (sim.Stats, error) {
 // slice allocations.
 func (d *Device) encryptBlockInPlace(b *[16]byte) error {
 	d.oneBlk[0] = bits.LoadBlock128(b[:])
-	if _, err := program.EncryptInto(d.machine, d.prog, d.oneBlk[:], d.oneBlk[:]); err != nil {
+	if _, err := d.encryptInto(d.oneBlk[:], d.oneBlk[:]); err != nil {
 		return err
 	}
 	d.oneBlk[0].StoreBlock128(b[:])
@@ -303,7 +394,7 @@ func (d *Device) EncryptCTRInto(dst, iv, src []byte) (sim.Stats, error) {
 		ctrs[i] = bits.LoadBlock128(c[:])
 		incCounter(&c)
 	}
-	stats, err := program.EncryptInto(d.machine, d.prog, ctrs, ctrs)
+	stats, err := d.encryptInto(ctrs, ctrs)
 	if err != nil {
 		return sim.Stats{}, err
 	}
@@ -421,9 +512,12 @@ type Report struct {
 }
 
 // Report returns the accumulated performance counters combined with the
-// timing and area models — the quantities Tables 3, 5 and 6 report.
+// timing and area models — the quantities Tables 3, 5 and 6 report. The
+// counters sum every bulk encryption since configuration (or ResetStats)
+// across both engines: interpreter runs and fastpath runs (which report
+// the cycles the interpreter would have spent) accumulate identically.
 func (d *Device) Report() Report {
-	st := d.machine.Stats()
+	st := d.stats
 	cpb := 0.0
 	if st.BlocksOut > 0 {
 		cpb = float64(st.Cycles) / float64(st.BlocksOut)
@@ -443,7 +537,10 @@ func (d *Device) Report() Report {
 }
 
 // ResetStats zeroes the performance counters between measurement phases.
-func (d *Device) ResetStats() { d.machine.ResetStats() }
+func (d *Device) ResetStats() {
+	d.machine.ResetStats()
+	d.stats = sim.Stats{}
+}
 
 // Describe renders the configured architecture topology (figure 1 style).
 func (d *Device) Describe() string { return d.machine.Array.Describe() }

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/hex"
+	"fmt"
 	"testing"
 
 	"cobra/internal/cipher"
@@ -49,62 +50,74 @@ const (
 // depth so the vectors cover both the iterative and streaming pipelines.
 func nistUnrolls() []int { return []int{1, 2, 5, 10} }
 
+// forEachNISTDevice runs f on a device for every unroll depth × execution
+// engine: the trace-compiled fastpath (the default) and the forced
+// cycle-accurate interpreter, so the official vectors pin both executors
+// independently.
+func forEachNISTDevice(t *testing.T, f func(t *testing.T, label string, d *Device)) {
+	t.Helper()
+	for _, u := range nistUnrolls() {
+		for _, interp := range []bool{false, true} {
+			engine := "fastpath"
+			if interp {
+				engine = "interpreter"
+			}
+			d, err := Configure(Rijndael, unhex(t, nistKey), Config{Unroll: u, Interpreter: interp})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !interp && !d.UsesFastpath() {
+				t.Fatalf("unroll %d: fastpath refused: %v", u, d.FastpathErr())
+			}
+			f(t, fmt.Sprintf("unroll %d/%s", u, engine), d)
+		}
+	}
+}
+
 func TestRijndaelECBMatchesSP800_38A(t *testing.T) {
 	pt, want := unhex(t, nistPT), unhex(t, nistECB)
-	for _, u := range nistUnrolls() {
-		d, err := Configure(Rijndael, unhex(t, nistKey), Config{Unroll: u})
-		if err != nil {
-			t.Fatal(err)
-		}
+	forEachNISTDevice(t, func(t *testing.T, label string, d *Device) {
 		got, err := d.EncryptECB(pt)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(got, want) {
-			t.Errorf("unroll %d: ECB = %x, want %x", u, got, want)
+			t.Errorf("%s: ECB = %x, want %x", label, got, want)
 		}
-	}
+	})
 }
 
 func TestRijndaelCBCMatchesSP800_38A(t *testing.T) {
 	pt, iv, want := unhex(t, nistPT), unhex(t, nistCBCIV), unhex(t, nistCBC)
-	for _, u := range nistUnrolls() {
-		d, err := Configure(Rijndael, unhex(t, nistKey), Config{Unroll: u})
-		if err != nil {
-			t.Fatal(err)
-		}
+	forEachNISTDevice(t, func(t *testing.T, label string, d *Device) {
 		got, err := d.EncryptCBC(iv, pt)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(got, want) {
-			t.Errorf("unroll %d: CBC = %x, want %x", u, got, want)
+			t.Errorf("%s: CBC = %x, want %x", label, got, want)
 		}
 		back, err := d.DecryptCBC(iv, got)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(back, pt) {
-			t.Errorf("unroll %d: CBC round trip failed", u)
+			t.Errorf("%s: CBC round trip failed", label)
 		}
-	}
+	})
 }
 
 func TestRijndaelCTRMatchesSP800_38A(t *testing.T) {
 	pt, iv, want := unhex(t, nistPT), unhex(t, nistCTRIV), unhex(t, nistCTR)
-	for _, u := range nistUnrolls() {
-		d, err := Configure(Rijndael, unhex(t, nistKey), Config{Unroll: u})
-		if err != nil {
-			t.Fatal(err)
-		}
+	forEachNISTDevice(t, func(t *testing.T, label string, d *Device) {
 		got, err := d.EncryptCTR(iv, pt)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(got, want) {
-			t.Errorf("unroll %d: CTR = %x, want %x", u, got, want)
+			t.Errorf("%s: CTR = %x, want %x", label, got, want)
 		}
-	}
+	})
 }
 
 // refCTR generates the counter-mode ciphertext with a host reference

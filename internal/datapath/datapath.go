@@ -276,6 +276,35 @@ func (a *Array) SetCapture(col int, cfg isa.CaptureCfg) {
 	a.capture[col&3] = captureState{enabled: cfg.Enabled, bank: cfg.Bank, addr: cfg.Addr}
 }
 
+// Whitening returns one column's whitening register configuration for
+// inspection (the fastpath recorder snapshots it per cycle).
+func (a *Array) Whitening(col int) isa.WhiteCfg {
+	w := a.white[col&3]
+	return isa.WhiteCfg{Col: uint8(col & 3), Mode: w.mode, In: w.atInput, Key: w.key}
+}
+
+// Capture returns one column's eRAM capture port configuration for
+// inspection.
+func (a *Array) Capture(col int) isa.CaptureCfg {
+	c := a.capture[col&3]
+	return isa.CaptureCfg{Enabled: c.enabled, Bank: c.bank, Addr: c.addr}
+}
+
+// Held reports whether the RCE at (row, col) has its output register frozen
+// by a narrow-scope OpDisOut.
+func (a *Array) Held(row, col int) bool { return a.hold[row][col] }
+
+// RegValue returns the current output-register contents of the RCE at
+// (row, col); meaningful only for registered RCEs.
+func (a *Array) RegValue(row, col int) uint32 { return a.regState[row][col] }
+
+// Feedback returns the current feedback-register contents (the whitened
+// output of the last advancing cycle, as the feedback multiplexor sees it).
+func (a *Array) Feedback() bits.Block128 { return a.feedback }
+
+// PlaybackAddr returns the eRAM playback address counter.
+func (a *Array) PlaybackAddr() uint8 { return a.playAddr }
+
 // Output returns the whitened output of the most recent advancing cycle.
 func (a *Array) Output() bits.Block128 { return a.output }
 

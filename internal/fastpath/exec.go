@@ -1,0 +1,198 @@
+package fastpath
+
+import (
+	"cobra/internal/bits"
+	"cobra/internal/datapath"
+	"cobra/internal/isa"
+	"cobra/internal/sim"
+)
+
+// runSeg replays a compiled cycle segment from index start: the executor's
+// inner loop. Each cycle's attributed counters are accumulated into acc, so
+// the total matches the interpreter's delta for the same stretch. The
+// segment stops immediately after the cycle that emits the want-th output —
+// exactly where the interpreter's run would stop — and returns the index
+// one past the last executed cycle (len(ticks) when it ran to the end).
+// Stall cycles only move counters; enabled cycles move one 128-bit vector
+// down the array exactly as datapath.Tick would, but with every
+// configuration decision pre-resolved.
+func (e *Exec) runSeg(ticks []cTick, start int, in []bits.Block128, inPos *int, dst []bits.Block128, want int, outPos *int, acc *sim.Stats) int {
+	for t := start; t < len(ticks); t++ {
+		ct := &ticks[t]
+		acc.Add(ct.stats)
+		if !ct.enabled {
+			continue
+		}
+		var vec bits.Block128
+		switch ct.inMode {
+		case isa.InExternal:
+			vec = in[*inPos]
+			*inPos++
+		case isa.InFeedback:
+			vec = e.fb
+		default:
+			vec = ct.eramVec
+		}
+		if ct.anyWhite {
+			for c := 0; c < datapath.Cols; c++ {
+				vec[c] = ct.whiteIn[c].apply(vec[c])
+			}
+		}
+
+		prev := vec
+		for r := range ct.rows {
+			row := &ct.rows[r]
+			if row.shuffle != nil {
+				vec = shuffleBytes(vec, row.shuffle)
+			}
+			rowIn := vec
+			var out bits.Block128
+			regRow := &e.reg[r]
+			for c := 0; c < datapath.Cols; c++ {
+				cell := &row.cells[c]
+				if cell.passthrough {
+					out[c] = vec[c]
+					continue
+				}
+				if cell.regOnly {
+					out[c] = regRow[c]
+					continue
+				}
+				var x uint32
+				if cell.insel < 4 {
+					x = vec[cell.insel]
+				} else {
+					x = prev[cell.insel-4]
+				}
+				x = evalSteps(cell.steps, x, &vec)
+				if cell.reg {
+					// In-place swap is safe: regRow[c] is read only by this
+					// cell within the cycle.
+					out[c] = regRow[c]
+					regRow[c] = x
+				} else {
+					out[c] = x
+				}
+			}
+			vec = out
+			prev = rowIn
+		}
+
+		if ct.anyWhite {
+			for c := 0; c < datapath.Cols; c++ {
+				vec[c] = ct.whiteOut[c].apply(vec[c])
+			}
+		}
+		e.fb = vec
+		if ct.emit {
+			dst[*outPos] = vec
+			*outPos++
+			if *outPos == want {
+				return t + 1
+			}
+		}
+	}
+	return len(ticks)
+}
+
+// evalSteps runs one RCE's compiled element chain.
+func evalSteps(steps []step, x uint32, vec *bits.Block128) uint32 {
+	for i := range steps {
+		st := &steps[i]
+		switch st.kind {
+		case stXorImm:
+			x ^= st.imm
+		case stXorBlk:
+			x ^= preShift(vec[st.src], st.aux, st.flag)
+		case stAddImm:
+			x = bits.AddMod(x, st.imm, bits.Width(st.aux))
+		case stAddBlk:
+			x = bits.AddMod(x, vec[st.src], bits.Width(st.aux))
+		case stRotlImm:
+			x = bits.RotL(x, uint(st.aux))
+		case stRotlVar:
+			x = bits.RotL(x, varAmt(vec[st.src], st.flag))
+		case stShlImm:
+			x = bits.Shl(x, uint(st.aux))
+		case stShrImm:
+			x = bits.Shr(x, uint(st.aux))
+		case stShlVar:
+			x = bits.Shl(x, varAmt(vec[st.src], st.flag))
+		case stShrVar:
+			x = bits.Shr(x, varAmt(vec[st.src], st.flag))
+		case stAndImm:
+			x &= st.imm
+		case stAndBlk:
+			x &= preShift(vec[st.src], st.aux, st.flag)
+		case stOrImm:
+			x |= st.imm
+		case stOrBlk:
+			x |= preShift(vec[st.src], st.aux, st.flag)
+		case stSubImm:
+			x = bits.SubMod(x, st.imm, bits.Width(st.aux))
+		case stSubBlk:
+			x = bits.SubMod(x, vec[st.src], bits.Width(st.aux))
+		case stS8:
+			t := &st.lut.S8
+			x = uint32(t[0][uint8(x)]) |
+				uint32(t[1][uint8(x>>8)])<<8 |
+				uint32(t[2][uint8(x>>16)])<<16 |
+				uint32(t[3][uint8(x>>24)])<<24
+		case stS4:
+			base := uint32(st.aux) * 16
+			t := &st.lut.S4
+			var out uint32
+			for lane := 0; lane < 8; lane++ {
+				n := x >> (4 * uint(lane)) & 0xf
+				out |= uint32(t[lane/2][base+n]&0xf) << (4 * uint(lane))
+			}
+			x = out
+		case stS8to32:
+			b := uint8(x >> (8 * uint(st.aux)))
+			t := &st.lut.S8
+			x = uint32(t[0][b]) | uint32(t[1][b])<<8 | uint32(t[2][b])<<16 | uint32(t[3][b])<<24
+		case stMulImm:
+			x = bits.MulMod(x, st.imm, bits.Width(st.aux))
+		case stMulBlk:
+			x = bits.MulMod(x, vec[st.src], bits.Width(st.aux))
+		case stSquare:
+			x = bits.SquareMod32(x)
+		case stGFTab:
+			t := st.gf
+			x = t[0][x&0xff] ^ t[1][x>>8&0xff] ^ t[2][x>>16&0xff] ^ t[3][x>>24]
+		}
+	}
+	return x
+}
+
+// varAmt extracts a data-dependent shift amount: the low five bits of the
+// selected block, negated mod 32 when the E element's Neg stage is active.
+func varAmt(v uint32, neg bool) uint {
+	amt := uint(v & 31)
+	if neg {
+		amt = (32 - amt) & 31
+	}
+	return amt
+}
+
+// preShift applies an A element's fixed operand pre-shift.
+func preShift(v uint32, amt uint8, rot bool) uint32 {
+	if amt == 0 {
+		return v
+	}
+	if rot {
+		return bits.RotL(v, uint(amt))
+	}
+	return bits.Shl(v, uint(amt))
+}
+
+// shuffleBytes permutes the 16 bytes of the stream through a compiled
+// shuffler permutation (perm[dst] = src byte index).
+func shuffleBytes(v bits.Block128, perm *[16]uint8) bits.Block128 {
+	var out bits.Block128
+	for dst := 0; dst < 16; dst++ {
+		b := uint8(v[perm[dst]>>2] >> (8 * uint(perm[dst]&3)))
+		out[dst>>2] |= uint32(b) << (8 * uint(dst&3))
+	}
+	return out
+}

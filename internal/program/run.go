@@ -28,6 +28,7 @@ func Load(m *sim.Machine, p *Program) error {
 		return fmt.Errorf("program: setup stopped with %v, want idle at ready", reason)
 	}
 	m.ResetStats()
+	m.MarkClean()
 	return nil
 }
 

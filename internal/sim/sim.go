@@ -150,6 +150,13 @@ type Machine struct {
 	// address (debug aid; the cobra-sim tool wires this to -trace).
 	Trace func(addr int, in isa.Instr)
 
+	// TickHook, when non-nil, runs immediately before every datapath cycle,
+	// after the window's instructions have executed — i.e. with the array
+	// configuration exactly as the cycle will see it. internal/fastpath uses
+	// it to record the resolved per-cycle datapath state for trace
+	// compilation; the hook must not mutate the machine.
+	TickHook func()
+
 	stats   Stats
 	inQ     []bits.Block128
 	outputs []bits.Block128
@@ -185,10 +192,18 @@ func (m *Machine) LoadProgram(words []isa.Word) error {
 }
 
 // Dirty reports whether the machine has executed anything since the last
-// program load. Streaming (non-feedback) programs never return to the idle
-// point, so a dirty machine may hold in-flight pipeline contents; callers
-// that need a deterministic pipeline reload first.
+// program load settled (program.Load marks the post-setup idle point clean
+// via MarkClean). Streaming (non-feedback) programs never return to the
+// idle point, so a dirty machine may hold in-flight pipeline contents;
+// callers that need a deterministic pipeline reload first, and
+// program.EncryptFastInto keeps a dirty machine on the interpreter.
 func (m *Machine) Dirty() bool { return m.dirty }
+
+// MarkClean records that the machine sits at a well-defined idle point —
+// the load sequence's setup phase has settled and no bulk encryption has
+// run. program.Load calls it so that Dirty distinguishes "has encrypted
+// since load" from "has run at all".
+func (m *Machine) MarkClean() { m.dirty = false }
 
 // PushInput queues external blocks for the input bus.
 func (m *Machine) PushInput(blocks ...bits.Block128) {
@@ -259,6 +274,9 @@ func (m *Machine) Run(lim Limits) (StopReason, error) {
 		m.slot = 0
 
 		// End of instruction window: one datapath clock cycle.
+		if m.TickHook != nil {
+			m.TickHook()
+		}
 		res := m.tick()
 		m.stats.Cycles++
 		cycleBudget--
