@@ -10,6 +10,12 @@
 //	cobra-vet prog.casm             # lint an assembled source file
 //	cobra-vet -window 4 prog.casm   # ...against an instruction window
 //	cobra-vet -rows 8 prog.casm     # ...against a taller geometry
+//	cobra-vet -dataflow -builtin    # ...plus the dataflow analyzers
+//
+// With -dataflow each program additionally runs package dataflow's abstract
+// walk: uninitialized-read, dead-element/dead-store, key/plaintext taint,
+// and static per-window timing, reported with the effective-gate-count
+// summary.
 //
 // Exit status is 1 if any program produced a finding.
 package main
@@ -22,6 +28,8 @@ import (
 
 	"cobra/internal/asm"
 	"cobra/internal/bench"
+	"cobra/internal/dataflow"
+	"cobra/internal/isa"
 	"cobra/internal/program"
 	"cobra/internal/vet"
 )
@@ -31,6 +39,7 @@ func main() {
 	rows := flag.Int("rows", 4, "geometry rows for .casm files")
 	window := flag.Int("window", 1, "instruction window size for .casm files")
 	keyHex := flag.String("key", "000102030405060708090a0b0c0d0e0f", "key for the built-in builds (hex)")
+	dflow := flag.Bool("dataflow", false, "also run the word-level dataflow analyzers (def-use, liveness, taint, static timing)")
 	flag.Parse()
 
 	if !*builtin && flag.NArg() == 0 {
@@ -49,6 +58,29 @@ func main() {
 			fmt.Printf("%s: %s\n", name, f)
 		}
 	}
+	// reportFlow prints a program's dataflow result: findings (or "flow
+	// clean"), then the gate and timing summary for closed walks.
+	reportFlow := func(name string, res *dataflow.Result) {
+		if len(res.Findings) == 0 {
+			fmt.Printf("%-24s flow clean", name)
+		} else {
+			dirty = true
+			fmt.Println()
+			for _, f := range res.Findings {
+				fmt.Printf("%s: %s\n", name, f)
+			}
+			fmt.Printf("%-24s", name)
+		}
+		if res.Complete && res.Outputs > 0 {
+			fmt.Printf("  %d/%d elems live (%d/%d gates)",
+				res.Gates.LiveElems, res.Gates.ConfiguredElems,
+				res.Gates.LiveGates, res.Gates.ConfiguredGates)
+			if res.Timing.Configs > 0 {
+				fmt.Printf("  %.3f MHz over %d cfgs", res.Timing.DatapathMHz, res.Timing.Configs)
+			}
+		}
+		fmt.Println()
+	}
 
 	if *builtin {
 		key, err := hex.DecodeString(*keyHex)
@@ -60,6 +92,9 @@ func main() {
 		}
 		for _, p := range builtins(key) {
 			report(p.Name, p.Vet())
+			if *dflow {
+				reportFlow(p.Name, p.Analyze())
+			}
 		}
 	}
 
@@ -73,6 +108,17 @@ func main() {
 			fatal(fmt.Errorf("%s: %v", path, err))
 		}
 		report(path, vet.CheckWords(words, vet.Config{Rows: *rows, Window: *window}))
+		if *dflow {
+			ins := make([]isa.Instr, len(words))
+			for i, w := range words {
+				in, err := isa.Unpack(w)
+				if err != nil {
+					fatal(fmt.Errorf("%s: word %d: %v", path, i, err))
+				}
+				ins[i] = in
+			}
+			reportFlow(path, dataflow.Analyze(ins, dataflow.Config{Rows: *rows, Window: *window}))
+		}
 	}
 
 	if dirty {

@@ -1,0 +1,1004 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+
+	"cobra/internal/datapath"
+	"cobra/internal/isa"
+	"cobra/internal/model"
+	"cobra/internal/rce"
+	"cobra/internal/vet"
+)
+
+// maxSteps bounds the abstract walk (instruction fetches), matching the
+// simulator's default cycle guard in spirit: a program that has not closed
+// its abstract state cycle within this budget gets a walk-budget finding
+// instead of a hang.
+const maxSteps = 1 << 22
+
+// A fact is one definition source a word can depend on. Facts are dense
+// uint32 IDs: the two input facts are fixed, the rest are allocated on
+// first use and described by the fact tables below.
+type factID = uint32
+
+const (
+	factPlain factID = 0 // external input consumed without KEYREQ
+	factKey   factID = 1 // key material: KEYREQ input, whitening keys, stores
+	factFirst factID = 2 // first dynamically allocated fact
+)
+
+// factKind distinguishes the dynamically allocated fact classes.
+type factKind uint8
+
+const (
+	factElem   factKind = iota // element instance (row, col, elem)
+	factStore                  // OpERAMWrite instruction (iRAM address)
+	factUninit                 // never-written eRAM cell read (cell index)
+	factReg                    // power-up register contents (row, col)
+	factFB                     // power-up feedback register (col)
+)
+
+// factInfo describes one allocated fact.
+type factInfo struct {
+	kind factKind
+	a, b int // kind-dependent: (row*Cols+col, elem), (addr, 0), (cell, consumerAddr), ...
+}
+
+// engine is the abstract interpreter: a mirror of sim.Machine.Run over
+// interned fact sets instead of 32-bit words.
+type engine struct {
+	prog []isa.Instr
+	cfg  Config
+
+	// arr is the configuration shadow: every configuration opcode is applied
+	// to it, but it is never Ticked — the abstract tick below reads its
+	// decoded state through the same accessors the simulator uses.
+	arr *datapath.Array
+
+	// Fact interning.
+	facts     []factInfo // facts[id-factFirst]
+	factIndex map[factInfo]factID
+	single    map[factID]int // fact → set id of {fact}
+
+	// Set interning: sets[id] is a sorted fact slice; setIndex maps its
+	// rendered key; joinMemo caches pairwise joins.
+	sets     [][]factID
+	setIndex map[string]int
+	joinMemo map[uint64]int
+
+	// Abstract machine state.
+	pc         int
+	slot       int
+	flags      uint16
+	inputAvail bool        // an external block is available at every consume point
+	eram       map[int]int // cell index → set id; absent = never written
+	reg        [][datapath.Cols]int
+	fb         [datapath.Cols]int
+
+	// Where configuration came from: per (cell, elem) the iRAM address of
+	// the most recent OpCfgElem, used to place findings.
+	cfgAddr map[int]int // (row*Cols+col)*16+elem → addr
+
+	// Incremental fingerprint components (XOR-mixed hashes).
+	cfgHash    uint64         // all element control words
+	timingHash uint64         // control words excluding INSEL and ER
+	cfgWords   map[int]uint64 // (cell*16+elem) → current data (for XOR-out)
+	eramHash   uint64
+	regHash    uint64
+	holdHash   uint64
+	shufHash   uint64
+	lutHash    uint64
+	whiteHash  uint64
+	captHash   uint64
+
+	// Liveness accumulation.
+	live       map[factID]bool // facts reaching collected outputs
+	outSeen    map[[2]int]bool // (col, set id) pairs already processed
+	outputs    int
+	dvalidAddr int // address of the FLAG instruction that set DVALID
+	inmuxAddr  int // address of the most recent OpCfgInMux
+
+	// Analyzer event records.
+	uninitEvents map[int]int     // cell index → first consumer iRAM address
+	storeAddrs   map[int]bool    // executed OpERAMWrite addresses
+	taintCols    map[[2]int]bool // (col, missing-fact) reported
+
+	// Inventory: element instances seen active at an advancing cycle, and
+	// distinct timing configurations folded through the model.
+	inventory   map[[3]int]bool // (row, col, elem)
+	timingSeen  map[uint64]bool
+	timingWorst model.Timing
+	timingCount int
+
+	// Termination.
+	seen     map[string]bool
+	steps    int
+	complete bool
+	budget   bool // walk-budget exhausted
+	execErr  *vet.Finding
+	findings []vet.Finding
+}
+
+// cellIndex flattens an eRAM reference.
+func cellIndex(col, bank, addr int) int {
+	return ((col&3)*datapath.ERAMBanks+(bank&3))*datapath.ERAMWords + (addr & 0xff)
+}
+
+func cellRef(idx int) datapath.ERAMRef {
+	return datapath.ERAMRef{
+		Col:  idx / (datapath.ERAMBanks * datapath.ERAMWords),
+		Bank: idx / datapath.ERAMWords % datapath.ERAMBanks,
+		Addr: idx % datapath.ERAMWords,
+	}
+}
+
+func newEngine(prog []isa.Instr, cfg Config) (*engine, error) {
+	arr, err := datapath.New(datapath.Geometry{Rows: cfg.Rows})
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		prog:         prog,
+		cfg:          cfg,
+		arr:          arr,
+		factIndex:    make(map[factInfo]factID),
+		single:       make(map[factID]int),
+		setIndex:     make(map[string]int),
+		joinMemo:     make(map[uint64]int),
+		eram:         make(map[int]int),
+		reg:          make([][datapath.Cols]int, cfg.Rows),
+		cfgAddr:      make(map[int]int),
+		cfgWords:     make(map[int]uint64),
+		live:         make(map[factID]bool),
+		outSeen:      make(map[[2]int]bool),
+		uninitEvents: make(map[int]int),
+		storeAddrs:   make(map[int]bool),
+		taintCols:    make(map[[2]int]bool),
+		inventory:    make(map[[3]int]bool),
+		timingSeen:   make(map[uint64]bool),
+		seen:         make(map[string]bool),
+		dvalidAddr:   -1,
+	}
+	e.sets = append(e.sets, nil) // set 0 = empty
+	// Power-up register and feedback contents are distinct uninitialized
+	// facts: reads of them are tracked through the chains like any other
+	// definition, and pipeline-fill garbage is distinguishable from real
+	// data.
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < datapath.Cols; c++ {
+			e.reg[r][c] = e.singleton(e.fact(factInfo{kind: factReg, a: r, b: c}))
+		}
+	}
+	for c := 0; c < datapath.Cols; c++ {
+		e.fb[c] = e.singleton(e.fact(factInfo{kind: factFB, a: c}))
+	}
+	return e, nil
+}
+
+// --- fact/set interning ------------------------------------------------------
+
+func (e *engine) fact(info factInfo) factID {
+	if id, ok := e.factIndex[info]; ok {
+		return id
+	}
+	id := factID(len(e.facts)) + factFirst
+	e.facts = append(e.facts, info)
+	e.factIndex[info] = id
+	return id
+}
+
+func (e *engine) factDesc(id factID) factInfo {
+	return e.facts[id-factFirst]
+}
+
+// singleton returns the set id of {f}.
+func (e *engine) singleton(f factID) int {
+	if id, ok := e.single[f]; ok {
+		return id
+	}
+	id := e.intern([]factID{f})
+	e.single[f] = id
+	return id
+}
+
+// intern returns the id of a sorted, deduplicated fact slice.
+func (e *engine) intern(fs []factID) int {
+	if len(fs) == 0 {
+		return 0
+	}
+	key := make([]byte, 0, len(fs)*4)
+	for _, f := range fs {
+		key = append(key, byte(f), byte(f>>8), byte(f>>16), byte(f>>24))
+	}
+	k := string(key)
+	if id, ok := e.setIndex[k]; ok {
+		return id
+	}
+	id := len(e.sets)
+	e.sets = append(e.sets, append([]factID(nil), fs...))
+	e.setIndex[k] = id
+	return id
+}
+
+// join returns the id of the union of two interned sets.
+func (e *engine) join(a, b int) int {
+	if a == b || b == 0 {
+		return a
+	}
+	if a == 0 {
+		return b
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	memoKey := uint64(lo)<<32 | uint64(hi)
+	if id, ok := e.joinMemo[memoKey]; ok {
+		return id
+	}
+	x, y := e.sets[lo], e.sets[hi]
+	merged := make([]factID, 0, len(x)+len(y))
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i] < y[j]:
+			merged = append(merged, x[i])
+			i++
+		case x[i] > y[j]:
+			merged = append(merged, y[j])
+			j++
+		default:
+			merged = append(merged, x[i])
+			i++
+			j++
+		}
+	}
+	merged = append(merged, x[i:]...)
+	merged = append(merged, y[j:]...)
+	id := e.intern(merged)
+	e.joinMemo[memoKey] = id
+	return id
+}
+
+// has reports whether interned set s contains fact f.
+func (e *engine) has(s int, f factID) bool {
+	for _, g := range e.sets[s] {
+		if g == f {
+			return true
+		}
+		if g > f {
+			return false
+		}
+	}
+	return false
+}
+
+// --- hashing helpers ---------------------------------------------------------
+
+// mix is a 64-bit finalizer (splitmix64-style) used for the incremental
+// XOR-accumulated fingerprint components.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func mix2(a, b uint64) uint64 { return mix(a*0x9e3779b97f4a7c15 + b + 1) }
+
+// --- configuration mirror ----------------------------------------------------
+
+// timingRelevant reports whether an element's control word affects static
+// timing (everything except INSEL routing and the ER read-port address;
+// model.Analyze ignores both).
+func timingRelevant(el isa.Elem) bool {
+	return el != isa.ElemInsel && el != isa.ElemER && el != isa.ElemOut
+}
+
+// applyElem mirrors OpCfgElem: install on the shadow array and maintain the
+// incremental configuration hashes and provenance map.
+func (e *engine) applyElem(addr int, s isa.Slice, el isa.Elem, data uint64) error {
+	if err := e.arr.ApplyElem(s, el, data); err != nil {
+		return err
+	}
+	// Record provenance and hash deltas for exactly the cells the datapath
+	// touched (its forEach semantics, including the broadcast-D skip).
+	e.forEach(s, func(r, c int) {
+		if el == isa.ElemD && !datapath.MulColumn(c) && s.Scope != isa.ScopeOne {
+			return
+		}
+		key := (r*datapath.Cols+c)*16 + int(el)
+		old := e.cfgWords[key]
+		if old == data {
+			e.cfgAddr[key] = addr
+			return
+		}
+		h0 := mix2(uint64(key), old)
+		h1 := mix2(uint64(key), data)
+		e.cfgHash ^= h0 ^ h1
+		if timingRelevant(el) {
+			e.timingHash ^= h0 ^ h1
+		}
+		e.cfgWords[key] = data
+		e.cfgAddr[key] = addr
+	})
+	return nil
+}
+
+// forEach enumerates the cells a slice addresses (the datapath's own scope
+// semantics). Out-of-range rows are skipped: the shadow array's own Apply
+// call reports the fault and the walk stops, so the hash deltas for a
+// faulting instruction never matter.
+func (e *engine) forEach(s isa.Slice, f func(r, c int)) {
+	rows := e.cfg.Rows
+	switch s.Scope {
+	case isa.ScopeOne:
+		if int(s.Row) < rows {
+			f(int(s.Row), int(s.Col))
+		}
+	case isa.ScopeCol:
+		for r := 0; r < rows; r++ {
+			f(r, int(s.Col))
+		}
+	case isa.ScopeRow:
+		if int(s.Row) >= rows {
+			return
+		}
+		for c := 0; c < datapath.Cols; c++ {
+			f(int(s.Row), c)
+		}
+	default:
+		for r := 0; r < rows; r++ {
+			for c := 0; c < datapath.Cols; c++ {
+				f(r, c)
+			}
+		}
+	}
+}
+
+// --- the walk ----------------------------------------------------------------
+
+func (e *engine) fail(addr int, msg string) {
+	f := vet.Finding{Addr: addr, Sev: vet.Error, Code: "exec-fault", Msg: msg}
+	e.execErr = &f
+}
+
+// run walks the instruction trace until the abstract state repeats, the
+// program halts, an execution fault occurs, or the budget runs out.
+func (e *engine) run() {
+	for {
+		if e.steps >= maxSteps {
+			e.budget = true
+			return
+		}
+		e.steps++
+		if e.pc < 0 || e.pc >= len(e.prog) {
+			e.fail(e.pc, fmt.Sprintf("control falls off the program (pc=%#x)", e.pc))
+			return
+		}
+		addr := e.pc
+		in := e.prog[addr]
+		e.pc++
+		halt, ready := e.execute(addr, in)
+		if e.execErr != nil {
+			return
+		}
+		if halt {
+			e.complete = true
+			return
+		}
+		if ready {
+			// Idle point: the window resynchronizes and (first time) external
+			// input becomes available. Fingerprint here too — steady-state
+			// loops in feedback programs close their cycle at idle points.
+			e.slot = 0
+			e.inputAvail = true
+			if e.checkpoint(1) {
+				e.complete = true
+				return
+			}
+			continue
+		}
+		e.slot++
+		if e.slot < e.cfg.Window {
+			continue
+		}
+		e.slot = 0
+		e.tick()
+		if e.checkpoint(0) {
+			e.complete = true
+			return
+		}
+	}
+}
+
+// execute mirrors sim.Machine.execute over the abstract state. ready
+// reports a ready-flag raise (idle point).
+func (e *engine) execute(addr int, in isa.Instr) (halt, ready bool) {
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpCfgElem:
+		if err := e.applyElem(addr, in.Slice, in.Elem, in.Data); err != nil {
+			e.fail(addr, err.Error())
+		}
+	case isa.OpEnOut, isa.OpDisOut:
+		enable := in.Op == isa.OpEnOut
+		if in.Slice.Scope != isa.ScopeAll {
+			// Hash the hold-state delta before the array mutates it.
+			e.forEach(in.Slice, func(r, c int) {
+				if e.arr.Held(r, c) == !enable {
+					return
+				}
+				e.holdHash ^= mix2(uint64(r*datapath.Cols+c), 0x48)
+			})
+		}
+		if err := e.arr.SetOutEnable(in.Slice, enable); err != nil {
+			e.fail(addr, err.Error())
+		}
+	case isa.OpLoadLUT:
+		e.forEach(in.Slice, func(r, c int) {
+			cell := r*datapath.Cols + c
+			e.lutHash ^= e.lutGroupHash(cell, r, c, in.LUT)
+		})
+		if err := e.arr.LoadLUT(in.Slice, in.LUT, in.Data); err != nil {
+			e.fail(addr, err.Error())
+			return
+		}
+		e.forEach(in.Slice, func(r, c int) {
+			cell := r*datapath.Cols + c
+			e.lutHash ^= e.lutGroupHash(cell, r, c, in.LUT)
+		})
+	case isa.OpCfgShuf:
+		idx := int(in.Slice.Row)
+		if idx < 0 || idx >= e.cfg.Rows/2 {
+			e.fail(addr, fmt.Sprintf("shuffler %d out of range", idx))
+			return
+		}
+		e.shufHash ^= e.shufHashOf(idx)
+		if err := e.arr.SetShuffler(idx, isa.DecodeShuf(in.Data)); err != nil {
+			e.fail(addr, err.Error())
+			return
+		}
+		e.shufHash ^= e.shufHashOf(idx)
+	case isa.OpCfgInMux:
+		e.arr.SetInMux(isa.DecodeInMux(in.Data))
+		e.inmuxAddr = addr
+	case isa.OpCfgWhite:
+		cfg := isa.DecodeWhite(in.Data)
+		e.whiteHash ^= e.whiteHashOf(int(cfg.Col & 3))
+		e.arr.SetWhitening(cfg)
+		e.whiteHash ^= e.whiteHashOf(int(cfg.Col & 3))
+	case isa.OpERAMWrite:
+		cfg := isa.DecodeERAMWrite(in.Data)
+		cell := cellIndex(int(in.Slice.Col), int(cfg.Bank), int(cfg.Addr))
+		e.storeAddrs[addr] = true
+		set := e.join(e.singleton(factKey),
+			e.singleton(e.fact(factInfo{kind: factStore, a: addr})))
+		e.setERAM(cell, set)
+	case isa.OpCfgCapture:
+		col := int(in.Slice.Col & 3)
+		e.captHash ^= e.captHashOf(col)
+		e.arr.SetCapture(col, isa.DecodeCapture(in.Data))
+		e.captHash ^= e.captHashOf(col)
+	case isa.OpCtlFlag:
+		cfg := isa.DecodeFlag(in.Data)
+		e.flags = (e.flags &^ cfg.Clear) | cfg.Set
+		if cfg.Set&isa.FlagDValid != 0 {
+			e.dvalidAddr = addr
+		}
+		if cfg.Set&isa.FlagReady != 0 {
+			return false, true
+		}
+	case isa.OpJmp:
+		target := int(in.Data & 0xfff)
+		if target >= len(e.prog) {
+			e.fail(addr, fmt.Sprintf("jump target %#x outside the program", target))
+			return
+		}
+		e.pc = target
+	case isa.OpHalt:
+		return true, false
+	default:
+		e.fail(addr, fmt.Sprintf("unimplemented opcode %v", in.Op))
+	}
+	return false, false
+}
+
+// setERAM updates one abstract eRAM cell and its hash.
+func (e *engine) setERAM(cell, set int) {
+	if old, ok := e.eram[cell]; ok {
+		if old == set {
+			return
+		}
+		e.eramHash ^= mix2(uint64(cell), uint64(old)+1)
+	}
+	e.eram[cell] = set
+	e.eramHash ^= mix2(uint64(cell), uint64(set)+1)
+}
+
+// eramRead returns the abstract value of one eRAM cell; an unwritten cell
+// allocates an uninit fact and records its first consumer.
+func (e *engine) eramRead(cell, consumerAddr int) int {
+	if set, ok := e.eram[cell]; ok {
+		return set
+	}
+	f := e.fact(factInfo{kind: factUninit, a: cell})
+	if _, ok := e.uninitEvents[cell]; !ok {
+		e.uninitEvents[cell] = consumerAddr
+	}
+	set := e.singleton(f)
+	// Cache the sentinel value so repeated reads converge instead of
+	// re-deriving (keeps the state finite).
+	e.eram[cell] = set
+	// An uninit cell is still "unwritten" for hashing purposes only once:
+	// the cached sentinel entered the map through the normal path.
+	e.eramHash ^= mix2(uint64(cell), uint64(set)+1)
+	return set
+}
+
+// --- per-structure hash snapshots (for incremental XOR in/out) ---------------
+
+func (e *engine) shufHashOf(idx int) uint64 {
+	p := e.arr.Shuffler(idx)
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(p[i]) << (8 * i)
+	}
+	var w uint64
+	for i := 0; i < 8; i++ {
+		w |= uint64(p[8+i]) << (8 * i)
+	}
+	return mix2(uint64(idx)*2+100, v) ^ mix2(uint64(idx)*2+101, w)
+}
+
+func (e *engine) whiteHashOf(col int) uint64 {
+	w := e.arr.Whitening(col)
+	return mix2(uint64(col)+200, w.Encode())
+}
+
+func (e *engine) captHashOf(col int) uint64 {
+	c := e.arr.Capture(col)
+	return mix2(uint64(col)+300, c.Encode())
+}
+
+// lutGroupHash hashes the bytes/nibbles one OpLoadLUT group currently holds
+// in cell (r, c)'s LUT store.
+func (e *engine) lutGroupHash(cell, r, c int, lutAddr uint16) uint64 {
+	space4, bank, group := isa.SplitLUTAddr(lutAddr)
+	lut := &e.arr.RCE(r, c).LUT
+	var v uint64
+	if space4 {
+		if group > 15 {
+			return 0
+		}
+		for i := 0; i < 8; i++ {
+			v |= uint64(lut.S4[bank][group*8+i]&0xf) << (4 * i)
+		}
+	} else {
+		if group > 63 {
+			return 0
+		}
+		for i := 0; i < 4; i++ {
+			v |= uint64(lut.S8[bank][group*4+i]) << (8 * i)
+		}
+	}
+	return mix2(uint64(cell)<<16|uint64(lutAddr), v+1)
+}
+
+// --- checkpoint (termination detection) --------------------------------------
+
+// checkpoint fingerprints the complete abstract state; tag distinguishes
+// cycle boundaries from idle points. Returns true when the state repeats.
+func (e *engine) checkpoint(tag int) bool {
+	im := e.arr.InMux()
+	var key [16]uint64
+	key[0] = uint64(e.pc)<<32 | uint64(tag)<<16 | uint64(e.flags)
+	b := uint64(0)
+	if e.arr.Enabled() {
+		b |= 1
+	}
+	if e.inputAvail {
+		b |= 2
+	}
+	key[1] = b<<32 | uint64(im.Mode)<<16 | uint64(im.Bank)<<8 | uint64(im.Addr)
+	key[2] = uint64(e.arr.PlaybackAddr())
+	key[3] = e.cfgHash
+	key[4] = e.eramHash
+	key[5] = e.regHash
+	key[6] = e.holdHash
+	key[7] = e.shufHash
+	key[8] = e.lutHash
+	key[9] = e.whiteHash
+	key[10] = e.captHash
+	for c := 0; c < datapath.Cols; c++ {
+		key[11+c] = uint64(e.fb[c])
+	}
+	// dvalidAddr participates so output attribution stays stable; slot is
+	// always 0 at checkpoints.
+	key[15] = uint64(uint32(e.dvalidAddr))<<32 | uint64(uint32(e.inmuxAddr))
+	k := string(fmt.Appendf(nil, "%x", key[:16]))
+	if e.seen[k] {
+		return true
+	}
+	e.seen[k] = true
+	return false
+}
+
+// --- the abstract datapath cycle ---------------------------------------------
+
+// tick mirrors datapath.Array.Tick over abstract values: the same phase
+// order, shuffler and bypass-bus semantics, register present/latch split
+// and commit actions, with every 32-bit word replaced by an interned fact
+// set and every active element folding its own fact into the chain.
+func (e *engine) tick() {
+	if !e.arr.Enabled() {
+		return // stall: no state moves
+	}
+	im := e.arr.InMux()
+	var vec [datapath.Cols]int
+	switch im.Mode {
+	case isa.InExternal:
+		if !e.inputAvail {
+			return // stall: input starvation
+		}
+		in := e.singleton(factPlain)
+		if e.flags&isa.FlagKeyReq != 0 {
+			in = e.singleton(factKey)
+		}
+		for c := range vec {
+			vec[c] = in
+		}
+	case isa.InFeedback:
+		vec = e.fb
+	case isa.InERAM:
+		for c := 0; c < datapath.Cols; c++ {
+			cell := cellIndex(c, int(im.Bank), int(e.arr.PlaybackAddr()))
+			vec[c] = e.eramRead(cell, e.inmuxAddr)
+		}
+	}
+	// Input whitening: an active whitening register folds key material in.
+	for c := 0; c < datapath.Cols; c++ {
+		w := e.arr.Whitening(c)
+		if w.Mode != isa.WhiteOff && w.In {
+			vec[c] = e.join(vec[c], e.singleton(factKey))
+		}
+	}
+
+	rows := e.cfg.Rows
+	type pend struct {
+		r, c int
+		set  int
+	}
+	var latches []pend
+	prev := vec
+	newTiming := !e.timingSeen[e.timingHash]
+	for r := 0; r < rows; r++ {
+		if r%2 == 1 {
+			vec = e.shuffle(r/2, vec)
+		}
+		rowIn := vec
+		var out [datapath.Cols]int
+		for c := 0; c < datapath.Cols; c++ {
+			el := e.arr.RCE(r, c)
+			held := el.Cfg.Reg.Enabled && e.arr.Held(r, c)
+			var v int
+			if held {
+				// Frozen register: present stored value; the chain does not
+				// evaluate into architectural state this cycle.
+				v = e.reg[r][c]
+				out[c] = v
+				continue
+			}
+			v = e.evalCell(r, c, el, vec, prev, newTiming)
+			if el.Cfg.Reg.Enabled {
+				out[c] = e.reg[r][c]
+				latches = append(latches, pend{r, c, e.withElemFact(v, r, c, isa.ElemReg, newTiming)})
+			} else {
+				out[c] = v
+			}
+		}
+		vec = out
+		prev = rowIn
+	}
+
+	// Output whitening.
+	for c := 0; c < datapath.Cols; c++ {
+		w := e.arr.Whitening(c)
+		if w.Mode != isa.WhiteOff && !w.In {
+			vec[c] = e.join(vec[c], e.singleton(factKey))
+		}
+	}
+
+	// Commit: register latches, capture stores, playback increment.
+	for _, p := range latches {
+		if old := e.reg[p.r][p.c]; old != p.set {
+			e.regHash ^= mix2(uint64(p.r*datapath.Cols+p.c)+400, uint64(old)+1)
+			e.regHash ^= mix2(uint64(p.r*datapath.Cols+p.c)+400, uint64(p.set)+1)
+			e.reg[p.r][p.c] = p.set
+		}
+	}
+	for c := 0; c < datapath.Cols; c++ {
+		cap := e.arr.Capture(c)
+		if cap.Enabled {
+			cell := cellIndex(c, int(cap.Bank), int(cap.Addr))
+			e.setERAM(cell, vec[c])
+			e.captHash ^= e.captHashOf(c)
+			e.arr.SetCapture(c, isa.CaptureCfg{Enabled: true, Bank: cap.Bank, Addr: cap.Addr + 1})
+			e.captHash ^= e.captHashOf(c)
+		}
+	}
+	if im.Mode == isa.InERAM {
+		// Advance the playback counter without disturbing the configuration:
+		// re-selecting eRAM mode resets the counter, so poke the array the
+		// same way its own commit does — via SetInMux with the next address.
+		e.arr.SetInMux(isa.InMuxCfg{Mode: isa.InERAM, Bank: im.Bank, Addr: e.arr.PlaybackAddr() + 1})
+	}
+	e.fb = vec
+
+	// Static timing: fold each new distinct configuration through the model.
+	if newTiming {
+		e.timingSeen[e.timingHash] = true
+		t := model.Analyze(e.arr, model.DefaultDelays())
+		e.timingCount++
+		if e.timingCount == 1 || t.DatapathMHz < e.timingWorst.DatapathMHz {
+			e.timingWorst = t
+		}
+	}
+
+	// Output collection.
+	if e.flags&isa.FlagDValid != 0 {
+		e.outputs++
+		for c := 0; c < datapath.Cols; c++ {
+			key := [2]int{c, vec[c]}
+			if e.outSeen[key] {
+				continue
+			}
+			e.outSeen[key] = true
+			for _, f := range e.sets[vec[c]] {
+				e.live[f] = true
+			}
+			e.checkTaint(c, vec[c])
+		}
+	}
+}
+
+// shuffle permutes abstract column values through shuffler idx: destination
+// word c depends on the words holding its four source bytes.
+func (e *engine) shuffle(idx int, v [datapath.Cols]int) [datapath.Cols]int {
+	perm := e.arr.Shuffler(idx)
+	var out [datapath.Cols]int
+	for c := 0; c < datapath.Cols; c++ {
+		s := 0
+		for i := 0; i < 4; i++ {
+			src := int(perm[c*4+i]) / 4
+			s = e.join(s, v[src])
+		}
+		out[c] = s
+	}
+	return out
+}
+
+// operandSet resolves an element operand source to its abstract value.
+func (e *engine) operandSet(src isa.Src, c int, vec [datapath.Cols]int,
+	el *rce.RCE, r int, consumerElem isa.Elem, newTiming bool) int {
+	switch src {
+	case isa.SrcINA:
+		return vec[c]
+	case isa.SrcINB:
+		return vec[secondaryBlock(c, 0)]
+	case isa.SrcINC:
+		return vec[secondaryBlock(c, 1)]
+	case isa.SrcIND:
+		return vec[secondaryBlock(c, 2)]
+	case isa.SrcINER:
+		cell := cellIndex(c, int(el.Cfg.ER.Bank), int(el.Cfg.ER.Addr))
+		consumer := e.cfgAddr[(r*datapath.Cols+c)*16+int(consumerElem)]
+		return e.eramRead(cell, consumer)
+	}
+	return 0 // immediate or undefined source: no dependency
+}
+
+// secondaryBlock mirrors datapath.secondary: column c's k-th secondary
+// input block (k=0 → INB, 1 → INC, 2 → IND).
+func secondaryBlock(c, k int) int {
+	b := k
+	if b >= c {
+		b++
+	}
+	return b
+}
+
+// withElemFact tags a chain value with the element instance's own fact and
+// (on new timing configurations) records the instance in the inventory.
+func (e *engine) withElemFact(x, r, c int, el isa.Elem, record bool) int {
+	if record {
+		e.inventory[[3]int{r, c, int(el)}] = true
+	}
+	return e.join(x, e.singleton(e.fact(factInfo{kind: factElem, a: r*datapath.Cols + c, b: int(el)})))
+}
+
+// evalCell mirrors rce.Eval over abstract values: INSEL selection, then
+// every enabled element in the fixed chain order, each folding its own fact
+// and its operand's fact set into the running value.
+func (e *engine) evalCell(r, c int, el *rce.RCE, vec, prev [datapath.Cols]int, newTiming bool) int {
+	var x int
+	switch src := el.Cfg.Insel.Source & 7; src {
+	case 1:
+		x = vec[secondaryBlock(c, 0)]
+	case 2:
+		x = vec[secondaryBlock(c, 1)]
+	case 3:
+		x = vec[secondaryBlock(c, 2)]
+	case 4, 5, 6, 7:
+		x = prev[src-4]
+	default:
+		x = vec[c]
+	}
+	step := func(elem isa.Elem, active bool, data uint64) {
+		if !active {
+			return
+		}
+		x = e.withElemFact(x, r, c, elem, newTiming)
+		if src, hasOp := isa.ElemOperand(elem, data); hasOp && src != isa.SrcImm {
+			x = e.join(x, e.operandSet(src, c, vec, el, r, elem, newTiming))
+		}
+	}
+	cfg := &el.Cfg
+	step(isa.ElemE1, cfg.E1.Mode != isa.EBypass, cfg.E1.Encode())
+	step(isa.ElemA1, cfg.A1.Op != isa.ABypass, cfg.A1.Encode())
+	step(isa.ElemC, cfg.C.Mode != isa.CBypass, cfg.C.Encode())
+	step(isa.ElemE2, cfg.E2.Mode != isa.EBypass, cfg.E2.Encode())
+	if el.HasMul {
+		step(isa.ElemD, cfg.D.Mode != isa.DBypass, cfg.D.Encode())
+	}
+	step(isa.ElemB, cfg.B.Mode != isa.BBypass, cfg.B.Encode())
+	step(isa.ElemF, cfg.F.Mode != isa.FBypass, cfg.F.Encode())
+	step(isa.ElemA2, cfg.A2.Op != isa.ABypass, cfg.A2.Encode())
+	step(isa.ElemE3, cfg.E3.Mode != isa.EBypass, cfg.E3.Encode())
+	return x
+}
+
+// checkTaint verifies one collected output word reaches both key material
+// and plaintext, reporting at the data-valid raise.
+func (e *engine) checkTaint(col, set int) {
+	hasKey := e.has(set, factKey)
+	hasPlain := e.has(set, factPlain)
+	if !hasKey && !e.taintCols[[2]int{col, 0}] {
+		e.taintCols[[2]int{col, 0}] = true
+		e.findings = appendFinding(e.findings, e.prog, e.dvalidAddr, vet.Error, "taint-no-key",
+			fmt.Sprintf("output word of column %d carries no key material", col))
+	}
+	if !hasPlain && !e.taintCols[[2]int{col, 1}] {
+		e.taintCols[[2]int{col, 1}] = true
+		e.findings = appendFinding(e.findings, e.prog, e.dvalidAddr, vet.Error, "taint-no-plain",
+			fmt.Sprintf("output word of column %d does not depend on the plaintext", col))
+	}
+}
+
+// --- report ------------------------------------------------------------------
+
+// report assembles the Result from the walked state.
+func (e *engine) report(res *Result) {
+	res.Complete = e.complete
+	res.Outputs = e.outputs
+	res.Findings = append(res.Findings, e.findings...)
+	if e.execErr != nil {
+		addFinding(res, e.prog, e.execErr.Addr, e.execErr.Sev, e.execErr.Code, e.execErr.Msg)
+	}
+	if e.budget {
+		addFinding(res, e.prog, 0, vet.Warn, "walk-budget",
+			fmt.Sprintf("abstract state did not close within %d steps; liveness results suppressed", maxSteps))
+	}
+
+	// Uninitialized reads: definite on any walk — the consuming cycle was
+	// observed. Report the ones whose values reach an output as errors; all
+	// consumed cells are exported for the dynamic cross-check.
+	for cell, addr := range e.uninitEvents {
+		ref := cellRef(cell)
+		res.UninitReads = append(res.UninitReads, ref)
+		f := e.fact(factInfo{kind: factUninit, a: cell})
+		sev := vet.Warn
+		note := "; the value does not reach an output"
+		if e.live[f] {
+			sev = vet.Error
+			note = " and the value reaches the ciphertext"
+		}
+		addFinding(res, e.prog, addr, sev, "uninit-read",
+			fmt.Sprintf("eRAM c%d.b%d[%d] is read before any write%s", ref.Col, ref.Bank, ref.Addr, note))
+	}
+	sortRefs(res.UninitReads)
+
+	// Power-up register and feedback contents reaching the ciphertext: the
+	// program collected output before the pipeline (or feedback loop) was
+	// filled with real data.
+	for f := factFirst; f < factID(len(e.facts))+factFirst; f++ {
+		if !e.live[f] {
+			continue
+		}
+		switch info := e.factDesc(f); info.kind {
+		case factReg:
+			addr := e.cfgAddr[(info.a*datapath.Cols+info.b)*16+int(isa.ElemReg)]
+			addFinding(res, e.prog, addr, vet.Error, "uninit-read",
+				fmt.Sprintf("power-up register contents of r%d.c%d reach the ciphertext", info.a, info.b))
+		case factFB:
+			addFinding(res, e.prog, e.inmuxAddr, vet.Error, "uninit-read",
+				fmt.Sprintf("power-up feedback register of column %d reaches the ciphertext", info.a))
+		}
+	}
+
+	// Timing.
+	if e.timingCount > 0 {
+		res.Timing = TimingReport{
+			Configs:        e.timingCount,
+			CriticalPathNs: e.timingWorst.CriticalPathNs,
+			DatapathMHz:    e.timingWorst.DatapathMHz,
+			IRAMMHz:        e.timingWorst.IRAMMHz,
+		}
+	}
+
+	// Liveness claims require a complete walk with observed outputs:
+	// otherwise unobserved future cycles could still consume any value.
+	if !e.complete || e.outputs == 0 {
+		return
+	}
+	gates := model.Table4()
+	for inst := range e.inventory {
+		r, c, el := inst[0], inst[1], isa.Elem(inst[2])
+		g := elemGates(gates, el)
+		res.Gates.ConfiguredElems++
+		res.Gates.ConfiguredGates += g
+		f := e.fact(factInfo{kind: factElem, a: r*datapath.Cols + c, b: int(el)})
+		if e.live[f] {
+			res.Gates.LiveElems++
+			res.Gates.LiveGates += g
+			continue
+		}
+		res.Dead = append(res.Dead, DeadElem{Row: r, Col: c, Elem: el})
+		addr := e.cfgAddr[(r*datapath.Cols+c)*16+int(el)]
+		addFinding(res, e.prog, addr, vet.Warn, "dead-element",
+			fmt.Sprintf("%s is active but its value never reaches an output word (%d gates)",
+				describeCell(r, c, el), g))
+	}
+	sortDead(res.Dead)
+	for addr := range e.storeAddrs {
+		f := e.fact(factInfo{kind: factStore, a: addr})
+		if e.live[f] {
+			continue
+		}
+		res.DeadStores = append(res.DeadStores, addr)
+		addFinding(res, e.prog, addr, vet.Warn, "dead-store",
+			"stored eRAM word never reaches an output word")
+	}
+	sortInts(res.DeadStores)
+}
+
+func sortRefs(refs []datapath.ERAMRef) {
+	sort.Slice(refs, func(i, j int) bool {
+		a, b := refs[i], refs[j]
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Bank != b.Bank {
+			return a.Bank < b.Bank
+		}
+		return a.Addr < b.Addr
+	})
+}
+
+func sortDead(d []DeadElem) {
+	sort.Slice(d, func(i, j int) bool {
+		a, b := d[i], d[j]
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Elem < b.Elem
+	})
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }

@@ -1,0 +1,160 @@
+package dataflow_test
+
+import (
+	"testing"
+
+	"cobra/internal/bits"
+	"cobra/internal/dataflow"
+	"cobra/internal/datapath"
+	"cobra/internal/isa"
+	"cobra/internal/sim"
+)
+
+// genProgram derives a sanitized straight-line COBRA program from fuzz
+// bytes: a ready-raise prefix, then a body of configuration, store, flag
+// and capture instructions (no jumps, so both engines terminate at the
+// trailing HALT). Sanitizing keeps the program fault-free — rows in range,
+// the multiplier only on RCE MUL columns, LUT groups within their space —
+// so any divergence between the engines is a modelling bug, not a
+// differently-handled fault.
+func genProgram(data []byte) ([]isa.Instr, int) {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	window := 1 + int(next())%4
+
+	prog := []isa.Instr{{Op: isa.OpCtlFlag, Data: isa.FlagCfg{Set: isa.FlagReady}.Encode()}}
+	for len(data) >= 2 && len(prog) < 200 {
+		op := next()
+		sl := isa.Slice{Scope: isa.Scope(next() & 3), Row: next() & 3, Col: next() & 3}
+		d := uint64(next()) | uint64(next())<<8 | uint64(next())<<16 |
+			uint64(next())<<24 | uint64(next())<<32 | uint64(next())<<40
+		d &= 1<<50 - 1
+		var in isa.Instr
+		switch op % 10 {
+		case 0:
+			in = isa.Instr{Op: isa.OpNop}
+		case 1:
+			elem := isa.Elem(next() % 13)
+			if elem == isa.ElemD && sl.Scope == isa.ScopeOne {
+				sl.Col |= 1 // the multiplier exists only on columns 1 and 3
+			}
+			in = isa.Instr{Op: isa.OpCfgElem, Slice: sl, Elem: elem, Data: d}
+		case 2:
+			space4 := next()&1 == 1
+			group := int(next())
+			if space4 {
+				group &= 0xf
+			} else {
+				group &= 0x3f
+			}
+			in = isa.Instr{Op: isa.OpLoadLUT, Slice: sl,
+				LUT: isa.LUTAddr(space4, int(next()&3), group), Data: d}
+		case 3:
+			sl.Row &= 1 // base geometry has two shufflers
+			in = isa.Instr{Op: isa.OpCfgShuf, Slice: sl, Data: d}
+		case 4:
+			in = isa.Instr{Op: isa.OpCfgInMux, Slice: sl, Data: d}
+		case 5:
+			in = isa.Instr{Op: isa.OpCfgWhite, Slice: sl, Data: d}
+		case 6:
+			in = isa.Instr{Op: isa.OpERAMWrite, Slice: sl, Data: d}
+		case 7:
+			in = isa.Instr{Op: isa.OpCfgCapture, Slice: sl, Data: d}
+		case 8:
+			// Flags without a ready-raise: a mid-body idle point would stop
+			// the simulator's bulk run where the abstract walk continues.
+			cfg := isa.DecodeFlag(d)
+			cfg.Set &^= isa.FlagReady
+			in = isa.Instr{Op: isa.OpCtlFlag, Data: cfg.Encode()}
+		default:
+			if next()&1 == 0 {
+				in = isa.Instr{Op: isa.OpEnOut, Slice: sl}
+			} else {
+				in = isa.Instr{Op: isa.OpDisOut, Slice: sl}
+			}
+		}
+		prog = append(prog, in)
+	}
+	prog = append(prog, isa.Instr{Op: isa.OpHalt})
+	return prog, window
+}
+
+// FuzzDataflowVsSim cross-checks the static uninitialized-read analysis
+// against the datapath's dynamic read-before-write sentinel: for random
+// sanitized programs, the set of never-written eRAM cells the abstract walk
+// claims are consumed must equal the set the simulator's armed sentinel
+// records — in both directions. Run via `go test -fuzz=FuzzDataflowVsSim`;
+// CI runs a short smoke.
+func FuzzDataflowVsSim(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 0, 0, 12, 0, 0, 0, 0, 0})
+	// An INER-consuming A1 with an unwritten ER target, then a store.
+	f.Add([]byte{2,
+		1, 0, 0, 0, 0x41, 0, 0, 0, 0, 0, 2,
+		1, 0, 0, 0, 0x05, 0, 0, 0, 0, 0, 12,
+		6, 0, 0, 1, 0x04, 0, 0x10, 0, 0, 0,
+		4, 0, 0, 0, 0x02, 0, 0, 0, 0, 0,
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, window := genProgram(data)
+
+		res := dataflow.Analyze(prog, dataflow.Config{Window: window})
+		if !res.Complete {
+			t.Fatalf("straight-line program did not complete: %v", res.Findings)
+		}
+		for _, fd := range res.Findings {
+			if fd.Code == "exec-fault" {
+				t.Fatalf("sanitized program faulted statically: %s", fd)
+			}
+		}
+
+		m, err := sim.New(datapath.BaseGeometry(), window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Array.TrackUninit()
+		words := make([]isa.Word, len(prog))
+		for i, in := range prog {
+			words[i] = in.Pack()
+		}
+		if err := m.LoadProgram(words); err != nil {
+			t.Fatal(err)
+		}
+		m.Go = false
+		if r, err := m.Run(sim.Limits{}); err != nil {
+			t.Fatalf("setup run: %v", err)
+		} else if r != sim.StopWaitGo {
+			t.Fatalf("setup run stopped with %v, want idle", r)
+		}
+		// More blocks than the body can consume: the abstract walk assumes
+		// external input is always available after the first idle point.
+		blocks := make([]bits.Block128, 256)
+		for i := range blocks {
+			blocks[i] = bits.Block128{uint32(i), ^uint32(i), uint32(i) * 7, 0xabad1dea}
+		}
+		m.PushInput(blocks...)
+		m.Go = true
+		if r, err := m.Run(sim.Limits{}); err != nil {
+			t.Fatalf("bulk run: %v", err)
+		} else if r != sim.StopHalted {
+			t.Fatalf("bulk run stopped with %v, want halt", r)
+		}
+
+		dyn := m.Array.UninitReads()
+		if len(dyn) != len(res.UninitReads) {
+			t.Fatalf("uninit sets differ: static %v, dynamic %v", res.UninitReads, dyn)
+		}
+		for i := range dyn {
+			if dyn[i] != res.UninitReads[i] {
+				t.Fatalf("uninit sets differ at %d: static %v, dynamic %v",
+					i, res.UninitReads, dyn)
+			}
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package dataflow_test
+
+import (
+	"math"
+	"testing"
+
+	"cobra/internal/cipher"
+	"cobra/internal/model"
+	"cobra/internal/program"
+)
+
+// TestStaticTimingMatchesPaper checks the dataflow engine's static
+// per-window timing against the paper's §4.1 clock frequencies for the
+// three Table 3 configurations, with the same 12% calibration tolerance the
+// dynamic model uses, and cross-checks it against model.Analyze over the
+// dynamically loaded array (the two fold the same Delays through the same
+// model, so they must agree to within 2% — the static sweep may find a
+// transient configuration the post-load snapshot does not).
+func TestStaticTimingMatchesPaper(t *testing.T) {
+	key := make([]byte, 16)
+	cases := []struct {
+		name  string
+		build func() (*program.Program, error)
+		want  float64 // MHz from Table 3
+	}{
+		{"rc6", func() (*program.Program, error) { return program.BuildRC6(key, 2, cipher.RC6Rounds) }, 60.975},
+		{"rijndael", func() (*program.Program, error) { return program.BuildRijndael(key, 2) }, 102.041},
+		{"serpent", func() (*program.Program, error) { return program.BuildSerpent(key, 1) }, 54.054},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			p, err := c.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := p.Analyze()
+			if !res.Complete || res.Timing.Configs == 0 {
+				t.Fatalf("walk incomplete or no timing configs: %+v", res.Timing)
+			}
+			st := res.Timing
+
+			// Paper cross-check.
+			dev := math.Abs(st.DatapathMHz-c.want) / c.want
+			t.Logf("static: %d cfgs, %.2f ns, %.3f MHz (paper %.3f, deviation %.1f%%)",
+				st.Configs, st.CriticalPathNs, st.DatapathMHz, c.want, dev*100)
+			if dev > 0.12 {
+				t.Errorf("static frequency %.3f MHz deviates %.0f%% from paper %.3f MHz",
+					st.DatapathMHz, dev*100, c.want)
+			}
+
+			// Dynamic cross-check: load the program on a machine and analyze
+			// the settled configuration.
+			m, err := program.NewMachine(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := program.Load(m, p); err != nil {
+				t.Fatal(err)
+			}
+			dyn := model.Analyze(m.Array, model.DefaultDelays())
+			if rel := math.Abs(st.DatapathMHz-dyn.DatapathMHz) / dyn.DatapathMHz; rel > 0.02 {
+				t.Errorf("static %.3f MHz vs dynamic %.3f MHz: %.1f%% apart",
+					st.DatapathMHz, dyn.DatapathMHz, rel*100)
+			}
+			// The static sweep covers every configuration, so it can never
+			// report a faster clock than any dynamically observed one.
+			if st.DatapathMHz > dyn.DatapathMHz+1e-9 {
+				t.Errorf("static worst clock %.3f MHz faster than dynamic %.3f MHz",
+					st.DatapathMHz, dyn.DatapathMHz)
+			}
+			if math.Abs(st.IRAMMHz-2*st.DatapathMHz) > 1e-9 {
+				t.Errorf("iRAM clock %.3f not twice the datapath clock %.3f", st.IRAMMHz, st.DatapathMHz)
+			}
+		})
+	}
+}

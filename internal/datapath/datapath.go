@@ -15,6 +15,7 @@ package datapath
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"cobra/internal/bits"
@@ -92,6 +93,35 @@ type captureState struct {
 	addr    uint8
 }
 
+// ERAMRef names one embedded-RAM cell.
+type ERAMRef struct {
+	Col, Bank, Addr int
+}
+
+// uninitTracker is the opt-in read-before-write sentinel over the embedded
+// RAMs: it remembers which cells microcode has written (OpERAMWrite or a
+// capture-port store) and records every advancing-cycle read — an RCE
+// actively consuming its INER port, or an eRAM-playback input fetch — that
+// hits a cell no write has reached. Package dataflow's uninit-read analysis
+// claims exactly this set statically; the fuzz harness cross-checks the two
+// in both directions.
+type uninitTracker struct {
+	written [Cols][ERAMBanks][ERAMWords]bool
+	reads   map[ERAMRef]bool
+}
+
+func (t *uninitTracker) markWritten(col, bank, addr int) {
+	t.written[col&3][bank&3][addr&0xff] = true
+}
+
+func (t *uninitTracker) readCell(col, bank, addr int) {
+	col, bank, addr = col&3, bank&3, addr&0xff
+	if t.written[col][bank][addr] {
+		return
+	}
+	t.reads[ERAMRef{Col: col, Bank: bank, Addr: addr}] = true
+}
+
 // Array is the full reconfigurable datapath.
 type Array struct {
 	geo Geometry
@@ -112,6 +142,8 @@ type Array struct {
 	playAddr uint8 // eRAM playback address counter
 	feedback bits.Block128
 	output   bits.Block128
+
+	uninit *uninitTracker // nil unless TrackUninit enabled the sentinel
 }
 
 // New builds an array for the geometry with every RCE in the identity
@@ -264,6 +296,40 @@ func (a *Array) SetWhitening(cfg isa.WhiteCfg) {
 // WriteERAM stores a word in an embedded RAM (the key-load path).
 func (a *Array) WriteERAM(col, bank, addr int, value uint32) {
 	a.eram[col&3][bank&3][addr&0xff] = value
+	if a.uninit != nil {
+		a.uninit.markWritten(col, bank, addr)
+	}
+}
+
+// TrackUninit arms the eRAM read-before-write sentinel with an empty
+// written set and no recorded reads. Like the eRAM contents themselves the
+// sentinel state survives Reset: written cells are explicit state loaded by
+// microcode, and a reload replays the same writes.
+func (a *Array) TrackUninit() {
+	a.uninit = &uninitTracker{reads: make(map[ERAMRef]bool)}
+}
+
+// UninitReads returns every recorded read of a never-written eRAM cell,
+// sorted by (col, bank, addr). It returns nil when the sentinel is off.
+func (a *Array) UninitReads() []ERAMRef {
+	if a.uninit == nil {
+		return nil
+	}
+	out := make([]ERAMRef, 0, len(a.uninit.reads))
+	for ref := range a.uninit.reads {
+		out = append(out, ref)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		x, y := out[i], out[j]
+		if x.Col != y.Col {
+			return x.Col < y.Col
+		}
+		if x.Bank != y.Bank {
+			return x.Bank < y.Bank
+		}
+		return x.Addr < y.Addr
+	})
+	return out
 }
 
 // ReadERAM returns an embedded RAM word for inspection.
@@ -353,6 +419,9 @@ func (a *Array) Tick(in TickInput) TickResult {
 	case isa.InERAM:
 		for c := 0; c < Cols; c++ {
 			vec[c] = a.eram[c][a.inMux.Bank][a.playAddr]
+			if a.uninit != nil {
+				a.uninit.readCell(c, int(a.inMux.Bank), int(a.playAddr))
+			}
 		}
 	}
 	for c := 0; c < Cols; c++ {
@@ -379,6 +448,13 @@ func (a *Array) Tick(in TickInput) TickResult {
 				IND:  vec[secondary(c, 2)],
 				INER: a.eram[c][el.Cfg.ER.Bank][el.Cfg.ER.Addr],
 				Prev: prev,
+			}
+			if a.uninit != nil && el.ReadsINER() &&
+				!(el.Cfg.Reg.Enabled && a.hold[r][c]) {
+				// The cycle consumes the INER word: an active element selects
+				// it and the evaluated value is not discarded by a frozen
+				// register.
+				a.uninit.readCell(c, int(el.Cfg.ER.Bank), int(el.Cfg.ER.Addr))
 			}
 			v := el.Eval(inp)
 			if el.Cfg.Reg.Enabled {
@@ -411,6 +487,9 @@ func (a *Array) Tick(in TickInput) TickResult {
 	for c := 0; c < Cols; c++ {
 		if a.capture[c].enabled {
 			a.eram[c][a.capture[c].bank][a.capture[c].addr] = vec[c]
+			if a.uninit != nil {
+				a.uninit.markWritten(c, int(a.capture[c].bank), int(a.capture[c].addr))
+			}
 			a.capture[c].addr++
 		}
 	}

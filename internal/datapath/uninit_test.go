@@ -1,0 +1,180 @@
+package datapath
+
+import (
+	"testing"
+
+	"cobra/internal/bits"
+	"cobra/internal/isa"
+)
+
+// inerReader points r0.c0's ER word at (bank, addr) and makes A1 consume
+// the INER port, so every advancing tick reads that eRAM cell.
+func inerReader(t *testing.T, a *Array, bank, addr int) {
+	t.Helper()
+	if err := a.ApplyElem(isa.SliceAt(0, 0), isa.ElemER,
+		isa.ERCfg{Bank: uint8(bank), Addr: uint8(addr)}.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ApplyElem(isa.SliceAt(0, 0), isa.ElemA1,
+		isa.ACfg{Op: isa.AXor, Operand: isa.SrcINER}.Encode()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUninitSentinelOffByDefault(t *testing.T) {
+	a := newArray(t)
+	inerReader(t, a, 1, 7)
+	a.Tick(TickInput{External: bits.Block128{1}, HaveExternal: true})
+	if got := a.UninitReads(); got != nil {
+		t.Errorf("sentinel disarmed but UninitReads() = %v", got)
+	}
+}
+
+func TestUninitSentinelRecordsINERRead(t *testing.T) {
+	a := newArray(t)
+	a.TrackUninit()
+	inerReader(t, a, 1, 7)
+	a.Tick(TickInput{External: bits.Block128{1}, HaveExternal: true})
+	want := []ERAMRef{{Col: 0, Bank: 1, Addr: 7}}
+	got := a.UninitReads()
+	if len(got) != 1 || got[0] != want[0] {
+		t.Errorf("UninitReads() = %v, want %v", got, want)
+	}
+	// Repeated reads of the same cell dedup.
+	a.Tick(TickInput{External: bits.Block128{2}, HaveExternal: true})
+	if got := a.UninitReads(); len(got) != 1 {
+		t.Errorf("after second tick UninitReads() = %v, want one entry", got)
+	}
+}
+
+func TestUninitSentinelWrittenCellIsClean(t *testing.T) {
+	a := newArray(t)
+	a.TrackUninit()
+	a.WriteERAM(0, 1, 7, 42)
+	inerReader(t, a, 1, 7)
+	a.Tick(TickInput{External: bits.Block128{1}, HaveExternal: true})
+	if got := a.UninitReads(); len(got) != 0 {
+		t.Errorf("read of a written cell recorded: %v", got)
+	}
+}
+
+func TestUninitSentinelStallDoesNotRead(t *testing.T) {
+	// A non-advancing cycle (external mode, no input) consumes nothing.
+	a := newArray(t)
+	a.TrackUninit()
+	inerReader(t, a, 1, 7)
+	if res := a.Tick(TickInput{}); res.Advanced {
+		t.Fatal("tick advanced without input")
+	}
+	if got := a.UninitReads(); len(got) != 0 {
+		t.Errorf("stall cycle recorded a read: %v", got)
+	}
+}
+
+func TestUninitSentinelFrozenRegisterDoesNotRead(t *testing.T) {
+	// A frozen registered RCE discards its evaluated value, so its INER
+	// selection consumes nothing.
+	a := newArray(t)
+	a.TrackUninit()
+	inerReader(t, a, 1, 7)
+	if err := a.ApplyElem(isa.SliceAt(0, 0), isa.ElemReg,
+		isa.RegCfg{Enabled: true}.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetOutEnable(isa.SliceAt(0, 0), false); err != nil {
+		t.Fatal(err)
+	}
+	a.Tick(TickInput{External: bits.Block128{1}, HaveExternal: true})
+	if got := a.UninitReads(); len(got) != 0 {
+		t.Errorf("frozen register's INER selection recorded a read: %v", got)
+	}
+	// Thaw: the very next advancing cycle consumes the cell.
+	if err := a.SetOutEnable(isa.SliceAt(0, 0), true); err != nil {
+		t.Fatal(err)
+	}
+	a.Tick(TickInput{External: bits.Block128{2}, HaveExternal: true})
+	if got := a.UninitReads(); len(got) != 1 {
+		t.Errorf("thawed register did not record the read: %v", got)
+	}
+}
+
+func TestUninitSentinelPlaybackReadsAllColumns(t *testing.T) {
+	a := newArray(t)
+	a.TrackUninit()
+	// Write only columns 0 and 2 at the playback address: the input fetch
+	// reads all four columns, so 1 and 3 surface.
+	a.WriteERAM(0, 2, 30, 1)
+	a.WriteERAM(2, 2, 30, 2)
+	a.SetInMux(isa.InMuxCfg{Mode: isa.InERAM, Bank: 2, Addr: 30})
+	a.Tick(TickInput{})
+	want := []ERAMRef{{Col: 1, Bank: 2, Addr: 30}, {Col: 3, Bank: 2, Addr: 30}}
+	got := a.UninitReads()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("UninitReads() = %v, want %v", got, want)
+	}
+}
+
+func TestUninitSentinelCaptureMarksWritten(t *testing.T) {
+	a := newArray(t)
+	a.TrackUninit()
+	a.SetCapture(0, isa.CaptureCfg{Enabled: true, Bank: 3, Addr: 10})
+	a.Tick(TickInput{External: bits.Block128{9}, HaveExternal: true})
+	// The capture committed word 10; reading it back via INER is clean,
+	// while the never-captured word 11 is not.
+	a.SetCapture(0, isa.CaptureCfg{})
+	inerReader(t, a, 3, 10)
+	a.Tick(TickInput{External: bits.Block128{1}, HaveExternal: true})
+	if got := a.UninitReads(); len(got) != 0 {
+		t.Errorf("captured cell flagged: %v", got)
+	}
+	inerReader(t, a, 3, 11)
+	a.Tick(TickInput{External: bits.Block128{2}, HaveExternal: true})
+	if got := a.UninitReads(); len(got) != 1 || got[0] != (ERAMRef{Col: 0, Bank: 3, Addr: 11}) {
+		t.Errorf("uncaptured neighbour not flagged: %v", got)
+	}
+}
+
+func TestUninitSentinelSurvivesReset(t *testing.T) {
+	a := newArray(t)
+	a.TrackUninit()
+	a.WriteERAM(0, 1, 7, 42)
+	inerReader(t, a, 0, 0)
+	a.Tick(TickInput{External: bits.Block128{1}, HaveExternal: true})
+	a.Reset()
+	// Recorded reads persist, and the written set does too: eRAM contents
+	// are explicit microcode state that Reset leaves in place.
+	if got := a.UninitReads(); len(got) != 1 || got[0] != (ERAMRef{Col: 0, Bank: 0, Addr: 0}) {
+		t.Errorf("recorded read lost across Reset: %v", got)
+	}
+	inerReader(t, a, 1, 7)
+	a.Tick(TickInput{External: bits.Block128{2}, HaveExternal: true})
+	if got := a.UninitReads(); len(got) != 1 {
+		t.Errorf("written set lost across Reset: %v", got)
+	}
+}
+
+func TestUninitSentinelSorted(t *testing.T) {
+	a := newArray(t)
+	a.TrackUninit()
+	// Read four cells in shuffled order; UninitReads sorts by (col, bank,
+	// addr).
+	for _, ref := range [][2]int{{1, 9}, {2, 4}, {1, 200}, {1, 3}} {
+		inerReader(t, a, ref[0], ref[1])
+		a.Tick(TickInput{External: bits.Block128{1}, HaveExternal: true})
+	}
+	got := a.UninitReads()
+	exp := []ERAMRef{
+		{Col: 0, Bank: 1, Addr: 3},
+		{Col: 0, Bank: 1, Addr: 9},
+		{Col: 0, Bank: 1, Addr: 200},
+		{Col: 0, Bank: 2, Addr: 4},
+	}
+	if len(got) != len(exp) {
+		t.Fatalf("UninitReads() = %v, want %v", got, exp)
+	}
+	for i := range exp {
+		if got[i] != exp[i] {
+			t.Fatalf("UninitReads()[%d] = %v, want %v", i, got[i], exp[i])
+		}
+	}
+}

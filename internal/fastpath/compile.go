@@ -69,10 +69,10 @@ func Compile(src Source) (*Exec, error) {
 
 	luts := snapshotLUTs(rec)
 	gfCache := make(map[[5]uint8]*gfTab)
-	if e.head, err = compileTicks(rec, 0, first+1, luts, gfCache, src.Name); err != nil {
+	if e.head, err = e.compileTicks(rec, 0, first+1, luts, gfCache); err != nil {
 		return nil, err
 	}
-	if e.period, err = compileTicks(rec, first+1, first+1+plen, luts, gfCache, src.Name); err != nil {
+	if e.period, err = e.compileTicks(rec, first+1, first+1+plen, luts, gfCache); err != nil {
 		return nil, err
 	}
 	if !e.head[len(e.head)-1].emit || countEmits(e.head) != 1 {
@@ -226,6 +226,7 @@ type cCell struct {
 	regOnly bool
 	insel   uint8 // 0..3: current row vector block; 4..7: prev-row block−4
 	reg     bool
+	elided  int // active element operations dropped by the dead mask
 	steps   []step
 }
 
@@ -266,8 +267,15 @@ type cTick struct {
 	rows     []cRow
 }
 
+// compElems are the chain elements dead-op elision may drop: the nine
+// computational stages. INSEL routes and the register carries state, so a
+// mask bit on either is ignored.
+const compElems = 1<<isa.ElemE1 | 1<<isa.ElemA1 | 1<<isa.ElemB | 1<<isa.ElemC |
+	1<<isa.ElemE2 | 1<<isa.ElemD | 1<<isa.ElemF | 1<<isa.ElemA2 | 1<<isa.ElemE3
+
 // compileTicks translates recorded cycles [from, to) into executable form.
-func compileTicks(rec *recording, from, to int, luts []*rce.LUTStore, gfCache map[[5]uint8]*gfTab, name string) ([]cTick, error) {
+func (e *Exec) compileTicks(rec *recording, from, to int, luts []*rce.LUTStore, gfCache map[[5]uint8]*gfTab) ([]cTick, error) {
+	name := e.src.Name
 	out := make([]cTick, 0, to-from)
 	for t := from; t < to; t++ {
 		s := rec.ticks[t]
@@ -324,8 +332,14 @@ func compileTicks(rec *recording, from, to int, luts []*rce.LUTStore, gfCache ma
 				}
 			}
 			for c := 0; c < datapath.Cols; c++ {
+				var dead uint16
+				if idx := r*datapath.Cols + c; idx < len(e.src.DeadElems) {
+					dead = e.src.DeadElems[idx] & compElems
+				}
 				rs := s.rces[r*datapath.Cols+c]
-				ct.rows[r].cells[c] = compileCell(rs, c, luts[r*datapath.Cols+c], gfCache)
+				cell := compileCell(rs, c, luts[r*datapath.Cols+c], gfCache, dead)
+				e.elided += cell.elided
+				ct.rows[r].cells[c] = cell
 			}
 		}
 		out = append(out, ct)
@@ -394,10 +408,21 @@ func gfTables(mode isa.FMode, c [4]uint8, cache map[[5]uint8]*gfTab) *gfTab {
 }
 
 // compileCell translates one RCE's per-cycle configuration into its step
-// list, folding everything constant.
-func compileCell(rs rceSnap, col int, lut *rce.LUTStore, gfCache map[[5]uint8]*gfTab) cCell {
+// list, folding everything constant. Elements whose dead-mask bit is set
+// compile as bypass: their value is unobservable, so dropping the step
+// preserves every output (see Source.DeadElems).
+func compileCell(rs rceSnap, col int, lut *rce.LUTStore, gfCache map[[5]uint8]*gfTab, dead uint16) cCell {
 	cfg := rs.cfg
 	cell := cCell{reg: cfg.Reg.Enabled}
+	// drop reports whether the dead mask elides an otherwise-active element,
+	// counting each one it drops.
+	drop := func(el isa.Elem, active bool) bool {
+		if !active || dead&(1<<el) == 0 {
+			return false
+		}
+		cell.elided++
+		return true
+	}
 	// INSEL taps INA/INB/INC/IND — column-relative, like every operand mux —
 	// or the previous row's vector by absolute block index (rce.Eval).
 	switch src := cfg.Insel.Source & 7; src {
@@ -483,33 +508,43 @@ func compileCell(rs rceSnap, col int, lut *rce.LUTStore, gfCache map[[5]uint8]*g
 		})
 	}
 
-	addE(cfg.E1)
-	addA(cfg.A1)
-	switch cfg.C.Mode {
-	case isa.CS8x8:
-		cell.steps = append(cell.steps, step{kind: stS8, lut: lut})
-	case isa.CS4x4:
-		cell.steps = append(cell.steps, step{kind: stS4, lut: lut, aux: cfg.C.Page & 7})
-	case isa.CS8to32:
-		cell.steps = append(cell.steps, step{kind: stS8to32, lut: lut, aux: cfg.C.ByteSel & 3})
+	if !drop(isa.ElemE1, cfg.E1.Mode != isa.EBypass) {
+		addE(cfg.E1)
 	}
-	addE(cfg.E2)
-	switch cfg.D.Mode {
-	case isa.DMul16, isa.DMul32:
-		w := uint8(bits.W16)
-		if cfg.D.Mode == isa.DMul32 {
-			w = uint8(bits.W32)
-		}
-		isImm, val, blk := operandOf(cfg.D.Operand, cfg.D.Imm, col, rs.iner)
-		if isImm {
-			cell.steps = append(cell.steps, step{kind: stMulImm, imm: val, aux: w})
-		} else {
-			cell.steps = append(cell.steps, step{kind: stMulBlk, src: blk, aux: w})
-		}
-	case isa.DSquare:
-		cell.steps = append(cell.steps, step{kind: stSquare})
+	if !drop(isa.ElemA1, cfg.A1.Op != isa.ABypass) {
+		addA(cfg.A1)
 	}
-	if cfg.B.Mode != isa.BBypass {
+	if !drop(isa.ElemC, cfg.C.Mode != isa.CBypass) {
+		switch cfg.C.Mode {
+		case isa.CS8x8:
+			cell.steps = append(cell.steps, step{kind: stS8, lut: lut})
+		case isa.CS4x4:
+			cell.steps = append(cell.steps, step{kind: stS4, lut: lut, aux: cfg.C.Page & 7})
+		case isa.CS8to32:
+			cell.steps = append(cell.steps, step{kind: stS8to32, lut: lut, aux: cfg.C.ByteSel & 3})
+		}
+	}
+	if !drop(isa.ElemE2, cfg.E2.Mode != isa.EBypass) {
+		addE(cfg.E2)
+	}
+	if !drop(isa.ElemD, cfg.D.Mode != isa.DBypass) {
+		switch cfg.D.Mode {
+		case isa.DMul16, isa.DMul32:
+			w := uint8(bits.W16)
+			if cfg.D.Mode == isa.DMul32 {
+				w = uint8(bits.W32)
+			}
+			isImm, val, blk := operandOf(cfg.D.Operand, cfg.D.Imm, col, rs.iner)
+			if isImm {
+				cell.steps = append(cell.steps, step{kind: stMulImm, imm: val, aux: w})
+			} else {
+				cell.steps = append(cell.steps, step{kind: stMulBlk, src: blk, aux: w})
+			}
+		case isa.DSquare:
+			cell.steps = append(cell.steps, step{kind: stSquare})
+		}
+	}
+	if cfg.B.Mode != isa.BBypass && !drop(isa.ElemB, true) {
 		kImm, kBlk := stAddImm, stAddBlk
 		if cfg.B.Mode == isa.BSub {
 			kImm, kBlk = stSubImm, stSubBlk
@@ -521,11 +556,15 @@ func compileCell(rs rceSnap, col int, lut *rce.LUTStore, gfCache map[[5]uint8]*g
 			cell.steps = append(cell.steps, step{kind: kBlk, src: blk, aux: cfg.B.Width & 3})
 		}
 	}
-	if cfg.F.Mode == isa.FLanes || cfg.F.Mode == isa.FMDS {
+	if (cfg.F.Mode == isa.FLanes || cfg.F.Mode == isa.FMDS) && !drop(isa.ElemF, true) {
 		cell.steps = append(cell.steps, step{kind: stGFTab, gf: gfTables(cfg.F.Mode, cfg.F.Consts, gfCache)})
 	}
-	addA(cfg.A2)
-	addE(cfg.E3)
+	if !drop(isa.ElemA2, cfg.A2.Op != isa.ABypass) {
+		addA(cfg.A2)
+	}
+	if !drop(isa.ElemE3, cfg.E3.Mode != isa.EBypass) {
+		addE(cfg.E3)
+	}
 
 	if len(cell.steps) == 0 && cell.insel == uint8(col) && !cell.reg {
 		cell.passthrough = true

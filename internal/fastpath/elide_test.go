@@ -1,0 +1,127 @@
+package fastpath_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cobra/internal/bits"
+	"cobra/internal/datapath"
+	"cobra/internal/isa"
+	"cobra/internal/program"
+)
+
+// deadElemProgram hand-builds an iterative pass-through with one provably
+// dead element: r0.c3's A1 XORs an immediate into column 3, but r1.c3
+// selects the previous row's input block over the bypass bus (INSEL = PD)
+// and nothing else consumes row 0's column-3 output, so the XOR never
+// reaches the ciphertext. Output whitening keeps the taint analysis happy.
+// Window 3 lets the data-valid raise, the input-mux switch and the array
+// enable share the consuming datapath cycle.
+func deadElemProgram() *program.Program {
+	const whiteKey = 0x9e3779b9
+	ins := []isa.Instr{
+		0: {Op: isa.OpDisOut, Slice: isa.SliceAll()},
+		1: {Op: isa.OpCfgElem, Slice: isa.SliceAt(0, 3), Elem: isa.ElemA1,
+			Data: isa.ACfg{Op: isa.AXor, Operand: isa.SrcImm, Imm: 0x55aa55aa}.Encode()},
+		2: {Op: isa.OpCfgElem, Slice: isa.SliceAt(1, 3), Elem: isa.ElemInsel,
+			Data: isa.InselCfg{Source: 7}.Encode()}, // PD: previous row's block 3
+		3: {Op: isa.OpCfgWhite, Data: isa.WhiteCfg{Col: 0, Mode: isa.WhiteXor, Key: whiteKey}.Encode()},
+		4: {Op: isa.OpCfgWhite, Data: isa.WhiteCfg{Col: 1, Mode: isa.WhiteXor, Key: whiteKey}.Encode()},
+		5: {Op: isa.OpCfgWhite, Data: isa.WhiteCfg{Col: 2, Mode: isa.WhiteXor, Key: whiteKey}.Encode()},
+		6: {Op: isa.OpCfgWhite, Data: isa.WhiteCfg{Col: 3, Mode: isa.WhiteXor, Key: whiteKey}.Encode()},
+		7: {Op: isa.OpCfgInMux, Data: isa.InMuxCfg{Mode: isa.InFeedback}.Encode()},
+		// Idle point: the ready raise resynchronizes the window.
+		8: {Op: isa.OpCtlFlag, Data: isa.FlagCfg{Set: isa.FlagReady}.Encode()},
+		// Consuming window: raise data-valid, select external input, enable.
+		9:  {Op: isa.OpCtlFlag, Data: isa.FlagCfg{Set: isa.FlagBusy | isa.FlagDValid, Clear: isa.FlagReady}.Encode()},
+		10: {Op: isa.OpCfgInMux, Data: isa.InMuxCfg{Mode: isa.InExternal}.Encode()},
+		11: {Op: isa.OpEnOut, Slice: isa.SliceAll()},
+		// Quiet window: freeze and loop back to the idle point.
+		12: {Op: isa.OpDisOut, Slice: isa.SliceAll()},
+		13: {Op: isa.OpCtlFlag, Data: isa.FlagCfg{Clear: isa.FlagDValid | isa.FlagBusy}.Encode()},
+		14: {Op: isa.OpJmp, Data: 8},
+	}
+	return &program.Program{
+		Name:     "elide-test",
+		Geometry: datapath.BaseGeometry(),
+		Window:   3,
+		Instrs:   ins,
+	}
+}
+
+// TestElisionDifferential proves dead-op elision sound end to end: the
+// dataflow analysis marks the seeded element dead, program.Compile hands
+// the mask to the trace compiler, the compiler drops at least one
+// operation, and the compiled executor still matches the cycle-accurate
+// interpreter block for block and counter for counter.
+func TestElisionDifferential(t *testing.T) {
+	p := deadElemProgram()
+
+	res := p.Analyze()
+	if !res.Complete || res.HasErrors() {
+		t.Fatalf("analysis incomplete or erroring: complete=%v findings=%v", res.Complete, res.Findings)
+	}
+	mask := res.DeadMask(p.Geometry.Rows)
+	if mask == nil || mask[0*datapath.Cols+3]&(1<<isa.ElemA1) == 0 {
+		t.Fatalf("DeadMask = %v, want r0.c3 A1 marked dead (Dead=%v)", mask, res.Dead)
+	}
+
+	ex, err := p.Compile()
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if ex.Elided() == 0 {
+		t.Fatal("compiler elided nothing despite a dead-element mask")
+	}
+
+	m, err := program.NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := program.Load(m, p); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(0xe11de))
+	for call, n := range []int{1, 4, 2, 7, 1} {
+		in := randomBlocks(rng, n)
+		want := make([]bits.Block128, n)
+		wantStats, err := program.EncryptInto(m, p, want, in)
+		if err != nil {
+			t.Fatalf("call %d: interpreter: %v", call, err)
+		}
+		got := make([]bits.Block128, n)
+		gotStats, err := ex.EncryptInto(got, in)
+		if err != nil {
+			t.Fatalf("call %d: fastpath: %v", call, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("call %d block %d: elided fastpath %08x != interpreter %08x",
+					call, i, got[i], want[i])
+			}
+		}
+		if gotStats != wantStats {
+			t.Fatalf("call %d: stats %+v != %+v", call, gotStats, wantStats)
+		}
+	}
+}
+
+// TestElisionBuiltinsUnchanged pins the built-in corpus at zero dead
+// elements: every builder compiles with an empty mask, so elision never
+// fires on shipped programs (the analysis-clean regression in package
+// dataflow asserts the same from the other side).
+func TestElisionBuiltinsUnchanged(t *testing.T) {
+	for _, c := range allBuilders() {
+		p, err := c.build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", c.name, err)
+		}
+		ex, err := p.Compile()
+		if err != nil {
+			t.Fatalf("%s: compile: %v", c.name, err)
+		}
+		if ex.Elided() != 0 {
+			t.Errorf("%s: compiled with %d elided operations, want 0", c.name, ex.Elided())
+		}
+	}
+}

@@ -81,6 +81,15 @@ type Source struct {
 	Streaming bool
 	// PipelineDepth is the number of register stages (streaming programs).
 	PipelineDepth int
+	// DeadElems, when non-nil, is package dataflow's dead-element bitmask
+	// (indexed row*datapath.Cols+col, bit 1<<elem): element instances whose
+	// values provably never reach a collected output word. The compiler
+	// elides their steps from the op-lists. Eliding a dead element changes
+	// only values the dataflow analysis proved unobservable, and only the
+	// nine computational chain elements are honored — never INSEL or the
+	// register, which carry state — so the compiled trace stays equivalent;
+	// the compile-time self-check replay verifies it bit-for-bit regardless.
+	DeadElems []uint16
 }
 
 // Exec is a compiled steady-state trace plus the mutable data state of one
@@ -93,7 +102,8 @@ type Exec struct {
 	head   []cTick // load-to-first-output cycle stream (ends at its output)
 	period []cTick // steady repeating cycle stream (≥1 output per period)
 
-	rows int
+	rows   int
+	elided int // element operations dropped under Source.DeadElems
 
 	initReg [][datapath.Cols]uint32
 	initFB  bits.Block128
@@ -120,6 +130,10 @@ func (e *Exec) Name() string { return e.src.Name }
 // Dirty reports whether the executor holds in-flight state from a previous
 // call (mirrors sim.Machine.Dirty).
 func (e *Exec) Dirty() bool { return e.dirty }
+
+// Elided returns the number of element operations the compiler dropped
+// across all compiled cycles under Source.DeadElems (0 without a mask).
+func (e *Exec) Elided() int { return e.elided }
 
 // Reset restores the post-load state: the executor behaves as if the
 // program had just been reloaded on a fresh machine (counters restart at

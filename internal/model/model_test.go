@@ -1,4 +1,4 @@
-package model
+package model_test
 
 import (
 	"math"
@@ -6,6 +6,7 @@ import (
 
 	"cobra/internal/cipher"
 	"cobra/internal/datapath"
+	"cobra/internal/model"
 	"cobra/internal/program"
 )
 
@@ -43,7 +44,7 @@ func TestCalibratedFrequencies(t *testing.T) {
 			t.Fatal(err)
 		}
 		arr := loadedMachine(t, p)
-		tm := Analyze(arr, DefaultDelays())
+		tm := model.Analyze(arr, model.DefaultDelays())
 		dev := math.Abs(tm.DatapathMHz-c.want) / c.want
 		t.Logf("%s: model %.3f MHz (paper %.3f), path %.2f ns, deviation %.1f%%",
 			c.name, tm.DatapathMHz, c.want, tm.CriticalPathNs, dev*100)
@@ -61,7 +62,7 @@ func TestFrequencyOrderingMatchesPaper(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return Analyze(loadedMachine(t, p), DefaultDelays()).DatapathMHz
+		return model.Analyze(loadedMachine(t, p), model.DefaultDelays()).DatapathMHz
 	}
 	fRC6 := freq(func() (*program.Program, error) { return program.BuildRC6(key16, 2, cipher.RC6Rounds) })
 	fAES := freq(func() (*program.Program, error) { return program.BuildRijndael(key16, 2) })
@@ -76,7 +77,7 @@ func TestIRAMIsTwiceDatapath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tm := Analyze(loadedMachine(t, p), DefaultDelays())
+	tm := model.Analyze(loadedMachine(t, p), model.DefaultDelays())
 	if math.Abs(tm.IRAMMHz-2*tm.DatapathMHz) > 1e-9 {
 		t.Error("iRAM clock must be twice the datapath clock (§3.4)")
 	}
@@ -93,7 +94,7 @@ func TestFrequencyConstantAcrossUnrolls(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tm := Analyze(loadedMachine(t, p), DefaultDelays())
+		tm := model.Analyze(loadedMachine(t, p), model.DefaultDelays())
 		if i == 0 {
 			base = tm.DatapathMHz
 			continue
@@ -105,7 +106,7 @@ func TestFrequencyConstantAcrossUnrolls(t *testing.T) {
 }
 
 func TestThroughputMbps(t *testing.T) {
-	tm := Timing{DatapathMHz: 100}
+	tm := model.Timing{DatapathMHz: 100}
 	if got := tm.ThroughputMbps(10); math.Abs(got-1280) > 1e-9 {
 		t.Errorf("ThroughputMbps = %v, want 1280", got)
 	}
@@ -115,7 +116,7 @@ func TestThroughputMbps(t *testing.T) {
 }
 
 func TestTable4Published(t *testing.T) {
-	g := Table4()
+	g := model.Table4()
 	if g.A != 172 || g.B != 1012 || g.C != 98624 || g.D != 5243 ||
 		g.E != 887 || g.F != 10606 {
 		t.Errorf("Table 4 constants drifted: %+v", g)
@@ -123,7 +124,7 @@ func TestTable4Published(t *testing.T) {
 }
 
 func TestTable5BaseMatchesPaper(t *testing.T) {
-	a := Table5(Table4(), datapath.BaseGeometry())
+	a := model.Table5(model.Table4(), datapath.BaseGeometry())
 	// The RCE array is calibrated; integer division may lose < 16 gates.
 	if diff := a.RCEArray - 2692840; diff < -16 || diff > 0 {
 		t.Errorf("RCE array = %d, want 2,692,840 (±16)", a.RCEArray)
@@ -145,7 +146,7 @@ func TestTable5BaseMatchesPaper(t *testing.T) {
 
 func TestTable5SRAMEstimate(t *testing.T) {
 	// §4.2: "approximately 2.5 million gates" with SRAM blocks.
-	a := Table5(Table4(), datapath.BaseGeometry())
+	a := model.Table5(model.Table4(), datapath.BaseGeometry())
 	got := a.TotalWithSRAM()
 	if got < 2_000_000 || got > 3_200_000 {
 		t.Errorf("SRAM-based estimate %d outside the paper's ~2.5M ballpark", got)
@@ -153,9 +154,9 @@ func TestTable5SRAMEstimate(t *testing.T) {
 }
 
 func TestTable5ScalesWithRows(t *testing.T) {
-	g := Table4()
-	base := Table5(g, datapath.Geometry{Rows: 4})
-	dbl := Table5(g, datapath.Geometry{Rows: 8})
+	g := model.Table4()
+	base := model.Table5(g, datapath.Geometry{Rows: 4})
+	dbl := model.Table5(g, datapath.Geometry{Rows: 8})
 	if dbl.RCEArray != 2*base.RCEArray {
 		t.Errorf("array does not tile: %d vs 2x%d", dbl.RCEArray, base.RCEArray)
 	}
@@ -171,22 +172,22 @@ func TestTable5ScalesWithRows(t *testing.T) {
 }
 
 func TestRCEMulCostsMoreThanRCE(t *testing.T) {
-	g := Table4()
-	if RCEGates(g, true) <= RCEGates(g, false) {
+	g := model.Table4()
+	if model.RCEGates(g, true) <= model.RCEGates(g, false) {
 		t.Error("RCE MUL must cost more than a plain RCE")
 	}
-	if RCEGates(g, true)-RCEGates(g, false) < g.D {
+	if model.RCEGates(g, true)-model.RCEGates(g, false) < g.D {
 		t.Error("RCE MUL delta must include the multiplier")
 	}
 }
 
 func TestCGProducts(t *testing.T) {
-	rows := []CGRow{
+	rows := []model.CGRow{
 		{Cipher: "x", Rounds: 1, Cycles: 100, Gates: 1000},
 		{Cipher: "x", Rounds: 2, Cycles: 40, Gates: 2000},
 		{Cipher: "y", Rounds: 1, Cycles: 10, Gates: 100},
 	}
-	out := CGProducts(rows)
+	out := model.CGProducts(rows)
 	if out[0].CGProduct != 100000 || out[1].CGProduct != 80000 {
 		t.Errorf("CG products wrong: %+v", out)
 	}
@@ -207,7 +208,7 @@ func TestAnalyzeSegmentsCount(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tm := Analyze(loadedMachine(t, p), DefaultDelays())
+	tm := model.Analyze(loadedMachine(t, p), model.DefaultDelays())
 	if len(tm.Segments) != 4 {
 		t.Errorf("segments = %d, want 4", len(tm.Segments))
 	}

@@ -127,8 +127,10 @@ func BuildGOST(key []byte) (*Program, error) {
 	b.gostRoundRows(0)
 	b.gostRoundRows(2)
 
-	// Keys: address i holds the round-i subkey in every column (the two
-	// parallel blocks share the schedule).
+	// Keys: address i holds the round-i subkey in the even columns (the two
+	// parallel blocks share the schedule). Only the even columns compute
+	// n1 + k, so only their eRAMs need the schedule — the dataflow analysis
+	// flags stores into columns 1 and 3 as dead.
 	var kw [8]uint32
 	for i := 0; i < 8; i++ {
 		kw[i] = uint32(key[4*i]) | uint32(key[4*i+1])<<8 |
@@ -136,7 +138,7 @@ func BuildGOST(key []byte) (*Program, error) {
 	}
 	for i := 0; i < 32; i++ {
 		k := kw[gostKeyIndex(i)]
-		for c := 0; c < 4; c++ {
+		for c := 0; c < 4; c += 2 {
 			b.eramw(c, 0, i, k)
 		}
 	}

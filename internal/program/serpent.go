@@ -125,10 +125,10 @@ func BuildSerpent(key []byte, hw int) (*Program, error) {
 		b.serpentRoundRows(4*st, uint8(st%8), withLT)
 	}
 
-	// Round keys: bank 0, address r holds rk[r][c] in column c; address 32
-	// holds K32 (consumed by the output whitening configuration instead of
-	// the eRAMs, but stored for completeness).
-	for r := 0; r <= rounds; r++ {
+	// Round keys: bank 0, address r holds rk[r][c] in column c. K32 is not
+	// stored: the output whitening configuration consumes it directly, so an
+	// eRAM copy would be a dead store (the dataflow analysis flags one).
+	for r := 0; r < rounds; r++ {
 		w := ck.RoundKeyWords(r)
 		for c := 0; c < 4; c++ {
 			b.eramw(c, 0, r, w[c])

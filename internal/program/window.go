@@ -93,7 +93,9 @@ func BuildSerpentWindowed(key []byte, w int) (*Program, error) {
 		b.loadS4Pages(isa.SliceAll(), bank, &pages)
 	}
 	b.serpentRoundRows(0, 0, true)
-	for r := 0; r <= rounds; r++ {
+	// K32 is not stored: output whitening consumes it directly, and an eRAM
+	// copy would be a dead store (the dataflow analysis flags one).
+	for r := 0; r < rounds; r++ {
 		kw := ck.RoundKeyWords(r)
 		for c := 0; c < 4; c++ {
 			b.eramw(c, 0, r, kw[c])

@@ -317,6 +317,35 @@ func (r *RCE) Eval(in Inputs) uint32 {
 	return x
 }
 
+// ReadsINER reports whether the configuration actively consumes the eRAM
+// read port: some non-bypassed element selects SrcINER through its operand
+// multiplexor. Bypassed elements and D's square mode never read the port;
+// D is consulted only on RCE MULs, mirroring Eval. The datapath's uninit
+// sentinel and package dataflow's def-use chains both rely on this
+// definition of "consumes", so it must stay in lock-step with Eval.
+func (r *RCE) ReadsINER() bool {
+	for _, p := range [...]struct {
+		e    isa.Elem
+		data uint64
+	}{
+		{isa.ElemE1, r.Cfg.E1.Encode()},
+		{isa.ElemA1, r.Cfg.A1.Encode()},
+		{isa.ElemE2, r.Cfg.E2.Encode()},
+		{isa.ElemD, r.Cfg.D.Encode()},
+		{isa.ElemB, r.Cfg.B.Encode()},
+		{isa.ElemA2, r.Cfg.A2.Encode()},
+		{isa.ElemE3, r.Cfg.E3.Encode()},
+	} {
+		if p.e == isa.ElemD && !r.HasMul {
+			continue
+		}
+		if src, active := isa.ElemOperand(p.e, p.data); active && src == isa.SrcINER {
+			return true
+		}
+	}
+	return false
+}
+
 // ActiveElements lists the enabled (non-bypassed) elements in data-flow
 // order; the timing model uses this to form the critical path and Describe
 // uses it for the figure-2/3 rendering.

@@ -293,21 +293,7 @@ func operandSrc(in isa.Instr) (isa.Src, bool) {
 	if in.Op != isa.OpCfgElem {
 		return 0, false
 	}
-	switch in.Elem {
-	case isa.ElemA1, isa.ElemA2:
-		cfg := isa.DecodeA(in.Data)
-		return cfg.Operand, cfg.Op != isa.ABypass
-	case isa.ElemB:
-		cfg := isa.DecodeB(in.Data)
-		return cfg.Operand, cfg.Mode != isa.BBypass
-	case isa.ElemD:
-		cfg := isa.DecodeD(in.Data)
-		return cfg.Operand, cfg.Mode == isa.DMul16 || cfg.Mode == isa.DMul32
-	case isa.ElemE1, isa.ElemE2, isa.ElemE3:
-		cfg := isa.DecodeE(in.Data)
-		return cfg.AmtSrc, cfg.Mode != isa.EBypass
-	}
-	return 0, false
+	return isa.ElemOperand(in.Elem, in.Data)
 }
 
 // checkINER flags RCEs that are configured to read the embedded-RAM port
