@@ -236,7 +236,8 @@ func BenchmarkSimulatorDatapathCycle(b *testing.B) {
 	b.ResetTimer()
 	n := 0
 	for n < b.N {
-		out, stats, err := program.EncryptBytes(m, p, blocks)
+		out := make([]byte, len(blocks))
+		stats, err := program.RunBytes(m, p, out, blocks, program.Opts{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -264,7 +265,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.SetBytes(int64(len(src)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := program.EncryptBytes(m, p, src); err != nil {
+		if _, err := program.RunBytes(m, p, make([]byte, len(src)), src, program.Opts{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -383,7 +384,7 @@ func BenchmarkDecryption(b *testing.B) {
 			b.SetBytes(int64(len(src)))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := program.EncryptBytes(m, p, src); err != nil {
+				if _, err := program.RunBytes(m, p, make([]byte, len(src)), src, program.Opts{}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -12,6 +12,7 @@
 //	cobra-bench -json           # measured tables as JSON (for tooling)
 //	cobra-bench -fastpath       # trace-compiled executor vs interpreter
 //	cobra-bench -fastpath -json # ...archived in the JSON report
+//	cobra-bench -metrics-dump   # Prometheus counter dump after the run
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 
 	"cobra/internal/bench"
 	"cobra/internal/datapath"
+	"cobra/internal/obs"
 )
 
 func main() {
@@ -37,7 +39,18 @@ func main() {
 	rows := flag.Int("rows", 4, "geometry rows for table 5")
 	jsonOut := flag.Bool("json", false, "emit the measured table metrics as JSON instead of text")
 	fastpath := flag.Bool("fastpath", false, "measure the trace-compiled executor against the interpreter")
+	metricsDump := flag.Bool("metrics-dump", false, "write a Prometheus text dump of all counters to stderr after the run")
 	flag.Parse()
+
+	if *metricsDump {
+		bench.Metrics = obs.Default
+		// Dump goes to stderr so -json output on stdout stays parseable.
+		defer func() {
+			if err := obs.Default.WritePrometheus(os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "cobra-bench: metrics dump:", err)
+			}
+		}()
+	}
 
 	key, err := hex.DecodeString(*keyHex)
 	if err != nil {

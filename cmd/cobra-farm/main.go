@@ -11,6 +11,7 @@
 //	cobra-farm                                   # AES-128 CTR, 4096 blocks, workers 1,2,4,8
 //	cobra-farm -alg serpent -workers 1,2,4,8,16  # other datapaths / pool sizes
 //	cobra-farm -mode ecb -rounds 2               # ECB sharding on an iterative pipeline
+//	cobra-farm -metrics 127.0.0.1:9090 -hold 5m  # live /metrics + /debug/vars while sweeping
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"cobra/internal/cipher"
 	"cobra/internal/core"
 	"cobra/internal/farm"
+	"cobra/internal/obs"
 )
 
 func main() {
@@ -38,6 +40,9 @@ func main() {
 	keyHex := flag.String("key", strings.Repeat("00", 16), "key (hex)")
 	ivHex := flag.String("iv", strings.Repeat("00", 16), "initial counter block (hex, ctr mode)")
 	timeout := flag.Duration("timeout", 0, "per-sweep-point deadline (0: none)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/trace on this address (e.g. 127.0.0.1:9090; port 0 picks one)")
+	hold := flag.Duration("hold", 0, "keep the last farm open and the metrics endpoint serving this long after the sweep (requires -metrics)")
+	trace := flag.Int("trace", 0, "per-farm span trace ring size (0: disabled; records at /debug/trace)")
 	flag.Parse()
 
 	key, err := hex.DecodeString(*keyHex)
@@ -62,13 +67,26 @@ func main() {
 		fatal(err)
 	}
 
+	var metrics *obs.Registry
+	if *metricsAddr != "" {
+		metrics = obs.Default
+		srv, err := obs.Serve(*metricsAddr, metrics)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		// Parsed by the CI smoke test; keep the prefix stable.
+		fmt.Printf("metrics: serving on %s\n", srv.URL)
+	}
+
 	fmt.Printf("cobra-farm: %s-%s, %d blocks (%d KiB), shard cap %d blocks\n\n",
 		*alg, *mode, *blocks, len(msg)/1024, farm.DefaultShardBlocks)
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
 	fmt.Fprintln(w, "workers\tjobs\twall cycles\tcyc/blk\tMbps (sim)\tspeedup\thost ms")
 	base := 0.0
 	for _, n := range workers {
-		f, err := farm.New(core.Algorithm(*alg), key, core.Config{Unroll: *rounds}, n)
+		f, err := farm.New(core.Algorithm(*alg), key,
+			core.Config{Unroll: *rounds, Metrics: metrics, Trace: *trace}, n)
 		if err != nil {
 			fatal(err)
 		}
@@ -96,7 +114,6 @@ func main() {
 			fatal(fmt.Errorf("workers=%d: output differs from host reference", n))
 		}
 		r := f.Report()
-		f.Close()
 		if base == 0 {
 			base = r.EffectiveMbps
 		}
@@ -110,6 +127,14 @@ func main() {
 		}
 		fmt.Fprintf(w, "%d\t%d\t%d\t%.2f\t%.1f\t%.2fx\t%.1f\n",
 			n, jobs, r.WallCycles, r.CyclesPerBlock, r.EffectiveMbps, speedup, hostMS)
+		if n == workers[len(workers)-1] && *hold > 0 && *metricsAddr != "" {
+			// Leave the final pool attached so the endpoint keeps serving
+			// its live (post-sweep) counters — scrape, then Ctrl-C or wait.
+			w.Flush()
+			fmt.Printf("\nholding last farm open for %s (scrape /metrics now)\n", *hold)
+			time.Sleep(*hold)
+		}
+		f.Close()
 	}
 	w.Flush()
 }

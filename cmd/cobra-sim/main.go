@@ -81,7 +81,8 @@ func main() {
 		}
 	}
 
-	dst, stats, err := program.EncryptBytes(m, p, src)
+	dst := make([]byte, len(src))
+	stats, err := program.RunBytes(m, p, dst, src, program.Opts{})
 	if err != nil {
 		fatal(err)
 	}

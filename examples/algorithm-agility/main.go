@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -55,11 +56,11 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		ct, err := dev.EncryptECB(payload)
+		ct, err := dev.EncryptECB(context.Background(), payload)
 		if err != nil {
 			log.Fatal(err)
 		}
-		pt, err := dev.DecryptECB(ct)
+		pt, err := dev.DecryptECB(context.Background(), ct)
 		if err != nil {
 			log.Fatal(err)
 		}

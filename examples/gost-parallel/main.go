@@ -39,7 +39,8 @@ func main() {
 	for i := range src {
 		src[i] = byte(i)
 	}
-	ct, stats, err := program.EncryptBytes(m, p, src)
+	ct := make([]byte, len(src))
+	stats, err := program.RunBytes(m, p, ct, src, program.Opts{})
 	if err != nil {
 		log.Fatal(err)
 	}

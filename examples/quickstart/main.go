@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"fmt"
 	"log"
@@ -31,14 +32,14 @@ func main() {
 			"00112233445566778899aabbccddeeff" +
 			"00112233445566778899aabbccddeeff")
 
-	ciphertext, err := dev.EncryptECB(plaintext)
+	ciphertext, err := dev.EncryptECB(context.Background(), plaintext)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("ciphertext block 0: %x\n", ciphertext[:16])
 	fmt.Println("expected (FIPS-197): 69c4e0d86a7b0430d8cdb78070b4c55a")
 
-	back, err := dev.DecryptECB(ciphertext)
+	back, err := dev.DecryptECB(context.Background(), ciphertext)
 	if err != nil {
 		log.Fatal(err)
 	}

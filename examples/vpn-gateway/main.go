@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,7 +44,7 @@ func main() {
 			trace = append(trace, pkt...)
 		}
 
-		ct, err := dev.EncryptECB(trace)
+		ct, err := dev.EncryptECB(context.Background(), trace)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -51,7 +52,7 @@ func main() {
 			log.Fatalf("%s: framer length mismatch", alg)
 		}
 		// Spot-check the gateway can decrypt its own traffic.
-		pt, err := dev.DecryptECB(ct)
+		pt, err := dev.DecryptECB(context.Background(), ct)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -38,7 +38,9 @@ func BatchSweep(c Config, key []byte, batches []int) ([]BatchPoint, error) {
 		if err := program.Load(m, p); err != nil {
 			return nil, err
 		}
-		_, stats, err := program.Encrypt(m, p, testBatch(n))
+		batch := testBatch(n)
+		dst := make([]bits.Block128, len(batch))
+		stats, err := program.Run(m, p, dst, batch, program.Opts{})
 		if err != nil {
 			return nil, err
 		}
@@ -109,7 +111,8 @@ func WindowSweep(key []byte, windows []int, batch int) ([]WindowPoint, error) {
 		}
 		tm := model.Analyze(m.Array, model.DefaultDelays())
 		blocks := testBatch(batch)
-		outBlocks, stats, err := program.Encrypt(m, p, blocks)
+		outBlocks := make([]bits.Block128, len(blocks))
+		stats, err := program.Run(m, p, outBlocks, blocks, program.Opts{})
 		if err != nil {
 			return nil, err
 		}
@@ -200,7 +203,8 @@ func FeedbackSweep(key []byte, batch int) ([]FeedbackPoint, error) {
 		tm := model.Analyze(m.Array, model.DefaultDelays())
 		blocks := testBatch(batch)
 		// Non-feedback: the whole batch in flight.
-		if _, _, err := program.Encrypt(m, p, blocks); err != nil {
+		warm := make([]bits.Block128, len(blocks))
+		if _, err := program.Run(m, p, warm, blocks, program.Opts{}); err != nil {
 			return nil, err
 		}
 		nfb := float64(m.Stats().Cycles) / float64(batch)
@@ -208,7 +212,7 @@ func FeedbackSweep(key []byte, batch int) ([]FeedbackPoint, error) {
 		// each submission pays the full pipeline fill and drain.
 		total := 0
 		for i := range blocks {
-			_, st, err := program.Encrypt(m, p, blocks[i:i+1])
+			st, err := program.Run(m, p, warm[:1], blocks[i:i+1], program.Opts{})
 			if err != nil {
 				return nil, err
 			}

@@ -38,6 +38,7 @@ func MeasureFastpath(c Config, key []byte, blocks int) (FastpathMeasurement, err
 	if err != nil {
 		return FastpathMeasurement{}, err
 	}
+	observe(m)
 	if err := program.Load(m, p); err != nil {
 		return FastpathMeasurement{}, err
 	}
@@ -51,7 +52,7 @@ func MeasureFastpath(c Config, key []byte, blocks int) (FastpathMeasurement, err
 	got := make([]bits.Block128, blocks)
 
 	t0 := time.Now()
-	wantStats, err := program.EncryptInto(m, p, want, in)
+	wantStats, err := program.Run(m, p, want, in, program.Opts{})
 	interpNs := float64(time.Since(t0).Nanoseconds())
 	if err != nil {
 		return FastpathMeasurement{}, err

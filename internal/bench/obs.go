@@ -1,0 +1,22 @@
+package bench
+
+import (
+	"cobra/internal/obs"
+	"cobra/internal/sim"
+)
+
+// Metrics, when non-nil, is the registry every bench-owned machine binds
+// its sim observer to, so a sweep's simulator activity shows up in the
+// cobra_sim_* families (cobra-bench -metrics-dump sets it to obs.Default
+// and prints the exposition at exit). Nil — the default — keeps
+// measurement machines unobserved and library users hermetic. Not safe to
+// flip while a measurement is running.
+var Metrics *obs.Registry
+
+// observe binds m to the opt-in registry. Called before program.Load so
+// the setup phase is counted, matching a Device's accounting.
+func observe(m *sim.Machine) {
+	if Metrics != nil {
+		m.Obs = sim.NewObserver(Metrics)
+	}
+}

@@ -112,6 +112,7 @@ func Measure(c Config, key []byte, batch int) (Measurement, error) {
 	if err != nil {
 		return Measurement{}, err
 	}
+	observe(m)
 	if err := program.Load(m, p); err != nil {
 		return Measurement{}, err
 	}
@@ -119,7 +120,8 @@ func Measure(c Config, key []byte, batch int) (Measurement, error) {
 	// run leaves the machine frozen in a first/last-round special state.
 	tm := model.Analyze(m.Array, model.DefaultDelays())
 	blocks := testBatch(batch)
-	out, stats, err := program.Encrypt(m, p, blocks)
+	out := make([]bits.Block128, len(blocks))
+	stats, err := program.Run(m, p, out, blocks, program.Opts{})
 	if err != nil {
 		return Measurement{}, err
 	}

@@ -11,9 +11,17 @@
 // external-system protocol), EncryptECB drives the ready/go/busy/data-valid
 // handshake, and Report exposes measured cycles alongside the modeled clock
 // frequency, throughput, and gate count.
+//
+// Every mode method takes a context (the unified Cipher surface, see
+// cipher.go) and every Device carries an internal/obs registry: per-mode
+// request/latency series, engine and fallback counters, and the simulator
+// counters themselves, attachable to a parent registry via Config.Metrics
+// for live /metrics export. Report and Summary are views over that
+// registry — there is no second set of books.
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"cobra/internal/bits"
@@ -21,6 +29,7 @@ import (
 	"cobra/internal/datapath"
 	"cobra/internal/fastpath"
 	"cobra/internal/model"
+	"cobra/internal/obs"
 	"cobra/internal/program"
 	"cobra/internal/sim"
 )
@@ -61,15 +70,29 @@ type Config struct {
 	// default uses the fastpath executor for bulk modes when the program
 	// proves steady-state compilable.
 	Interpreter bool
+	// Metrics, when non-nil, is the parent obs registry the device's own
+	// registry is attached to — typically obs.Default in a binary that
+	// serves /metrics. Nil keeps the device's registry detached (hermetic:
+	// nothing leaks into process-global export), which is the right
+	// default for tests. Ignored by Reconfigure, which keeps the device's
+	// existing registry and attachment.
+	Metrics *obs.Registry
+	// Trace, when positive, enables the per-call span trace ring of that
+	// many records on the device's registry (see obs.Registry.EnableTrace
+	// and the /debug/trace endpoint). Ignored by Reconfigure.
+	Trace int
 }
 
 // Device is one COBRA chip with loaded microcode.
 //
 // A Device is not safe for concurrent use: it owns a single sim.Machine
 // (itself single-threaded silicon) and every Encrypt/Decrypt call mutates
-// the machine's queues and counters. To serve a non-feedback workload in
-// parallel, replicate devices — one per goroutine — and shard the data
-// between them; internal/farm packages exactly that pattern.
+// the machine's queues and counters. Report, Summary and ResetStats ARE
+// safe to call concurrently with encryption — they read and snapshot
+// atomic registry counters — which is how the farm reports on live
+// workers. To serve a non-feedback workload in parallel, replicate
+// devices — one per goroutine — and shard the data between them;
+// internal/farm packages exactly that pattern.
 type Device struct {
 	alg     Algorithm
 	prog    *program.Program
@@ -77,22 +100,21 @@ type Device struct {
 	timing  model.Timing
 	ref     cipher.Block
 	key     []byte
+	met     *deviceMetrics
 
 	// oneBlk is the one-block scratch reused by the chaining modes'
-	// block-at-a-time path (EncryptCBC), avoiding a fresh input and output
-	// slice per block.
+	// block-at-a-time path (EncryptCBC), and blkBuf the bulk staging
+	// scratch reused by EncryptECBInto/EncryptCTRInto — the CTR hot path
+	// is allocation-free once the buffer has grown to the workload's batch
+	// size (alloc_test.go pins this).
 	oneBlk [1]bits.Block128
+	blkBuf []bits.Block128
 
 	// fast is the trace-compiled executor (package fastpath) serving the
 	// bulk encryption paths; nil when compilation was refused (fastErr
-	// records why) or forced off (interpOnly). stats accumulates the
-	// per-call counter deltas of every bulk encryption regardless of the
-	// engine that ran it — the machine's own counters are zeroed whenever a
-	// streaming program reloads, so Report sums deltas instead of reading
-	// machine totals.
+	// records why) or forced off (interpOnly).
 	fast       *fastpath.Exec
 	fastErr    error
-	stats      sim.Stats
 	interpOnly bool
 
 	// Decryption datapath, built lazily on first DecryptECB call (in
@@ -137,10 +159,23 @@ func Configure(alg Algorithm, key []byte, cfg Config) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
+	met := newDeviceMetrics(alg)
+	if cfg.Trace > 0 {
+		met.reg.EnableTrace(cfg.Trace)
+	}
+	// The machine-level observer feeds the cobra_sim_* family: interpreter
+	// machine activity including the setup/configuration phase. Fastpath
+	// runs never touch the machine, so the device-level
+	// cobra_device_*_total mirrors (fed by encryptInto across both
+	// engines) are the bulk-encryption source of truth.
+	m.Obs = sim.NewObserver(met.reg)
 	d := &Device{alg: alg, prog: p, machine: m, ref: ref,
-		key: append([]byte(nil), key...), interpOnly: cfg.Interpreter}
+		key: append([]byte(nil), key...), interpOnly: cfg.Interpreter, met: met}
 	if err := d.load(); err != nil {
 		return nil, err
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Attach(met.reg)
 	}
 	return d, nil
 }
@@ -153,13 +188,25 @@ func (d *Device) load() error {
 		return err
 	}
 	d.timing = model.Analyze(d.machine.Array, model.DefaultDelays())
+	if d.fast != nil {
+		d.met.invalidations.Inc()
+	}
 	d.fast, d.fastErr = nil, nil
-	d.stats = sim.Stats{}
+	d.met.resetStats()
 	if !d.interpOnly {
 		d.fast, d.fastErr = d.prog.Compile()
+		if d.fast != nil {
+			d.met.noteCompile(true, d.fast.Elided())
+		} else {
+			d.met.noteCompile(false, 0)
+		}
 	}
 	return nil
 }
+
+// Obs returns the device's metrics registry — every series the device
+// maintains, for attaching to an export parent or scraping in tests.
+func (d *Device) Obs() *obs.Registry { return d.met.reg }
 
 // UsesFastpath reports whether bulk encryption runs on the trace-compiled
 // executor rather than the cycle-accurate interpreter.
@@ -172,31 +219,77 @@ func (d *Device) FastpathErr() error { return d.fastErr }
 // encryptInto routes a bulk block batch through the fastpath executor when
 // one is compiled, falling back to the interpreter otherwise. A machine
 // that has interpreted since its last load owns the in-flight stats chain,
-// so such a device stays on the interpreter.
-func (d *Device) encryptInto(dst, blocks []bits.Block128) (sim.Stats, error) {
+// so such a device stays on the interpreter. The context is checked once
+// per batch — a simulated batch is the unit of work a caller can abandon.
+func (d *Device) encryptInto(ctx context.Context, dst, blocks []bits.Block128) (sim.Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return sim.Stats{}, err
+	}
 	var st sim.Stats
 	var err error
 	if d.fast != nil && !d.machine.Dirty() {
 		st, err = d.fast.EncryptInto(dst, blocks)
+		if err == nil {
+			d.met.fastBlocks.Add(int64(len(blocks)))
+		}
 	} else {
-		st, err = program.EncryptInto(d.machine, d.prog, dst, blocks)
+		switch {
+		case d.interpOnly:
+			d.met.fbForced.Inc()
+		case d.fast == nil:
+			d.met.fbRefused.Inc()
+		default:
+			d.met.fbDirty.Inc()
+		}
+		st, err = program.Run(d.machine, d.prog, dst, blocks, program.Opts{})
+		if err == nil {
+			d.met.interpBlocks.Add(int64(len(blocks)))
+		}
 	}
 	if err != nil {
 		return st, err
 	}
-	d.stats.Add(st)
+	d.met.addStats(st)
 	return st, nil
+}
+
+// scratch returns the bulk staging buffer, grown to hold n blocks. The
+// buffer is device-owned (a Device is single-goroutine by contract), so
+// steady-state bulk calls allocate nothing.
+func (d *Device) scratch(n int) []bits.Block128 {
+	if cap(d.blkBuf) < n {
+		d.blkBuf = make([]bits.Block128, n)
+	}
+	return d.blkBuf[:n]
 }
 
 // Reconfigure switches the device to a new algorithm/key — the §1
 // algorithm-agility scenario. When the new configuration needs a different
 // array geometry the device is rebuilt (in hardware terms: a differently
-// tiled part); with matching geometry only the microcode reloads.
+// tiled part); with matching geometry only the microcode reloads. Either
+// way the device keeps its metrics registry (and any parent attachment):
+// exported counters stay monotonic across the switch, the info series
+// flips to the new algorithm, and the Report view resets.
 func (d *Device) Reconfigure(alg Algorithm, key []byte, cfg Config) error {
-	nd, err := Configure(alg, key, cfg)
+	ncfg := cfg
+	ncfg.Metrics, ncfg.Trace = nil, 0
+	nd, err := Configure(alg, key, ncfg)
 	if err != nil {
 		return err
 	}
+	met := d.met
+	if d.fast != nil {
+		met.invalidations.Inc()
+	}
+	met.setAlg(alg)
+	if !nd.interpOnly {
+		if nd.fast != nil {
+			met.noteCompile(true, nd.fast.Elided())
+		} else {
+			met.noteCompile(false, 0)
+		}
+	}
+	met.resetStats()
 	if nd.prog.Geometry == d.prog.Geometry {
 		// Same silicon: reload microcode on the existing machine. The
 		// decryption datapath is dropped and rebuilt lazily for the new
@@ -210,9 +303,13 @@ func (d *Device) Reconfigure(alg Algorithm, key []byte, cfg Config) error {
 		}
 		d.timing = nd.timing
 		d.fast, d.fastErr = nd.fast, nd.fastErr
-		d.stats = sim.Stats{}
 		return nil
 	}
+	// New silicon: adopt the rebuilt device but keep the device-lifetime
+	// registry; the new machine's observer rebinds to it (counter lookups
+	// are get-or-create by name, so the same series keep counting).
+	nd.met = met
+	nd.machine.Obs = sim.NewObserver(met.reg)
 	*d = *nd
 	return nil
 }
@@ -233,21 +330,21 @@ func (d *Device) BlockSize() int { return 16 }
 // EncryptECB encrypts src (a multiple of 16 bytes) into a fresh slice by
 // streaming the blocks through the datapath in electronic-codebook mode,
 // the paper's measurement mode.
-func (d *Device) EncryptECB(src []byte) ([]byte, error) {
+func (d *Device) EncryptECB(ctx context.Context, src []byte) ([]byte, error) {
 	dst := make([]byte, len(src))
-	if _, err := d.EncryptECBInto(dst, src); err != nil {
+	if _, err := d.EncryptECBInto(ctx, dst, src); err != nil {
 		return nil, err
 	}
 	return dst, nil
 }
 
 // EncryptBlocks encrypts 128-bit blocks in place of the byte API.
-func (d *Device) EncryptBlocks(blocks []bits.Block128) ([]bits.Block128, error) {
+func (d *Device) EncryptBlocks(ctx context.Context, blocks []bits.Block128) ([]bits.Block128, error) {
 	if len(blocks) == 0 {
 		return nil, nil
 	}
 	out := make([]bits.Block128, len(blocks))
-	if _, err := d.encryptInto(out, blocks); err != nil {
+	if _, err := d.encryptInto(ctx, out, blocks); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -257,7 +354,16 @@ func (d *Device) EncryptBlocks(blocks []bits.Block128) ([]bits.Block128, error) 
 // (len(dst) >= len(src)) and returning the simulator counters for exactly
 // this call — the farm's worker path, where per-shard stats are aggregated
 // into a pool-wide report.
-func (d *Device) EncryptECBInto(dst, src []byte) (sim.Stats, error) {
+func (d *Device) EncryptECBInto(ctx context.Context, dst, src []byte) (sim.Stats, error) {
+	d.met.calls[opECB].Inc()
+	sp := d.met.lat[opECB].Start()
+	st, err := d.encryptECBInto(ctx, dst, src)
+	sp.End()
+	d.met.finish(opECB, len(src), err)
+	return st, err
+}
+
+func (d *Device) encryptECBInto(ctx context.Context, dst, src []byte) (sim.Stats, error) {
 	if len(src)%16 != 0 {
 		return sim.Stats{}, fmt.Errorf("core: input length %d is not a multiple of the block size", len(src))
 	}
@@ -265,18 +371,18 @@ func (d *Device) EncryptECBInto(dst, src []byte) (sim.Stats, error) {
 		return sim.Stats{}, fmt.Errorf("core: dst is %d bytes, need %d", len(dst), len(src))
 	}
 	if len(src) == 0 {
-		return sim.Stats{}, nil
+		return sim.Stats{}, ctx.Err()
 	}
-	blocks := make([]bits.Block128, len(src)/16)
+	blocks := d.scratch(len(src) / 16)
 	for i := range blocks {
 		blocks[i] = bits.LoadBlock128(src[16*i:])
 	}
-	stats, err := d.encryptInto(blocks, blocks)
+	stats, err := d.encryptInto(ctx, blocks, blocks)
 	if err != nil {
 		return stats, err
 	}
-	for i, blk := range blocks {
-		blk.StoreBlock128(dst[16*i:])
+	for i := range blocks {
+		blocks[i].StoreBlock128(dst[16*i:])
 	}
 	return stats, nil
 }
@@ -284,9 +390,9 @@ func (d *Device) EncryptECBInto(dst, src []byte) (sim.Stats, error) {
 // encryptBlockInPlace runs a single block through the datapath, reusing
 // the device's one-block scratch so the chaining loop performs no per-block
 // slice allocations.
-func (d *Device) encryptBlockInPlace(b *[16]byte) error {
+func (d *Device) encryptBlockInPlace(ctx context.Context, b *[16]byte) error {
 	d.oneBlk[0] = bits.LoadBlock128(b[:])
-	if _, err := d.encryptInto(d.oneBlk[:], d.oneBlk[:]); err != nil {
+	if _, err := d.encryptInto(ctx, d.oneBlk[:], d.oneBlk[:]); err != nil {
 		return err
 	}
 	d.oneBlk[0].StoreBlock128(b[:])
@@ -298,28 +404,52 @@ func (d *Device) encryptBlockInPlace(b *[16]byte) error {
 // chaining dependency serializes the device — one block in flight — which
 // is exactly the feedback-mode penalty of the paper's Table 1 (FB vs NFB
 // columns): a full-length pipeline degrades to its fill+drain latency per
-// block. iv must be one block (16 bytes).
-func (d *Device) EncryptCBC(iv, src []byte) ([]byte, error) {
+// block. iv must be one block (16 bytes). The context is checked between
+// blocks, so a long chained message can be abandoned mid-stream.
+func (d *Device) EncryptCBC(ctx context.Context, iv, src []byte) ([]byte, error) {
+	dst := make([]byte, len(src))
+	if _, err := d.EncryptCBCInto(ctx, dst, iv, src); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// EncryptCBCInto is EncryptCBC writing into a caller-supplied buffer
+// (len(dst) >= len(src), may alias src) — the farm serializes a CBC
+// message onto one worker through this entry point.
+func (d *Device) EncryptCBCInto(ctx context.Context, dst, iv, src []byte) (sim.Stats, error) {
+	d.met.calls[opCBC].Inc()
+	sp := d.met.lat[opCBC].Start()
+	st, err := d.encryptCBCInto(ctx, dst, iv, src)
+	sp.End()
+	d.met.finish(opCBC, len(src), err)
+	return st, err
+}
+
+func (d *Device) encryptCBCInto(ctx context.Context, dst, iv, src []byte) (sim.Stats, error) {
 	if len(iv) != 16 {
-		return nil, fmt.Errorf("core: iv must be 16 bytes")
+		return sim.Stats{}, fmt.Errorf("core: iv must be 16 bytes")
 	}
 	if len(src)%16 != 0 {
-		return nil, fmt.Errorf("core: input length %d is not a multiple of the block size", len(src))
+		return sim.Stats{}, fmt.Errorf("core: input length %d is not a multiple of the block size", len(src))
 	}
-	dst := make([]byte, len(src))
+	if len(dst) < len(src) {
+		return sim.Stats{}, fmt.Errorf("core: dst is %d bytes, need %d", len(dst), len(src))
+	}
+	start := d.met.statsView()
 	prev := iv
 	var blk [16]byte
 	for i := 0; i < len(src); i += 16 {
 		for j := 0; j < 16; j++ {
 			blk[j] = src[i+j] ^ prev[j]
 		}
-		if err := d.encryptBlockInPlace(&blk); err != nil {
-			return nil, err
+		if err := d.encryptBlockInPlace(ctx, &blk); err != nil {
+			return sim.Stats{}, err
 		}
 		copy(dst[i:], blk[:])
 		prev = dst[i : i+16]
 	}
-	return dst, nil
+	return d.met.statsView().Delta(start), nil
 }
 
 // incCounter increments a CTR counter block interpreted as a 128-bit
@@ -362,21 +492,34 @@ func AddCounter(iv []byte, n uint64) ([16]byte, error) {
 // by counter range (internal/farm). src may end in a partial block: CTR
 // turns the block cipher into a stream cipher. Decryption is the same
 // operation (DecryptCTR).
-func (d *Device) EncryptCTR(iv, src []byte) ([]byte, error) {
+func (d *Device) EncryptCTR(ctx context.Context, iv, src []byte) ([]byte, error) {
 	dst := make([]byte, len(src))
-	if _, err := d.EncryptCTRInto(dst, iv, src); err != nil {
+	if _, err := d.EncryptCTRInto(ctx, dst, iv, src); err != nil {
 		return nil, err
 	}
 	return dst, nil
 }
 
-// DecryptCTR inverts EncryptCTR; counter mode is an involution.
-func (d *Device) DecryptCTR(iv, src []byte) ([]byte, error) { return d.EncryptCTR(iv, src) }
+// DecryptCTR inverts EncryptCTR; counter mode is an involution, so the
+// call is accounted under mode="ctr" like its encryption twin.
+func (d *Device) DecryptCTR(ctx context.Context, iv, src []byte) ([]byte, error) {
+	return d.EncryptCTR(ctx, iv, src)
+}
 
 // EncryptCTRInto is EncryptCTR writing into a caller-supplied buffer
 // (len(dst) >= len(src)) and returning the simulator counters for exactly
-// this call.
-func (d *Device) EncryptCTRInto(dst, iv, src []byte) (sim.Stats, error) {
+// this call. On a warmed device with an active fastpath the call is
+// allocation-free (the benchmark gate in internal/fastpath pins this).
+func (d *Device) EncryptCTRInto(ctx context.Context, dst, iv, src []byte) (sim.Stats, error) {
+	d.met.calls[opCTR].Inc()
+	sp := d.met.lat[opCTR].Start()
+	st, err := d.encryptCTRInto(ctx, dst, iv, src)
+	sp.End()
+	d.met.finish(opCTR, len(src), err)
+	return st, err
+}
+
+func (d *Device) encryptCTRInto(ctx context.Context, dst, iv, src []byte) (sim.Stats, error) {
 	if len(iv) != 16 {
 		return sim.Stats{}, fmt.Errorf("core: iv must be 16 bytes")
 	}
@@ -384,17 +527,17 @@ func (d *Device) EncryptCTRInto(dst, iv, src []byte) (sim.Stats, error) {
 		return sim.Stats{}, fmt.Errorf("core: dst is %d bytes, need %d", len(dst), len(src))
 	}
 	if len(src) == 0 {
-		return sim.Stats{}, nil
+		return sim.Stats{}, ctx.Err()
 	}
 	n := (len(src) + 15) / 16
-	ctrs := make([]bits.Block128, n)
+	ctrs := d.scratch(n)
 	var c [16]byte
 	copy(c[:], iv)
 	for i := range ctrs {
 		ctrs[i] = bits.LoadBlock128(c[:])
 		incCounter(&c)
 	}
-	stats, err := d.encryptInto(ctrs, ctrs)
+	stats, err := d.encryptInto(ctx, ctrs, ctrs)
 	if err != nil {
 		return sim.Stats{}, err
 	}
@@ -414,11 +557,20 @@ func (d *Device) EncryptCTRInto(dst, iv, src []byte) (sim.Stats, error) {
 }
 
 // DecryptCBC inverts EncryptCBC on the decryption datapath.
-func (d *Device) DecryptCBC(iv, src []byte) ([]byte, error) {
+func (d *Device) DecryptCBC(ctx context.Context, iv, src []byte) ([]byte, error) {
+	d.met.calls[opDecCBC].Inc()
+	sp := d.met.lat[opDecCBC].Start()
+	pt, err := d.decryptCBC(ctx, iv, src)
+	sp.End()
+	d.met.finish(opDecCBC, len(src), err)
+	return pt, err
+}
+
+func (d *Device) decryptCBC(ctx context.Context, iv, src []byte) ([]byte, error) {
 	if len(iv) != 16 {
 		return nil, fmt.Errorf("core: iv must be 16 bytes")
 	}
-	pt, err := d.DecryptECB(src)
+	pt, err := d.decryptECB(ctx, src)
 	if err != nil {
 		return nil, err
 	}
@@ -439,7 +591,19 @@ func (d *Device) DecryptCBC(iv, src []byte) ([]byte, error) {
 // Rijndael via the FIPS-197 equivalent inverse cipher, Serpent via the
 // inverse LT rows. The decryption program is compiled and loaded lazily on
 // first use.
-func (d *Device) DecryptECB(src []byte) ([]byte, error) {
+func (d *Device) DecryptECB(ctx context.Context, src []byte) ([]byte, error) {
+	d.met.calls[opDecECB].Inc()
+	sp := d.met.lat[opDecECB].Start()
+	pt, err := d.decryptECB(ctx, src)
+	sp.End()
+	d.met.finish(opDecECB, len(src), err)
+	return pt, err
+}
+
+func (d *Device) decryptECB(ctx context.Context, src []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(src)%16 != 0 {
 		return nil, fmt.Errorf("core: input length %d is not a multiple of the block size", len(src))
 	}
@@ -448,11 +612,16 @@ func (d *Device) DecryptECB(src []byte) ([]byte, error) {
 			return nil, err
 		}
 	}
-	dst, _, err := program.EncryptBytes(d.decMachine, d.decProg, src)
-	return dst, err
+	dst := make([]byte, len(src))
+	if _, err := program.RunBytes(d.decMachine, d.decProg, dst, src, program.Opts{}); err != nil {
+		return nil, err
+	}
+	return dst, nil
 }
 
-// buildDecryptor compiles and loads the decryption datapath.
+// buildDecryptor compiles and loads the decryption datapath. Its machine
+// shares the device registry's observer, so the cobra_sim_* family covers
+// both directions.
 func (d *Device) buildDecryptor() error {
 	var p *program.Program
 	var err error
@@ -476,6 +645,7 @@ func (d *Device) buildDecryptor() error {
 	if err != nil {
 		return err
 	}
+	m.Obs = sim.NewObserver(d.met.reg)
 	if err := program.Load(m, p); err != nil {
 		return err
 	}
@@ -497,18 +667,19 @@ func (d *Device) DecryptECBHost(src []byte) ([]byte, error) {
 	return dst, nil
 }
 
-// Report summarizes a device's measured and modeled performance.
+// Report summarizes a device's measured and modeled performance: the
+// backend-independent Summary plus the device-only timing/area model
+// outputs. Field names and JSON tags are a stable reporting surface
+// (pinned by the golden test in report_test.go).
 type Report struct {
-	Algorithm      Algorithm
-	Unroll         int
-	Rows           int
-	Streaming      bool
-	Stats          sim.Stats
-	CyclesPerBlock float64
-	DatapathMHz    float64
-	IRAMMHz        float64
-	ThroughputMbps float64
-	Gates          int
+	Summary
+	// Streaming reports whether the loaded program is a streaming
+	// (full-unroll, non-feedback) mapping.
+	Streaming bool `json:"streaming"`
+	// IRAMMHz is the modeled instruction-RAM clock (§3.3's dual clocks).
+	IRAMMHz float64 `json:"iram_mhz"`
+	// Gates is the modeled gate count (Table 5).
+	Gates int `json:"gates"`
 }
 
 // Report returns the accumulated performance counters combined with the
@@ -516,31 +687,41 @@ type Report struct {
 // counters sum every bulk encryption since configuration (or ResetStats)
 // across both engines: interpreter runs and fastpath runs (which report
 // the cycles the interpreter would have spent) accumulate identically.
+// The view is derived from the device's obs registry, so Report agrees
+// with a concurrent /metrics scrape by construction.
 func (d *Device) Report() Report {
-	st := d.stats
+	st := d.met.statsView()
 	cpb := 0.0
 	if st.BlocksOut > 0 {
 		cpb = float64(st.Cycles) / float64(st.BlocksOut)
 	}
 	return Report{
-		Algorithm:      d.alg,
-		Unroll:         d.prog.HWRounds,
-		Rows:           d.prog.Geometry.Rows,
-		Streaming:      d.prog.Streaming,
-		Stats:          st,
-		CyclesPerBlock: cpb,
-		DatapathMHz:    d.timing.DatapathMHz,
-		IRAMMHz:        d.timing.IRAMMHz,
-		ThroughputMbps: d.timing.ThroughputMbps(cpb),
-		Gates:          model.Table5(model.Table4(), d.prog.Geometry).Total(),
+		Summary: Summary{
+			Algorithm:      d.alg,
+			Backend:        "device",
+			Workers:        1,
+			Unroll:         d.prog.HWRounds,
+			Rows:           d.prog.Geometry.Rows,
+			Stats:          st,
+			CyclesPerBlock: cpb,
+			DatapathMHz:    d.timing.DatapathMHz,
+			ThroughputMbps: d.timing.ThroughputMbps(cpb),
+		},
+		Streaming: d.prog.Streaming,
+		IRAMMHz:   d.timing.IRAMMHz,
+		Gates:     model.Table5(model.Table4(), d.prog.Geometry).Total(),
 	}
 }
 
+// Summary returns the backend-independent view of Report (the Cipher
+// accessor).
+func (d *Device) Summary() Summary { return d.Report().Summary }
+
 // ResetStats zeroes the performance counters between measurement phases.
-func (d *Device) ResetStats() {
-	d.machine.ResetStats()
-	d.stats = sim.Stats{}
-}
+// The reset is a snapshot of the registry's atomic counters — safe while
+// an encryption is in flight, and the exported /metrics series keep
+// counting monotonically.
+func (d *Device) ResetStats() { d.met.resetStats() }
 
 // Describe renders the configured architecture topology (figure 1 style).
 func (d *Device) Describe() string { return d.machine.Array.Describe() }

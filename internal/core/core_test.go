@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"cobra/internal/cipher"
@@ -16,11 +17,11 @@ func TestConfigureAndEncryptAllAlgorithms(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
-		ct, err := d.EncryptECB(pt)
+		ct, err := d.EncryptECB(context.Background(), pt)
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
-		back, err := d.DecryptECB(ct)
+		back, err := d.DecryptECB(context.Background(), ct)
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
@@ -42,7 +43,7 @@ func TestEncryptMatchesReferenceCiphers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := d.EncryptECB(pt)
+		got, err := d.EncryptECB(context.Background(), pt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,7 +80,7 @@ func TestReportAfterEncryption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.EncryptECB(bytes.Repeat([]byte{1}, 160)); err != nil {
+	if _, err := d.EncryptECB(context.Background(), bytes.Repeat([]byte{1}, 160)); err != nil {
 		t.Fatal(err)
 	}
 	r := d.Report()
@@ -119,7 +120,7 @@ func TestReconfigureSameGeometryKeepsMachine(t *testing.T) {
 		t.Errorf("algorithm = %s", d.Algorithm())
 	}
 	pt := bytes.Repeat([]byte{9}, 16)
-	got, err := d.EncryptECB(pt)
+	got, err := d.EncryptECB(context.Background(), pt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestDecryptRejectsPartialBlock(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.DecryptECB(make([]byte, 17)); err == nil {
+	if _, err := d.DecryptECB(context.Background(), make([]byte, 17)); err == nil {
 		t.Error("expected partial-block error")
 	}
 }
@@ -194,11 +195,11 @@ func TestDatapathDecryptionAllAlgorithms(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ct, err := d.EncryptECB(pt)
+		ct, err := d.EncryptECB(context.Background(), pt)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := d.DecryptECB(ct)
+		got, err := d.DecryptECB(context.Background(), ct)
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
@@ -218,22 +219,22 @@ func TestReconfigureInvalidatesDecryptor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ct1, err := d.EncryptECB(pt)
+	ct1, err := d.EncryptECB(context.Background(), pt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.DecryptECB(ct1); err != nil {
+	if _, err := d.DecryptECB(context.Background(), ct1); err != nil {
 		t.Fatal(err)
 	}
 	key2 := bytes.Repeat([]byte{9}, 16)
 	if err := d.Reconfigure(Rijndael, key2, Config{Unroll: 2}); err != nil {
 		t.Fatal(err)
 	}
-	ct2, err := d.EncryptECB(pt)
+	ct2, err := d.EncryptECB(context.Background(), pt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := d.DecryptECB(ct2)
+	got, err := d.DecryptECB(context.Background(), ct2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestCBCModeRoundTripAndChaining(t *testing.T) {
 	}
 	iv := bytes.Repeat([]byte{0xAB}, 16)
 	pt := bytes.Repeat([]byte{0x00}, 48) // identical plaintext blocks
-	ct, err := d.EncryptCBC(iv, pt)
+	ct, err := d.EncryptCBC(context.Background(), iv, pt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +273,7 @@ func TestCBCModeRoundTripAndChaining(t *testing.T) {
 	if !bytes.Equal(ct, want) {
 		t.Error("CBC ciphertext differs from reference chaining")
 	}
-	back, err := d.DecryptCBC(iv, ct)
+	back, err := d.DecryptCBC(context.Background(), iv, ct)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,13 +287,13 @@ func TestCBCArgumentValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.EncryptCBC(make([]byte, 8), make([]byte, 16)); err == nil {
+	if _, err := d.EncryptCBC(context.Background(), make([]byte, 8), make([]byte, 16)); err == nil {
 		t.Error("expected iv error")
 	}
-	if _, err := d.EncryptCBC(make([]byte, 16), make([]byte, 17)); err == nil {
+	if _, err := d.EncryptCBC(context.Background(), make([]byte, 16), make([]byte, 17)); err == nil {
 		t.Error("expected length error")
 	}
-	if _, err := d.DecryptCBC(make([]byte, 8), make([]byte, 16)); err == nil {
+	if _, err := d.DecryptCBC(context.Background(), make([]byte, 8), make([]byte, 16)); err == nil {
 		t.Error("expected iv error")
 	}
 }

@@ -9,6 +9,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"cobra/internal/cipher"
@@ -51,7 +52,7 @@ func TestReconfigureMidBatchInvalidatesTrace(t *testing.T) {
 	if !d.UsesFastpath() {
 		t.Fatalf("fastpath refused: %v", d.FastpathErr())
 	}
-	got1, err := d.EncryptECB(msg[:16*6])
+	got1, err := d.EncryptECB(context.Background(), msg[:16*6])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestReconfigureMidBatchInvalidatesTrace(t *testing.T) {
 	if !d.UsesFastpath() {
 		t.Fatalf("fastpath refused after rekey: %v", d.FastpathErr())
 	}
-	got2, err := d.EncryptECB(msg[16*6:])
+	got2, err := d.EncryptECB(context.Background(), msg[16*6:])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestReconfigureAcrossGeometriesInvalidatesTrace(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := d.EncryptECB(msg)
+		got, err := d.EncryptECB(context.Background(), msg)
 		if err != nil {
 			t.Fatalf("%s: %v", hop.alg, err)
 		}

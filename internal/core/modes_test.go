@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/hex"
 	"fmt"
 	"testing"
@@ -77,7 +78,7 @@ func forEachNISTDevice(t *testing.T, f func(t *testing.T, label string, d *Devic
 func TestRijndaelECBMatchesSP800_38A(t *testing.T) {
 	pt, want := unhex(t, nistPT), unhex(t, nistECB)
 	forEachNISTDevice(t, func(t *testing.T, label string, d *Device) {
-		got, err := d.EncryptECB(pt)
+		got, err := d.EncryptECB(context.Background(), pt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,14 +91,14 @@ func TestRijndaelECBMatchesSP800_38A(t *testing.T) {
 func TestRijndaelCBCMatchesSP800_38A(t *testing.T) {
 	pt, iv, want := unhex(t, nistPT), unhex(t, nistCBCIV), unhex(t, nistCBC)
 	forEachNISTDevice(t, func(t *testing.T, label string, d *Device) {
-		got, err := d.EncryptCBC(iv, pt)
+		got, err := d.EncryptCBC(context.Background(), iv, pt)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(got, want) {
 			t.Errorf("%s: CBC = %x, want %x", label, got, want)
 		}
-		back, err := d.DecryptCBC(iv, got)
+		back, err := d.DecryptCBC(context.Background(), iv, got)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,7 +111,7 @@ func TestRijndaelCBCMatchesSP800_38A(t *testing.T) {
 func TestRijndaelCTRMatchesSP800_38A(t *testing.T) {
 	pt, iv, want := unhex(t, nistPT), unhex(t, nistCTRIV), unhex(t, nistCTR)
 	forEachNISTDevice(t, func(t *testing.T, label string, d *Device) {
-		got, err := d.EncryptCTR(iv, pt)
+		got, err := d.EncryptCTR(context.Background(), iv, pt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func TestCTRRoundTripAgainstHostReference(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
-		ct, err := d.EncryptCTR(iv, pt)
+		ct, err := d.EncryptCTR(context.Background(), iv, pt)
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
@@ -167,7 +168,7 @@ func TestCTRRoundTripAgainstHostReference(t *testing.T) {
 		if want := refCTR(ref, iv, pt); !bytes.Equal(ct, want) {
 			t.Errorf("%s: CTR = %x, want %x", alg, ct, want)
 		}
-		back, err := d.DecryptCTR(iv, ct)
+		back, err := d.DecryptCTR(context.Background(), iv, ct)
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
@@ -189,7 +190,7 @@ func TestCTRPartialFinalBlock(t *testing.T) {
 	iv := bytes.Repeat([]byte{0x42}, 16)
 	for _, n := range []int{1, 15, 17, 33} {
 		pt := bytes.Repeat([]byte{0x5a}, n)
-		ct, err := d.EncryptCTR(iv, pt)
+		ct, err := d.EncryptCTR(context.Background(), iv, pt)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -204,13 +205,13 @@ func TestCTRValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.EncryptCTR([]byte{1, 2, 3}, make([]byte, 16)); err == nil {
+	if _, err := d.EncryptCTR(context.Background(), []byte{1, 2, 3}, make([]byte, 16)); err == nil {
 		t.Error("short iv accepted")
 	}
-	if _, err := d.EncryptCTRInto(make([]byte, 8), make([]byte, 16), make([]byte, 16)); err == nil {
+	if _, err := d.EncryptCTRInto(context.Background(), make([]byte, 8), make([]byte, 16), make([]byte, 16)); err == nil {
 		t.Error("short dst accepted")
 	}
-	if out, err := d.EncryptCTR(make([]byte, 16), nil); err != nil || len(out) != 0 {
+	if out, err := d.EncryptCTR(context.Background(), make([]byte, 16), nil); err != nil || len(out) != 0 {
 		t.Errorf("empty src: out=%v err=%v", out, err)
 	}
 }
@@ -263,7 +264,7 @@ func TestCBCMatchesBlockAtATimeECB(t *testing.T) {
 		}
 		iv := bytes.Repeat([]byte{0x17}, 16)
 		pt := bytes.Repeat([]byte{0xc3, 0x99}, 40)
-		got, err := d.EncryptCBC(iv, pt)
+		got, err := d.EncryptCBC(context.Background(), iv, pt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -274,7 +275,7 @@ func TestCBCMatchesBlockAtATimeECB(t *testing.T) {
 			for j := 0; j < 16; j++ {
 				blk[j] = pt[i+j] ^ prev[j]
 			}
-			ct, err := d.EncryptECB(blk)
+			ct, err := d.EncryptECB(context.Background(), blk)
 			if err != nil {
 				t.Fatal(err)
 			}

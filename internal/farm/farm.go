@@ -23,16 +23,27 @@
 // Per-worker simulator counters are aggregated into a farm-wide Report
 // whose EffectiveMbps is the simulated aggregate throughput the
 // cmd/cobra-farm scaling table sweeps.
+//
+// A Farm implements core.Cipher — the unified API — including the
+// feedback mode EncryptCBC, which it serializes onto a single worker
+// (Table 1's FB-column penalty made operational). Every farm carries an
+// internal/obs registry aggregating its workers' device registries under
+// worker="N" labels plus farm-level queue/shard/utilization series;
+// attach it to obs.Default via core.Config.Metrics and cobra-farm's
+// -metrics flag serves it live.
 package farm
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cobra/internal/core"
+	"cobra/internal/obs"
 	"cobra/internal/sim"
 )
 
@@ -50,14 +61,15 @@ type mode int
 const (
 	modeCTR mode = iota
 	modeECB
+	modeCBC
 )
 
-// A job is one contiguous shard of an Encrypt call: a counter range plus
-// the matching source and destination windows.
+// A job is one contiguous shard of an Encrypt call: a counter range (or
+// IV) plus the matching source and destination windows.
 type job struct {
 	ctx  context.Context
 	mode mode
-	ctr  [16]byte // starting counter block (CTR only)
+	iv   [16]byte // starting counter block (CTR) or IV (CBC)
 	src  []byte
 	dst  []byte
 	errc chan<- error
@@ -68,48 +80,125 @@ type job struct {
 const workerQueueDepth = 2
 
 // A worker owns one device exclusively; only its goroutine touches dev.
-// The mutex guards the accumulated counters, which Report reads while
-// jobs are in flight.
+// Its counters live in the farm registry (atomic — Report reads them while
+// jobs are in flight), alongside snapshots that let ResetStats rewind the
+// report view without disturbing the exported series. fault is a test
+// hook: when non-nil it runs before the device and its error is treated
+// as the job's outcome.
 type worker struct {
-	dev   *core.Device
-	queue chan job
-	mu    sync.Mutex
-	jobs  int
-	stats sim.Stats
+	dev    *core.Device
+	queue  chan job
+	jobs   *obs.Counter
+	errs   *obs.Counter
+	busyNs *obs.Counter
+
+	jobsSnap atomic.Int64
+	busySnap atomic.Int64
+
+	fault func(j *job) error
+}
+
+// farmMetrics is the farm-level (not per-worker) instrumentation.
+type farmMetrics struct {
+	requests  [3]*obs.Counter // indexed by mode
+	errsBy    [3]*obs.Counter
+	shards    *obs.Counter
+	shardSize *obs.Histogram
+	queueWait *obs.Timer
+}
+
+var modeNames = [3]string{"ctr", "ecb", "cbc"}
+
+func newFarmMetrics(reg *obs.Registry) *farmMetrics {
+	m := &farmMetrics{
+		shards: reg.Counter("cobra_farm_shards_total",
+			"Shards dispatched to worker queues."),
+		shardSize: reg.Histogram("cobra_farm_shard_blocks",
+			"Size of dispatched shards in 128-bit blocks.", obs.BlockBuckets()),
+		queueWait: reg.Timer("cobra_farm_queue_wait_ns",
+			"Time dispatch spent handing one shard to a worker queue (backpressure when large)."),
+	}
+	for i, name := range modeNames {
+		l := obs.L("mode", name)
+		m.requests[i] = reg.Counter("cobra_farm_requests_total", "Farm-level API calls.", l)
+		m.errsBy[i] = reg.Counter("cobra_farm_errors_total", "Farm-level API calls that returned an error.", l)
+	}
+	return m
 }
 
 // Farm is a pool of replicated COBRA devices behind a job queue. Unlike a
 // single Device, a Farm is safe for concurrent use: any number of
-// goroutines may call EncryptCTR/EncryptECB simultaneously and their
-// shards interleave across the pool.
+// goroutines may call EncryptCTR/EncryptECB/EncryptCBC simultaneously and
+// their shards interleave across the pool.
 type Farm struct {
 	alg     core.Algorithm
 	mhz     float64
+	unroll  int
+	rows    int
 	workers []*worker
 	wg      sync.WaitGroup
 	next    atomic.Uint64 // round-robin cursor, advanced once per call
+
+	reg    *obs.Registry
+	parent *obs.Registry // detached on Close
+	met    *farmMetrics
 
 	mu     sync.RWMutex // serializes Close against job submission
 	closed bool
 }
 
+// Farm satisfies the unified cipher API (the twin of core's Device
+// assertion); farm_test's swap test exercises both through the interface.
+var _ core.Cipher = (*Farm)(nil)
+
 // New configures workers identical devices for the algorithm/key pair and
 // starts one goroutine per device. The caller must Close the farm to stop
-// them.
+// them. cfg.Metrics names the parent registry the farm's own registry
+// (labelled backend="farm", alg=...) attaches to; the workers' device
+// registries attach underneath it with worker="N" labels.
 func New(alg core.Algorithm, key []byte, cfg core.Config, workers int) (*Farm, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("farm: need at least 1 worker, got %d", workers)
 	}
 	f := &Farm{alg: alg}
+	f.reg = obs.NewRegistry(obs.L("backend", "farm"), obs.L("alg", string(alg)))
+	if cfg.Trace > 0 {
+		f.reg.EnableTrace(cfg.Trace)
+	}
+	f.met = newFarmMetrics(f.reg)
+	wcfg := cfg
+	wcfg.Metrics, wcfg.Trace = nil, 0
 	for i := 0; i < workers; i++ {
-		dev, err := core.Configure(alg, key, cfg)
+		dev, err := core.Configure(alg, key, wcfg)
 		if err != nil {
 			return nil, fmt.Errorf("farm: configuring worker %d: %w", i, err)
 		}
-		f.workers = append(f.workers, &worker{dev: dev, queue: make(chan job, workerQueueDepth)})
+		wl := obs.L("worker", strconv.Itoa(i))
+		f.reg.Attach(dev.Obs(), wl)
+		w := &worker{
+			dev:   dev,
+			queue: make(chan job, workerQueueDepth),
+			jobs: f.reg.Counter("cobra_farm_worker_jobs_total",
+				"Jobs completed per worker.", wl),
+			errs: f.reg.Counter("cobra_farm_worker_errors_total",
+				"Jobs that failed (or were cancelled) per worker.", wl),
+			busyNs: f.reg.Counter("cobra_farm_worker_busy_ns_total",
+				"Wall-clock nanoseconds each worker spent executing jobs (utilization numerator).", wl),
+		}
+		q := w.queue
+		f.reg.GaugeFunc("cobra_farm_queue_depth",
+			"Shards waiting in each worker's queue.",
+			func() int64 { return int64(len(q)) }, wl)
+		f.workers = append(f.workers, w)
 	}
+	f.reg.Gauge("cobra_farm_workers", "Pool size.").Set(int64(workers))
 	// All devices share a geometry and unroll, hence a modeled clock.
-	f.mhz = f.workers[0].dev.Report().DatapathMHz
+	r := f.workers[0].dev.Report()
+	f.mhz, f.unroll, f.rows = r.DatapathMHz, r.Unroll, r.Rows
+	if cfg.Metrics != nil {
+		f.parent = cfg.Metrics
+		f.parent.Attach(f.reg)
+	}
 	for _, w := range f.workers {
 		f.wg.Add(1)
 		go f.run(w)
@@ -120,8 +209,15 @@ func New(alg core.Algorithm, key []byte, cfg core.Config, workers int) (*Farm, e
 // Algorithm returns the configured algorithm.
 func (f *Farm) Algorithm() core.Algorithm { return f.alg }
 
+// BlockSize returns the cipher block size in bytes.
+func (f *Farm) BlockSize() int { return 16 }
+
 // Workers returns the pool size.
 func (f *Farm) Workers() int { return len(f.workers) }
+
+// Obs returns the farm's metrics registry: farm-level series plus every
+// worker's device registry under worker="N" labels.
+func (f *Farm) Obs() *obs.Registry { return f.reg }
 
 // run is one worker goroutine. The device is used only here — never
 // shared between goroutines (the -race regression in race_test.go pins
@@ -131,23 +227,30 @@ func (f *Farm) run(w *worker) {
 	for j := range w.queue {
 		if err := j.ctx.Err(); err != nil {
 			// The caller gave up; skip the simulation, not the reply.
+			w.errs.Inc()
 			j.errc <- err
 			continue
 		}
-		var (
-			st  sim.Stats
-			err error
-		)
-		switch j.mode {
-		case modeCTR:
-			st, err = w.dev.EncryptCTRInto(j.dst, j.ctr[:], j.src)
-		case modeECB:
-			st, err = w.dev.EncryptECBInto(j.dst, j.src)
+		var err error
+		t0 := time.Now()
+		if w.fault != nil {
+			err = w.fault(&j)
 		}
-		w.mu.Lock()
-		w.jobs++
-		w.stats.Add(st)
-		w.mu.Unlock()
+		if err == nil {
+			switch j.mode {
+			case modeCTR:
+				_, err = w.dev.EncryptCTRInto(j.ctx, j.dst, j.iv[:], j.src)
+			case modeECB:
+				_, err = w.dev.EncryptECBInto(j.ctx, j.dst, j.src)
+			case modeCBC:
+				_, err = w.dev.EncryptCBCInto(j.ctx, j.dst, j.iv[:], j.src)
+			}
+		}
+		w.busyNs.Add(time.Since(t0).Nanoseconds())
+		w.jobs.Inc()
+		if err != nil {
+			w.errs.Inc()
+		}
 		j.errc <- err
 	}
 }
@@ -175,12 +278,12 @@ func (f *Farm) shards(n int) []span {
 	return out
 }
 
-// dispatch fans the shards of one call out round-robin over the worker
-// queues and waits for every dispatched shard to report back. mk fills in
-// the mode-specific job fields for a shard. The round-robin cursor
-// advances once per call so concurrent callers start on different workers
-// instead of all queueing behind worker 0.
-func (f *Farm) dispatch(ctx context.Context, src, dst []byte, mk func(span) (job, error)) error {
+// dispatch fans the given shards of one call out round-robin over the
+// worker queues and waits for every dispatched shard to report back. mk
+// fills in the mode-specific job fields for a shard. The round-robin
+// cursor advances once per call so concurrent callers start on different
+// workers instead of all queueing behind worker 0.
+func (f *Farm) dispatch(ctx context.Context, src, dst []byte, shards []span, mk func(span) (job, error)) error {
 	if len(src) == 0 {
 		return ctx.Err()
 	}
@@ -189,7 +292,6 @@ func (f *Farm) dispatch(ctx context.Context, src, dst []byte, mk func(span) (job
 		f.mu.RUnlock()
 		return ErrClosed
 	}
-	shards := f.shards(len(src))
 	errc := make(chan error, len(shards))
 	start := int(f.next.Add(1) - 1)
 	sent := 0
@@ -202,10 +304,15 @@ func (f *Farm) dispatch(ctx context.Context, src, dst []byte, mk func(span) (job
 		}
 		j.ctx, j.src, j.dst, j.errc = ctx, src[s.off:s.end], dst[s.off:s.end], errc
 		w := f.workers[(start+i)%len(f.workers)]
+		sp := f.met.queueWait.Start()
 		select {
 		case w.queue <- j:
+			sp.End()
 			sent++
+			f.met.shards.Inc()
+			f.met.shardSize.Observe(int64((s.end - s.off + 15) / 16))
 		case <-ctx.Done():
+			sp.End()
 			firstErr = ctx.Err()
 		}
 		if firstErr != nil {
@@ -223,6 +330,13 @@ func (f *Farm) dispatch(ctx context.Context, src, dst []byte, mk func(span) (job
 	return firstErr
 }
 
+// finish closes out one farm-level call's accounting.
+func (f *Farm) finish(md mode, err error) {
+	if err != nil {
+		f.met.errsBy[md].Inc()
+	}
+}
+
 // EncryptCTR encrypts src in counter mode with initial counter block iv
 // (16 bytes), sharding the counter range across the pool: shard k starting
 // at block offset b is keyed by counter iv+b, so the farm's output is
@@ -230,17 +344,20 @@ func (f *Farm) dispatch(ctx context.Context, src, dst []byte, mk func(span) (job
 // block. ctx cancels or times out the call; queued shards short-circuit,
 // and the in-flight ones finish their simulation before the call returns.
 func (f *Farm) EncryptCTR(ctx context.Context, iv, src []byte) ([]byte, error) {
+	f.met.requests[modeCTR].Inc()
 	if len(iv) != 16 {
+		f.met.errsBy[modeCTR].Inc()
 		return nil, fmt.Errorf("farm: iv must be 16 bytes")
 	}
 	dst := make([]byte, len(src))
-	err := f.dispatch(ctx, src, dst, func(s span) (job, error) {
+	err := f.dispatch(ctx, src, dst, f.shards(len(src)), func(s span) (job, error) {
 		ctr, err := core.AddCounter(iv, uint64(s.off/16))
 		if err != nil {
 			return job{}, err
 		}
-		return job{mode: modeCTR, ctr: ctr}, nil
+		return job{mode: modeCTR, iv: ctr}, nil
 	})
+	f.finish(modeCTR, err)
 	if err != nil {
 		return nil, err
 	}
@@ -256,24 +373,60 @@ func (f *Farm) DecryptCTR(ctx context.Context, iv, src []byte) ([]byte, error) {
 // mode, sharding by block range — ECB is the paper's measurement mode and
 // the other non-feedback workload of Table 1.
 func (f *Farm) EncryptECB(ctx context.Context, src []byte) ([]byte, error) {
+	f.met.requests[modeECB].Inc()
 	if len(src)%16 != 0 {
+		f.met.errsBy[modeECB].Inc()
 		return nil, fmt.Errorf("farm: input length %d is not a multiple of the block size", len(src))
 	}
 	dst := make([]byte, len(src))
-	err := f.dispatch(ctx, src, dst, func(span) (job, error) {
+	err := f.dispatch(ctx, src, dst, f.shards(len(src)), func(span) (job, error) {
 		return job{mode: modeECB}, nil
 	})
+	f.finish(modeECB, err)
 	if err != nil {
 		return nil, err
 	}
 	return dst, nil
 }
 
-// Close shuts the worker queues and waits for the workers to drain.
-// Encrypt calls already dispatching finish normally; calls made after
-// Close return ErrClosed. Close is idempotent.
+// EncryptCBC encrypts src in cipher-block-chaining mode. CBC is a
+// feedback mode — each block depends on the previous ciphertext — so the
+// message cannot shard: the whole call is a single job serialized onto
+// one worker (chosen round-robin), and throughput degrades to a single
+// device's fill+drain-per-block rate exactly as the paper's Table 1 FB
+// column predicts. The farm still provides it so the unified Cipher
+// surface is mode-complete on every backend.
+func (f *Farm) EncryptCBC(ctx context.Context, iv, src []byte) ([]byte, error) {
+	f.met.requests[modeCBC].Inc()
+	if len(iv) != 16 {
+		f.met.errsBy[modeCBC].Inc()
+		return nil, fmt.Errorf("farm: iv must be 16 bytes")
+	}
+	if len(src)%16 != 0 {
+		f.met.errsBy[modeCBC].Inc()
+		return nil, fmt.Errorf("farm: input length %d is not a multiple of the block size", len(src))
+	}
+	dst := make([]byte, len(src))
+	var ivb [16]byte
+	copy(ivb[:], iv)
+	err := f.dispatch(ctx, src, dst, []span{{0, len(src)}}, func(span) (job, error) {
+		return job{mode: modeCBC, iv: ivb}, nil
+	})
+	f.finish(modeCBC, err)
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// Close shuts the worker queues, waits for the workers to drain, and
+// detaches the farm's registry from its Config.Metrics parent so a closed
+// farm stops appearing in /metrics. Encrypt calls already dispatching
+// finish normally; calls made after Close return ErrClosed. Close is
+// idempotent.
 func (f *Farm) Close() error {
 	f.mu.Lock()
+	wasClosed := f.closed
 	if !f.closed {
 		f.closed = true
 		for _, w := range f.workers {
@@ -282,59 +435,81 @@ func (f *Farm) Close() error {
 	}
 	f.mu.Unlock()
 	f.wg.Wait()
+	if !wasClosed && f.parent != nil {
+		f.parent.Detach(f.reg)
+	}
 	return nil
 }
 
 // WorkerReport is one worker's accumulated counters.
 type WorkerReport struct {
-	Jobs  int
-	Stats sim.Stats
+	Jobs   int       `json:"jobs"`
+	BusyNs int64     `json:"busy_ns"`
+	Stats  sim.Stats `json:"stats"`
 }
 
-// Report aggregates the pool's counters. With every device clocked alike,
-// WallCycles — the busiest worker's datapath cycles — is the simulated
-// wall-clock of the farm, so EffectiveMbps = output bits / (WallCycles /
-// DatapathMHz) is the aggregate simulated throughput: N ideally-scaling
-// workers multiply a single device's Table 3 rate by N.
+// Report aggregates the pool's counters: the backend-independent
+// core.Summary (Stats totals the workers; ThroughputMbps is the simulated
+// aggregate rate) plus the farm-only breakdown. With every device clocked
+// alike, WallCycles — the busiest worker's datapath cycles — is the
+// simulated wall-clock of the farm, so EffectiveMbps = output bits /
+// (WallCycles / DatapathMHz) is the aggregate simulated throughput: N
+// ideally-scaling workers multiply a single device's Table 3 rate by N.
+// Field names and JSON tags are a stable reporting surface (pinned by the
+// golden test in report_test.go).
 type Report struct {
-	Algorithm      core.Algorithm
-	Workers        int
-	DatapathMHz    float64
-	PerWorker      []WorkerReport
-	Total          sim.Stats
-	WallCycles     int
-	CyclesPerBlock float64
-	EffectiveMbps  float64
+	core.Summary
+	PerWorker  []WorkerReport `json:"per_worker"`
+	WallCycles int            `json:"wall_cycles"`
+	// EffectiveMbps duplicates Summary.ThroughputMbps under the farm's
+	// historical name.
+	EffectiveMbps float64 `json:"effective_mbps"`
 }
 
 // Report snapshots the farm-wide counters; safe to call while jobs are in
-// flight.
+// flight (every input is an atomic registry counter).
 func (f *Farm) Report() Report {
-	r := Report{Algorithm: f.alg, Workers: len(f.workers), DatapathMHz: f.mhz}
+	r := Report{Summary: core.Summary{
+		Algorithm:   f.alg,
+		Backend:     "farm",
+		Workers:     len(f.workers),
+		Unroll:      f.unroll,
+		Rows:        f.rows,
+		DatapathMHz: f.mhz,
+	}}
 	for _, w := range f.workers {
-		w.mu.Lock()
-		wr := WorkerReport{Jobs: w.jobs, Stats: w.stats}
-		w.mu.Unlock()
+		wr := WorkerReport{
+			Jobs:   int(w.jobs.Value() - w.jobsSnap.Load()),
+			BusyNs: w.busyNs.Value() - w.busySnap.Load(),
+			Stats:  w.dev.Report().Stats,
+		}
 		r.PerWorker = append(r.PerWorker, wr)
-		r.Total.Add(wr.Stats)
+		r.Stats.Add(wr.Stats)
 		if wr.Stats.Cycles > r.WallCycles {
 			r.WallCycles = wr.Stats.Cycles
 		}
 	}
-	if r.Total.BlocksOut > 0 {
-		r.CyclesPerBlock = float64(r.Total.Cycles) / float64(r.Total.BlocksOut)
+	if r.Stats.BlocksOut > 0 {
+		r.CyclesPerBlock = float64(r.Stats.Cycles) / float64(r.Stats.BlocksOut)
 	}
 	if r.WallCycles > 0 {
-		r.EffectiveMbps = float64(r.Total.BlocksOut) * 128 * f.mhz / float64(r.WallCycles)
+		r.EffectiveMbps = float64(r.Stats.BlocksOut) * 128 * f.mhz / float64(r.WallCycles)
 	}
+	r.ThroughputMbps = r.EffectiveMbps
 	return r
 }
 
+// Summary returns the backend-independent view of Report (the Cipher
+// accessor).
+func (f *Farm) Summary() core.Summary { return f.Report().Summary }
+
 // ResetStats zeroes every worker's counters between measurement phases.
+// Safe while jobs are in flight: each reset is a snapshot of atomic
+// counters, and the exported /metrics series stay monotonic.
 func (f *Farm) ResetStats() {
 	for _, w := range f.workers {
-		w.mu.Lock()
-		w.jobs, w.stats = 0, sim.Stats{}
-		w.mu.Unlock()
+		w.jobsSnap.Store(w.jobs.Value())
+		w.busySnap.Store(w.busyNs.Value())
+		w.dev.ResetStats()
 	}
 }

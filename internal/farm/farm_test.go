@@ -85,7 +85,7 @@ func TestFarmCTRMatchesSingleDevice(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s n=%d: %v", alg, n, err)
 			}
-			want, err := d.EncryptCTR(iv, msg)
+			want, err := d.EncryptCTR(context.Background(), iv, msg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -142,7 +142,7 @@ func TestFarmECBMatchesSingleDevice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := d.EncryptECB(msg)
+	want, err := d.EncryptECB(context.Background(), msg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,8 +229,8 @@ func TestFarmReportAggregation(t *testing.T) {
 	if r.Workers != workers || len(r.PerWorker) != workers {
 		t.Fatalf("report covers %d/%d workers, want %d", r.Workers, len(r.PerWorker), workers)
 	}
-	if r.Total.BlocksOut != blocks {
-		t.Errorf("Total.BlocksOut = %d, want %d", r.Total.BlocksOut, blocks)
+	if r.Stats.BlocksOut != blocks {
+		t.Errorf("Total.BlocksOut = %d, want %d", r.Stats.BlocksOut, blocks)
 	}
 	jobs := 0
 	for _, w := range r.PerWorker {
@@ -247,8 +247,8 @@ func TestFarmReportAggregation(t *testing.T) {
 	}
 	f.ResetStats()
 	r = f.Report()
-	if r.Total != (Report{}.Total) || r.WallCycles != 0 {
-		t.Errorf("ResetStats left counters: %+v", r.Total)
+	if r.Stats != (Report{}.Stats) || r.WallCycles != 0 {
+		t.Errorf("ResetStats left counters: %+v", r.Stats)
 	}
 }
 
@@ -269,8 +269,8 @@ func TestFarmZeroLengthMessage(t *testing.T) {
 		t.Fatalf("empty message produced %d bytes", len(out))
 	}
 	r := f.Report()
-	if r.Total != (Report{}.Total) || r.WallCycles != 0 {
-		t.Errorf("zero-block job moved counters: %+v", r.Total)
+	if r.Stats != (Report{}.Stats) || r.WallCycles != 0 {
+		t.Errorf("zero-block job moved counters: %+v", r.Stats)
 	}
 	if r.CyclesPerBlock != 0 || r.EffectiveMbps != 0 {
 		t.Errorf("zero-block rates not zero: cpb=%v mbps=%v", r.CyclesPerBlock, r.EffectiveMbps)
@@ -301,15 +301,15 @@ func TestFarmPartialFinalBlockReport(t *testing.T) {
 		t.Fatal("partial-final-block ciphertext mismatch")
 	}
 	r := f.Report()
-	if r.Total.BlocksOut != 3 {
-		t.Errorf("Total.BlocksOut = %d, want 3 (partial block costs a full keystream block)", r.Total.BlocksOut)
+	if r.Stats.BlocksOut != 3 {
+		t.Errorf("Total.BlocksOut = %d, want 3 (partial block costs a full keystream block)", r.Stats.BlocksOut)
 	}
 	var sum sim.Stats
 	for _, w := range r.PerWorker {
 		sum.Add(w.Stats)
 	}
-	if sum != r.Total {
-		t.Errorf("per-worker sum %+v != total %+v", sum, r.Total)
+	if sum != r.Stats {
+		t.Errorf("per-worker sum %+v != total %+v", sum, r.Stats)
 	}
 	if r.CyclesPerBlock <= 0 || r.EffectiveMbps <= 0 {
 		t.Errorf("degenerate rates: %+v", r)

@@ -130,10 +130,10 @@ func TestFarmFastpathMatchesInterpreterFarm(t *testing.T) {
 		}
 	}
 	fr, ir := fast.Report(), interp.Report()
-	if fr.Total != ir.Total {
-		t.Fatalf("aggregate stats diverge:\nfastpath    %+v\ninterpreter %+v", fr.Total, ir.Total)
+	if fr.Stats != ir.Stats {
+		t.Fatalf("aggregate stats diverge:\nfastpath    %+v\ninterpreter %+v", fr.Stats, ir.Stats)
 	}
-	if fr.Total.BlocksOut == 0 {
+	if fr.Stats.BlocksOut == 0 {
 		t.Fatal("no blocks recorded")
 	}
 }

@@ -63,7 +63,7 @@ func TestFarmNeverSharesDevicesBetweenGoroutines(t *testing.T) {
 		t.Error(err)
 	}
 	r := f.Report()
-	if r.Total.BlocksOut == 0 {
+	if r.Stats.BlocksOut == 0 {
 		t.Error("no blocks recorded across concurrent callers")
 	}
 }

@@ -1,6 +1,7 @@
 package fastpath_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -51,7 +52,7 @@ func benchECB(b *testing.B, interp bool) {
 			b.SetBytes(int64(len(src)))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := d.EncryptECBInto(dst, src); err != nil {
+				if _, err := d.EncryptECBInto(context.Background(), dst, src); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -69,7 +70,7 @@ func benchCTR(b *testing.B, interp bool) {
 			b.SetBytes(int64(len(src)))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := d.EncryptCTRInto(dst, iv, src); err != nil {
+				if _, err := d.EncryptCTRInto(context.Background(), dst, iv, src); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -8,6 +8,7 @@ package fastpath_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -123,7 +124,7 @@ func TestDifferentialAllBuilders(t *testing.T) {
 			for call, n := range []int{1, 3, 1, 7, 2, 5, 1, 1, 4} {
 				in := randomBlocks(rng, n)
 				want := make([]bits.Block128, n)
-				wantStats, err := program.EncryptInto(m, p, want, in)
+				wantStats, err := program.Run(m, p, want, in, program.Opts{})
 				if err != nil {
 					t.Fatalf("call %d: interpreter: %v", call, err)
 				}
@@ -177,11 +178,11 @@ func TestDifferentialAliasing(t *testing.T) {
 	}
 }
 
-// TestEncryptFastIntoFallback proves the program-level dispatch: a clean
+// TestRunFastFallback proves the program-level dispatch: a clean
 // machine routes through the executor, a machine that has interpreted since
 // its load owns the in-flight state and stays on the interpreter, and both
 // histories produce the ciphertext and counters of a pure-interpreter run.
-func TestEncryptFastIntoFallback(t *testing.T) {
+func TestRunFastFallback(t *testing.T) {
 	key := []byte("0123456789abcdef")
 	p, err := program.BuildRC6(key, 1, 20)
 	if err != nil {
@@ -209,16 +210,16 @@ func TestEncryptFastIntoFallback(t *testing.T) {
 	run := func(call int, n int, useFast bool) {
 		in := randomBlocks(rng, n)
 		want := make([]bits.Block128, n)
-		wantStats, err := program.EncryptInto(mInterp, p, want, in)
+		wantStats, err := program.Run(mInterp, p, want, in, program.Opts{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		got := make([]bits.Block128, n)
 		var gotStats sim.Stats
 		if useFast {
-			gotStats, err = program.EncryptFastInto(ex, mMixed, p, got, in)
+			gotStats, err = program.Run(mMixed, p, got, in, program.Opts{Fast: ex})
 		} else {
-			gotStats, err = program.EncryptInto(mMixed, p, got, in)
+			gotStats, err = program.Run(mMixed, p, got, in, program.Opts{})
 		}
 		if err != nil {
 			t.Fatal(err)
@@ -237,7 +238,7 @@ func TestEncryptFastIntoFallback(t *testing.T) {
 		t.Fatal("freshly loaded machine reports dirty")
 	}
 	// Interpret first: the machine turns dirty, so every later
-	// EncryptFastInto call must keep falling back rather than splitting the
+	// Run call must keep falling back rather than splitting the
 	// stats chain across engines.
 	run(0, 2, false)
 	if !mMixed.Dirty() {
@@ -279,22 +280,22 @@ func TestDeviceReconfigureInterleaved(t *testing.T) {
 		n := 16 * (1 + rng.Intn(6))
 		src := make([]byte, n)
 		rng.Read(src)
-		wantECB, err := interp.EncryptECB(src)
+		wantECB, err := interp.EncryptECB(context.Background(), src)
 		if err != nil {
 			t.Fatalf("%s: interpreter ECB: %v", step, err)
 		}
-		gotECB, err := fast.EncryptECB(src)
+		gotECB, err := fast.EncryptECB(context.Background(), src)
 		if err != nil {
 			t.Fatalf("%s: fastpath ECB: %v", step, err)
 		}
 		if !bytes.Equal(gotECB, wantECB) {
 			t.Fatalf("%s: ECB ciphertext diverges", step)
 		}
-		wantCTR, err := interp.EncryptCTR(iv, src)
+		wantCTR, err := interp.EncryptCTR(context.Background(), iv, src)
 		if err != nil {
 			t.Fatal(err)
 		}
-		gotCTR, err := fast.EncryptCTR(iv, src)
+		gotCTR, err := fast.EncryptCTR(context.Background(), iv, src)
 		if err != nil {
 			t.Fatal(err)
 		}

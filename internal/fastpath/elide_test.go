@@ -85,7 +85,7 @@ func TestElisionDifferential(t *testing.T) {
 	for call, n := range []int{1, 4, 2, 7, 1} {
 		in := randomBlocks(rng, n)
 		want := make([]bits.Block128, n)
-		wantStats, err := program.EncryptInto(m, p, want, in)
+		wantStats, err := program.Run(m, p, want, in, program.Opts{})
 		if err != nil {
 			t.Fatalf("call %d: interpreter: %v", call, err)
 		}

@@ -26,7 +26,7 @@
 // Programs that break the preconditions — eRAM writes, LUT loads or capture
 // ports active during bulk encryption, key-request handshakes, aperiodic
 // output cadence — are refused by Compile; callers fall back to the
-// interpreter (program.EncryptFastInto automates this). As a final guard,
+// interpreter (program.Run with Opts.Fast automates this). As a final guard,
 // Compile replays the recorded inputs through the freshly compiled trace
 // and requires bit-identical outputs and counters before returning it.
 //
@@ -40,7 +40,7 @@
 // the run's last cycle. A fresh (just-loaded) program costs the recorded
 // head segment (load-to-first-output) plus steady periods; a dirty
 // iterative program resumes mid-epilogue exactly like the machine does;
-// streaming programs reload per call, as program.EncryptInto does. A
+// streaming programs reload per call, as program.Run does. A
 // steady period may span several outputs (a window-1 streaming loop emits
 // every cycle while the sequencer alternates through its two-instruction
 // idle loop), so the executor can stop and resume mid-period, again
@@ -77,7 +77,7 @@ type Source struct {
 	// Window is the instruction window size w.
 	Window int
 	// Streaming marks full-unroll non-feedback programs (reload per call,
-	// pipeline-flush blocks appended, mirroring program.EncryptInto).
+	// pipeline-flush blocks appended, mirroring program.Run).
 	Streaming bool
 	// PipelineDepth is the number of register stages (streaming programs).
 	PipelineDepth int
@@ -120,7 +120,7 @@ type Exec struct {
 
 	// inBuf is the reusable input staging buffer: inputs are copied here
 	// before any output is written, so dst may alias blocks exactly as in
-	// program.EncryptInto.
+	// program.Run.
 	inBuf []bits.Block128
 }
 

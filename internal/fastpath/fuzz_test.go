@@ -65,7 +65,7 @@ func FuzzFastpathVsInterpreter(f *testing.F) {
 		// Two calls so the fuzzer also exercises the dirty-resume paths.
 		for call := 0; call < 2; call++ {
 			want := make([]bits.Block128, n)
-			wantStats, err := program.EncryptInto(m, p, want, in)
+			wantStats, err := program.Run(m, p, want, in, program.Opts{})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -195,7 +195,7 @@ func record(src Source) (*recording, error) {
 
 // recordInputs builds the recording batch: recBlocks pseudo-random blocks,
 // plus pipeline flush for streaming programs, exactly as
-// program.EncryptInto would push them.
+// program.Run would push them.
 func recordInputs(n int, src Source) []bits.Block128 {
 	total := n
 	if src.Streaming {

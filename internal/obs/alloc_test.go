@@ -1,0 +1,42 @@
+package obs
+
+import "testing"
+
+// TestHotPathAllocFree pins the package's core constraint: every update
+// primitive that may sit on an encryption hot path performs zero heap
+// allocations. The device- and farm-level gates in internal/core and
+// internal/farm build on this.
+func TestHotPathAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", DurationBuckets())
+	tm := r.Timer("t_ns", "")
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(9) }},
+		{"Histogram.Observe", func() { h.Observe(123456) }},
+		{"Timer span", func() { tm.Start().End() }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(1000, tc.fn); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestTraceCaptureAllocs documents that enabling the trace ring keeps
+// span End amortized allocation-free (records are written into the
+// preallocated ring).
+func TestTraceCaptureAllocs(t *testing.T) {
+	r := NewRegistry()
+	r.EnableTrace(64)
+	tm := r.Timer("t_ns", "")
+	if allocs := testing.AllocsPerRun(1000, func() { tm.Start().End() }); allocs != 0 {
+		t.Errorf("traced span: %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// demoRegistry builds a small tree exercising every metric kind.
+func demoRegistry() *Registry {
+	root := NewRegistry()
+	root.Counter("cobra_requests_total", "requests served", L("mode", "ctr")).Add(7)
+	root.Gauge("cobra_workers", "pool size").Set(4)
+	root.Histogram("cobra_shard_blocks", "blocks per shard", []int64{16, 256}).Observe(64)
+	dev := NewRegistry(L("alg", "rc6"))
+	dev.Counter("cobra_cycles_total", "datapath cycles").Add(1234)
+	root.Attach(dev, L("worker", "0"))
+	return root
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := demoRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		"# TYPE cobra_requests_total counter",
+		`cobra_requests_total{mode="ctr"} 7`,
+		"# TYPE cobra_workers gauge",
+		"cobra_workers 4",
+		"# TYPE cobra_shard_blocks histogram",
+		`cobra_shard_blocks_bucket{le="16"} 0`,
+		`cobra_shard_blocks_bucket{le="256"} 1`,
+		`cobra_shard_blocks_bucket{le="+Inf"} 1`,
+		"cobra_shard_blocks_sum 64",
+		"cobra_shard_blocks_count 1",
+		`cobra_cycles_total{worker="0",alg="rc6"} 1234`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "", L("path", "a\"b\\c\nd")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `x_total{path="a\"b\\c\nd"} 1`; !strings.Contains(b.String(), want) {
+		t.Fatalf("escaped output = %q, want to contain %q", b.String(), want)
+	}
+}
+
+func TestExpvarMap(t *testing.T) {
+	m := demoRegistry().ExpvarMap()
+	if m[`cobra_requests_total{mode="ctr"}`] != int64(7) {
+		t.Fatalf("expvar map = %v", m)
+	}
+	if _, ok := m["cobra_shard_blocks"].(HistogramSnapshot); !ok {
+		t.Fatalf("histogram not snapshotted: %T", m["cobra_shard_blocks"])
+	}
+	if _, err := json.Marshal(m); err != nil {
+		t.Fatalf("expvar map not JSON-marshalable: %v", err)
+	}
+}
+
+// TestServeScrape is the package-level scrape test: a live listener on a
+// random port must serve the Prometheus text, the expvar JSON and the
+// span trace of an attached registry tree.
+func TestServeScrape(t *testing.T) {
+	r := demoRegistry()
+	r.EnableTrace(4)
+	r.Timer("cobra_call_ns", "per-call latency").Start().End()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		`cobra_requests_total{mode="ctr"} 7`,
+		`cobra_cycles_total{worker="0",alg="rc6"} 1234`,
+		"cobra_call_ns_count 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	vars := get("/debug/vars")
+	var payload map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars), &payload); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := payload["cobra_metrics"]; !ok {
+		t.Fatalf("/debug/vars missing cobra_metrics: %s", vars)
+	}
+
+	var spans []SpanRecord
+	if err := json.Unmarshal([]byte(get("/debug/trace")), &spans); err != nil {
+		t.Fatalf("/debug/trace is not JSON: %v", err)
+	}
+	if len(spans) != 1 || spans[0].Name != "cobra_call_ns" {
+		t.Fatalf("/debug/trace spans = %v", spans)
+	}
+}

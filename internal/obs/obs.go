@@ -1,0 +1,158 @@
+// Package obs is the reproduction's zero-dependency observability core:
+// atomic counters, gauges, fixed-bucket int64 histograms, and span-style
+// timers with an optional ring-buffer trace, organized into registries
+// that export themselves as Prometheus text and expvar JSON (see
+// export.go). The paper's whole evaluation (§4, Tables 3–6) is a
+// measurement story — cycles, throughput, gate counts — and the ROADMAP's
+// production north star needs those quantities continuously and at
+// runtime, not only at the end of a benchmark run; obs is the layer that
+// carries them from the simulator, the trace-compiled executor, devices
+// and farms to a live /metrics endpoint.
+//
+// Design constraints, in order:
+//
+//   - Hot-path updates are allocation-free and lock-free: Counter.Add,
+//     Gauge.Set and Histogram.Observe are single atomic operations (plus a
+//     short bounds scan for histograms), and Timer spans are value types.
+//     The fastpath per-block loop stays untouched; instrumentation rides
+//     at call granularity (internal/core) and Run granularity
+//     (internal/sim), gated by alloc tests in this package and a
+//     BenchmarkFastpathCTR delta gate in internal/core.
+//   - Registries are hermetic by default: a Device or Farm owns a private
+//     child registry that is only visible process-wide when explicitly
+//     attached to a parent (ultimately obs.Default), so tests never share
+//     counters.
+//   - No third-party dependencies: the Prometheus text format is simple
+//     enough to emit directly, and /debug/vars rides the standard
+//     library's expvar.
+package obs
+
+import "sync/atomic"
+
+// Label is one metric dimension (e.g. {mode="ctr"} or {worker="3"}).
+// Labels attach to individual metrics, to a registry (stamped on all its
+// metrics), or to a child registry at Attach time.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use; all methods are safe for concurrent use and allocation-free.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the exported value to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value. The zero value is ready to use; all
+// methods are safe for concurrent use and allocation-free.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram over int64 values
+// (cycles, block counts, nanoseconds — the reproduction's quantities are
+// all integers). Observe is lock-free, allocation-free, and costs one
+// short linear scan over the bucket bounds plus three atomic adds.
+type Histogram struct {
+	bounds []int64 // ascending inclusive upper bounds; implicit +Inf last
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// newHistogram builds a histogram with the given bucket upper bounds
+// (must be ascending; an implicit +Inf bucket is appended).
+func newHistogram(bounds []int64) *Histogram {
+	return &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// HistogramSnapshot is a consistent-enough point-in-time copy of a
+// histogram (buckets are read individually; under concurrent writes the
+// snapshot may straddle an observation, as in any lock-free exporter).
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra trailing
+	// element for the +Inf bucket. Counts are per-bucket, not cumulative.
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// ExpBuckets returns n exponentially growing bucket bounds starting at
+// start, each factor times the previous (factors < 2 degrade to +1 steps
+// when rounding stalls).
+func ExpBuckets(start int64, factor float64, n int) []int64 {
+	out := make([]int64, n)
+	v := float64(start)
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		b := int64(v)
+		if b <= prev {
+			b = prev + 1
+		}
+		out[i] = b
+		prev = b
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets are the default latency bounds in nanoseconds: 1µs to
+// ~4.2s in ×4 steps, sized for per-call encryption latencies from a
+// single fastpath block batch up to long interpreter runs.
+func DurationBuckets() []int64 { return ExpBuckets(1000, 4, 12) }
+
+// BlockBuckets are the default bounds for block-count distributions
+// (shard sizes, batch sizes): 1 to 4096 blocks in ×2 steps.
+func BlockBuckets() []int64 { return ExpBuckets(1, 2, 13) }

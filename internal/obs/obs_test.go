@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("reqs_total", "requests"); again != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestLabeledSeriesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	ctr := r.Counter("blocks_total", "blocks", L("mode", "ctr"))
+	ecb := r.Counter("blocks_total", "blocks", L("mode", "ecb"))
+	if ctr == ecb {
+		t.Fatal("different label sets share a counter")
+	}
+	ctr.Add(3)
+	ecb.Add(9)
+	samples := r.Gather()
+	if len(samples) != 2 {
+		t.Fatalf("gathered %d samples, want 2", len(samples))
+	}
+	// Sorted by label signature: ctr before ecb.
+	if samples[0].Value != 3 || samples[1].Value != 9 {
+		t.Fatalf("sample values = %d, %d; want 3, 9", samples[0].Value, samples[1].Value)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []int64{2, 2, 0, 1} // le=10: {1,10}; le=100: {11,100}; le=1000: {}; +Inf: {5000}
+	if !reflect.DeepEqual(s.Counts, want) {
+		t.Fatalf("bucket counts = %v, want %v", s.Counts, want)
+	}
+	if s.Count != 5 || s.Sum != 1+10+11+100+5000 {
+		t.Fatalf("count/sum = %d/%d", s.Count, s.Sum)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 5)
+	if !reflect.DeepEqual(got, []int64{1, 2, 4, 8, 16}) {
+		t.Fatalf("ExpBuckets = %v", got)
+	}
+	// A stalling factor still yields strictly ascending bounds.
+	got = ExpBuckets(1, 1.1, 4)
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("bounds not ascending: %v", got)
+		}
+	}
+}
+
+func TestAttachLabelsAndDetach(t *testing.T) {
+	root := NewRegistry(L("app", "cobra"))
+	dev := NewRegistry(L("alg", "rc6"))
+	dev.Counter("cycles_total", "cycles").Add(42)
+	root.Attach(dev, L("worker", "3"))
+
+	samples := root.Gather()
+	if len(samples) != 1 {
+		t.Fatalf("gathered %d samples, want 1", len(samples))
+	}
+	wantLabels := []Label{{"app", "cobra"}, {"worker", "3"}, {"alg", "rc6"}}
+	if !reflect.DeepEqual(samples[0].Labels, wantLabels) {
+		t.Fatalf("labels = %v, want %v", samples[0].Labels, wantLabels)
+	}
+	root.Detach(dev)
+	if n := len(root.Gather()); n != 0 {
+		t.Fatalf("after detach: %d samples, want 0", n)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	depth := 3
+	r.GaugeFunc("queue_depth", "", func() int64 { return int64(depth) })
+	if got := r.Gather()[0].Value; got != 3 {
+		t.Fatalf("gauge func value = %d, want 3", got)
+	}
+	depth = 9
+	if got := r.Gather()[0].Value; got != 9 {
+		t.Fatalf("gauge func value = %d, want 9", got)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	ring := NewRing(3)
+	for i := 1; i <= 5; i++ {
+		ring.Add(SpanRecord{Name: "s", StartUnixNs: int64(i)})
+	}
+	recs := ring.Records()
+	if len(recs) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(recs))
+	}
+	if recs[0].StartUnixNs != 3 || recs[2].StartUnixNs != 5 {
+		t.Fatalf("ring order = %v", recs)
+	}
+}
+
+func TestTimerAndTrace(t *testing.T) {
+	r := NewRegistry()
+	r.EnableTrace(8)
+	tm := r.Timer("phase_ns", "phase duration")
+	sp := tm.Start()
+	sp.End()
+	if got := tm.h.Count(); got != 1 {
+		t.Fatalf("timer observations = %d, want 1", got)
+	}
+	if recs := r.TraceRecords(); len(recs) != 1 || recs[0].Name != "phase_ns" {
+		t.Fatalf("trace records = %v", recs)
+	}
+	// A nil timer must be inert, so optional instrumentation needs no guards.
+	var nilTimer *Timer
+	nilTimer.Start().End()
+
+	r.EnableTrace(0)
+	tm.Start().End()
+	if recs := r.TraceRecords(); len(recs) != 0 {
+		t.Fatalf("trace disabled but recorded %v", recs)
+	}
+}
+
+func TestConcurrentUpdatesAndGather(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("n_total", "")
+			h := r.Histogram("v", "", BlockBuckets())
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(int64(j))
+				if j%100 == 0 {
+					r.Gather()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n_total", "").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind distinguishes the metric families an entry can export as.
+type Kind int
+
+// The metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind in Prometheus TYPE vocabulary.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// entry is one registered metric.
+type entry struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []Label
+
+	c  *Counter
+	g  *Gauge
+	fn func() int64 // gauge-func; evaluated at gather time
+	h  *Histogram
+}
+
+// child is an attached sub-registry with the labels stamped at Attach.
+type child struct {
+	r      *Registry
+	labels []Label
+}
+
+// Registry is a named collection of metrics plus attached child
+// registries. Metric accessors are get-or-create keyed by (name, labels),
+// so independently instrumented components that register the same family
+// share one time series. A registry created by NewRegistry is detached —
+// invisible to exporters — until attached to a parent; Device and Farm
+// registries stay detached by default so tests are hermetic, and
+// long-running commands attach them to Default for the /metrics endpoint.
+type Registry struct {
+	mu       sync.Mutex
+	labels   []Label
+	entries  []*entry
+	index    map[string]*entry
+	children []child
+	ring     atomic.Pointer[Ring]
+}
+
+// Default is the package-level root registry: the one the HTTP exporters
+// of long-running commands serve.
+var Default = NewRegistry()
+
+// NewRegistry builds a detached registry whose labels are stamped on
+// every metric it exports.
+func NewRegistry(labels ...Label) *Registry {
+	return &Registry{labels: labels, index: make(map[string]*entry)}
+}
+
+// key builds the index key for a metric instance.
+func key(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('|')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// lookup returns the entry for (name, labels), creating it with the given
+// kind on first use. Re-registering an existing name with a different
+// kind is a programming error and panics.
+func (r *Registry) lookup(name, help string, kind Kind, labels []Label) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := key(name, labels)
+	if e, ok := r.index[k]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, kind, e.kind))
+		}
+		return e
+	}
+	e := &entry{name: name, help: help, kind: kind, labels: append([]Label(nil), labels...)}
+	r.index[k] = e
+	r.entries = append(r.entries, e)
+	return e
+}
+
+// Counter returns the counter named name with the given labels, creating
+// it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	e := r.lookup(name, help, KindCounter, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.c == nil {
+		e.c = new(Counter)
+	}
+	return e.c
+}
+
+// Gauge returns the gauge named name with the given labels, creating it
+// on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	e := r.lookup(name, help, KindGauge, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.g == nil {
+		e.g = new(Gauge)
+	}
+	return e.g
+}
+
+// GaugeFunc registers (or rebinds) a gauge whose value is computed by fn
+// at gather time — e.g. a queue depth read with len(ch) — so sampling
+// costs nothing between scrapes.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	e := r.lookup(name, help, KindGauge, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e.fn = fn
+}
+
+// Histogram returns the histogram named name with the given bucket upper
+// bounds and labels, creating it on first use (the bounds of an existing
+// histogram are kept).
+func (r *Registry) Histogram(name, help string, bounds []int64, labels ...Label) *Histogram {
+	e := r.lookup(name, help, KindHistogram, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.h == nil {
+		e.h = newHistogram(bounds)
+	}
+	return e.h
+}
+
+// Attach makes c's metrics visible through r, stamped with the given
+// extra labels (e.g. obs.L("worker", "3")). Attach is how a Device or
+// Farm registry joins a served registry tree.
+func (r *Registry) Attach(c *Registry, labels ...Label) {
+	if c == nil || c == r {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.children = append(r.children, child{r: c, labels: append([]Label(nil), labels...)})
+}
+
+// Detach removes a previously attached child registry.
+func (r *Registry) Detach(c *Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.children {
+		if r.children[i].r == c {
+			r.children = append(r.children[:i], r.children[i+1:]...)
+			return
+		}
+	}
+}
+
+// Sample is one exported time series at gather time.
+type Sample struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Labels []Label
+	// Value carries counter/gauge samples; Hist carries histograms.
+	Value int64
+	Hist  *HistogramSnapshot
+}
+
+// maxDepth bounds the child walk against accidental attach cycles.
+const maxDepth = 8
+
+// Gather flattens the registry tree into samples, sorted by metric name
+// then label signature, so exports are deterministic.
+func (r *Registry) Gather() []Sample {
+	var out []Sample
+	r.gather(nil, &out, 0)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelString(out[i].Labels) < labelString(out[j].Labels)
+	})
+	return out
+}
+
+// gather appends r's own and its children's samples, prefixing labels.
+func (r *Registry) gather(prefix []Label, out *[]Sample, depth int) {
+	if depth > maxDepth {
+		return
+	}
+	r.mu.Lock()
+	base := make([]Label, 0, len(prefix)+len(r.labels))
+	base = append(base, prefix...)
+	base = append(base, r.labels...)
+	entries := append([]*entry(nil), r.entries...)
+	children := append([]child(nil), r.children...)
+	r.mu.Unlock()
+
+	for _, e := range entries {
+		s := Sample{Name: e.name, Help: e.help, Kind: e.kind}
+		s.Labels = append(append([]Label(nil), base...), e.labels...)
+		switch {
+		case e.fn != nil:
+			s.Value = e.fn()
+		case e.c != nil:
+			s.Value = e.c.Value()
+		case e.g != nil:
+			s.Value = e.g.Value()
+		case e.h != nil:
+			snap := e.h.Snapshot()
+			s.Hist = &snap
+		}
+		*out = append(*out, s)
+	}
+	for _, c := range children {
+		cp := append(append([]Label(nil), base...), c.labels...)
+		c.r.gather(cp, out, depth+1)
+	}
+}
+
+// labelString renders labels in Prometheus exposition syntax (without
+// braces): k1="v1",k2="v2".
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Timer measures span-style phase durations into a nanosecond histogram,
+// optionally capturing each span into the owning registry's trace ring.
+// Timers instrument per-call phases (an EncryptCTR call, a shard's queue
+// wait) — never per-block work, which stays on raw counters.
+type Timer struct {
+	name string
+	h    *Histogram
+	r    *Registry
+}
+
+// Timer returns the timer named name, creating its histogram (with
+// DurationBuckets bounds) on first use.
+func (r *Registry) Timer(name, help string, labels ...Label) *Timer {
+	return &Timer{name: name, h: r.Histogram(name, help, DurationBuckets(), labels...), r: r}
+}
+
+// Span is one in-flight timed phase. It is a value type: starting and
+// ending a span performs no allocation.
+type Span struct {
+	t     *Timer
+	start time.Time
+}
+
+// Start opens a span. A nil timer yields an inert span, so optional
+// instrumentation can call Start/End unconditionally.
+func (t *Timer) Start() Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, start: time.Now()}
+}
+
+// End closes the span: the duration lands in the histogram and, when the
+// registry has tracing enabled, in the ring buffer.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.t.h.Observe(d.Nanoseconds())
+	if ring := s.t.r.ring.Load(); ring != nil {
+		ring.Add(SpanRecord{Name: s.t.name, StartUnixNs: s.start.UnixNano(), DurNs: d.Nanoseconds()})
+	}
+}
+
+// SpanRecord is one captured span in a trace ring.
+type SpanRecord struct {
+	Name        string `json:"name"`
+	StartUnixNs int64  `json:"start_unix_ns"`
+	DurNs       int64  `json:"dur_ns"`
+}
+
+// Ring is a fixed-size buffer of the most recent spans. Overwrites are
+// silent: the ring answers "what has this component been doing lately",
+// not "everything it ever did".
+type Ring struct {
+	mu      sync.Mutex
+	buf     []SpanRecord
+	pos     int
+	wrapped bool
+}
+
+// NewRing builds a ring holding the last n spans.
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]SpanRecord, n)}
+}
+
+// Add records one span, evicting the oldest when full.
+func (r *Ring) Add(rec SpanRecord) {
+	r.mu.Lock()
+	r.buf[r.pos] = rec
+	r.pos++
+	if r.pos == len(r.buf) {
+		r.pos = 0
+		r.wrapped = true
+	}
+	r.mu.Unlock()
+}
+
+// Records returns the captured spans, oldest first.
+func (r *Ring) Records() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		return append([]SpanRecord(nil), r.buf[:r.pos]...)
+	}
+	out := make([]SpanRecord, 0, len(r.buf))
+	out = append(out, r.buf[r.pos:]...)
+	return append(out, r.buf[:r.pos]...)
+}
+
+// EnableTrace turns on span capture into a ring of the last n spans
+// (n <= 0 disables). Only spans of this registry's own timers are
+// captured; children manage their own rings, and TraceRecords aggregates.
+func (r *Registry) EnableTrace(n int) {
+	if n <= 0 {
+		r.ring.Store(nil)
+		return
+	}
+	r.ring.Store(NewRing(n))
+}
+
+// TraceRecords collects the captured spans of this registry and every
+// attached child, merged oldest-first.
+func (r *Registry) TraceRecords() []SpanRecord {
+	var out []SpanRecord
+	r.traceRecords(&out, 0)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].StartUnixNs < out[j].StartUnixNs })
+	return out
+}
+
+func (r *Registry) traceRecords(out *[]SpanRecord, depth int) {
+	if depth > maxDepth {
+		return
+	}
+	if ring := r.ring.Load(); ring != nil {
+		*out = append(*out, ring.Records()...)
+	}
+	r.mu.Lock()
+	children := append([]child(nil), r.children...)
+	r.mu.Unlock()
+	for _, c := range children {
+		c.r.traceRecords(out, depth+1)
+	}
+}

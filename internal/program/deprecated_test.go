@@ -1,0 +1,99 @@
+package program
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// deprecatedFuncs are the pre-Run entry points kept only as wrappers.
+var deprecatedFuncs = map[string]bool{
+	"Encrypt":          true,
+	"EncryptInto":      true,
+	"EncryptBytes":     true,
+	"EncryptBytesInto": true,
+	"EncryptFastInto":  true,
+}
+
+// TestNoDeprecatedProgramCallers walks the whole module and fails on any
+// call to a deprecated program.* entry point outside this package (whose
+// own files define and test the wrappers). This is the repo's guarantee
+// that the Run consolidation actually migrated every caller — staticcheck
+// flags such calls too, but only when it runs; this keeps the gate inside
+// `go test ./...`.
+func TestNoDeprecatedProgramCallers(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	self, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" || path == self {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		// Resolve the local name the program package is imported under.
+		pkgName := ""
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if p != "cobra/internal/program" {
+				continue
+			}
+			pkgName = "program"
+			if imp.Name != nil {
+				pkgName = imp.Name.Name
+			}
+		}
+		if pkgName == "" || pkgName == "_" {
+			return nil
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != pkgName || !deprecatedFuncs[sel.Sel.Name] {
+				return true
+			}
+			rel, _ := filepath.Rel(root, path)
+			t.Errorf("%s:%d: call to deprecated program.%s — use program.Run/RunBytes",
+				rel, fset.Position(call.Pos()).Line, sel.Sel.Name)
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

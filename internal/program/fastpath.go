@@ -45,14 +45,10 @@ func (p *Program) Compile() (*fastpath.Exec, error) {
 }
 
 // EncryptFastInto encrypts through the compiled executor when it is safe
-// and falls back to the cycle-accurate interpreter otherwise: ex may be nil
-// (compilation refused), and a machine that has interpreted anything since
-// its last load owns the in-flight state, so the call stays on the
-// interpreter rather than splitting one stats chain across two engines.
-// dst must hold len(blocks); dst may alias blocks.
+// and falls back to the cycle-accurate interpreter otherwise.
+//
+// Deprecated: use Run with Opts{Fast: ex}, which carries the same
+// fallback contract.
 func EncryptFastInto(ex *fastpath.Exec, m *sim.Machine, p *Program, dst, blocks []bits.Block128) (sim.Stats, error) {
-	if ex == nil || m.Dirty() {
-		return EncryptInto(m, p, dst, blocks)
-	}
-	return ex.EncryptInto(dst, blocks)
+	return Run(m, p, dst, blocks, Opts{Fast: ex})
 }

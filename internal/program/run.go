@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cobra/internal/bits"
+	"cobra/internal/fastpath"
 	"cobra/internal/sim"
 )
 
@@ -32,39 +33,40 @@ func Load(m *sim.Machine, p *Program) error {
 	return nil
 }
 
-// Encrypt runs blocks through a loaded machine and returns the ciphertext
-// blocks together with the performance counters for the run. For streaming
-// (full-unroll, non-feedback) programs it appends pipeline-flush blocks so
-// the final outputs drain, mirroring §4.1's accounting of "cycles required
-// to output the blocks in the pipeline".
-func Encrypt(m *sim.Machine, p *Program, blocks []bits.Block128) ([]bits.Block128, sim.Stats, error) {
-	if len(blocks) == 0 {
-		return nil, sim.Stats{}, nil
-	}
-	out := make([]bits.Block128, len(blocks))
-	stats, err := EncryptInto(m, p, out, blocks)
-	if err != nil {
-		return nil, sim.Stats{}, err
-	}
-	return out, stats, nil
+// Opts configures a Run call. The zero value selects the cycle-accurate
+// interpreter with default behavior.
+type Opts struct {
+	// Fast, when non-nil, routes the call through the trace-compiled
+	// executor (Program.Compile) as long as the machine is clean. A
+	// machine that has interpreted since its last load owns the in-flight
+	// stats chain, so a dirty machine stays on the interpreter rather than
+	// splitting one measurement across two engines. Nil always interprets.
+	Fast *fastpath.Exec
 }
 
-// EncryptInto is Encrypt writing the ciphertext into dst, which must hold
-// at least len(blocks) elements; dst may alias blocks (inputs are copied to
-// the machine's queue before any output is written back). It exists so
-// block-at-a-time callers — the CBC chaining loop, the farm's CTR keystream
-// path — can reuse buffers across calls instead of allocating per block.
+// Run is the bulk-encryption entry point: it streams src blocks through
+// the loaded machine (or the compiled executor, see Opts.Fast) into dst
+// and returns the simulator counters for exactly this call. dst must hold
+// at least len(src) blocks and may alias src (inputs are staged before
+// any output is written back).
 //
-// The returned stats cover exactly this call: a snapshot delta for
-// iterative programs, and the full post-reload counters for streaming
-// programs (the reload zeroes them), so repeated calls on one machine
-// measure independently in both cases.
-func EncryptInto(m *sim.Machine, p *Program, dst, blocks []bits.Block128) (sim.Stats, error) {
-	if len(blocks) == 0 {
+// For streaming (full-unroll, non-feedback) programs pipeline-flush
+// blocks are appended so the final outputs drain, mirroring §4.1's
+// accounting of "cycles required to output the blocks in the pipeline";
+// a dirty machine reloads first for a clean pipeline. The returned stats
+// cover exactly this call — a snapshot delta for iterative programs and
+// the full post-reload counters for streaming programs — so repeated
+// calls on one machine measure independently, and the fastpath engine
+// reproduces the interpreter's counters exactly.
+func Run(m *sim.Machine, p *Program, dst, src []bits.Block128, o Opts) (sim.Stats, error) {
+	if len(src) == 0 {
 		return sim.Stats{}, nil
 	}
-	if len(dst) < len(blocks) {
-		return sim.Stats{}, fmt.Errorf("program: dst holds %d blocks, need %d", len(dst), len(blocks))
+	if len(dst) < len(src) {
+		return sim.Stats{}, fmt.Errorf("program: dst holds %d blocks, need %d", len(dst), len(src))
+	}
+	if o.Fast != nil && !m.Dirty() {
+		return o.Fast.EncryptInto(dst, src)
 	}
 	if p.Streaming && m.Dirty() {
 		// A streaming program never returns to the idle point, so a used
@@ -77,7 +79,7 @@ func EncryptInto(m *sim.Machine, p *Program, dst, blocks []bits.Block128) (sim.S
 	}
 	start := m.Stats()
 	m.ClearOutputs()
-	m.PushInput(blocks...)
+	m.PushInput(src...)
 	if p.Streaming {
 		var flush bits.Block128
 		for i := 0; i < p.PipelineDepth+1; i++ {
@@ -85,32 +87,22 @@ func EncryptInto(m *sim.Machine, p *Program, dst, blocks []bits.Block128) (sim.S
 		}
 	}
 	m.Go = true
-	reason, err := m.Run(sim.Limits{StopAfterOutputs: len(blocks)})
+	reason, err := m.Run(sim.Limits{StopAfterOutputs: len(src)})
 	if err != nil {
 		return sim.Stats{}, err
 	}
 	if reason != sim.StopOutputs {
 		return sim.Stats{}, fmt.Errorf("program: run stopped with %v before %d outputs (got %d)",
-			reason, len(blocks), len(m.Outputs()))
+			reason, len(src), len(m.Outputs()))
 	}
-	copy(dst, m.Outputs()[:len(blocks)])
+	copy(dst, m.Outputs()[:len(src)])
 	return m.Stats().Delta(start), nil
 }
 
-// EncryptBytes is Encrypt for byte-oriented callers: src must be a multiple
-// of 16 bytes (ECB over 128-bit blocks).
-func EncryptBytes(m *sim.Machine, p *Program, src []byte) ([]byte, sim.Stats, error) {
-	dst := make([]byte, len(src))
-	stats, err := EncryptBytesInto(m, p, dst, src)
-	if err != nil {
-		return nil, stats, err
-	}
-	return dst, stats, nil
-}
-
-// EncryptBytesInto is EncryptBytes writing into dst, which must hold at
-// least len(src) bytes; dst may alias src.
-func EncryptBytesInto(m *sim.Machine, p *Program, dst, src []byte) (sim.Stats, error) {
+// RunBytes is Run for byte-oriented callers: src must be a multiple of 16
+// bytes (128-bit blocks); dst must hold at least len(src) bytes and may
+// alias src.
+func RunBytes(m *sim.Machine, p *Program, dst, src []byte, o Opts) (sim.Stats, error) {
 	if len(src)%16 != 0 {
 		return sim.Stats{}, fmt.Errorf("program: input length %d is not a multiple of the block size", len(src))
 	}
@@ -121,7 +113,7 @@ func EncryptBytesInto(m *sim.Machine, p *Program, dst, src []byte) (sim.Stats, e
 	for i := range blocks {
 		blocks[i] = bits.LoadBlock128(src[16*i:])
 	}
-	stats, err := EncryptInto(m, p, blocks, blocks)
+	stats, err := Run(m, p, blocks, blocks, o)
 	if err != nil {
 		return stats, err
 	}
@@ -129,4 +121,47 @@ func EncryptBytesInto(m *sim.Machine, p *Program, dst, src []byte) (sim.Stats, e
 		blk.StoreBlock128(dst[16*i:])
 	}
 	return stats, nil
+}
+
+// Encrypt runs blocks through a loaded machine and returns the ciphertext
+// blocks together with the performance counters for the run.
+//
+// Deprecated: use Run with a caller-supplied destination. Kept as a thin
+// wrapper for one release of the stacked-PR sequence.
+func Encrypt(m *sim.Machine, p *Program, blocks []bits.Block128) ([]bits.Block128, sim.Stats, error) {
+	if len(blocks) == 0 {
+		return nil, sim.Stats{}, nil
+	}
+	out := make([]bits.Block128, len(blocks))
+	stats, err := Run(m, p, out, blocks, Opts{})
+	if err != nil {
+		return nil, sim.Stats{}, err
+	}
+	return out, stats, nil
+}
+
+// EncryptInto is Run without options.
+//
+// Deprecated: use Run.
+func EncryptInto(m *sim.Machine, p *Program, dst, blocks []bits.Block128) (sim.Stats, error) {
+	return Run(m, p, dst, blocks, Opts{})
+}
+
+// EncryptBytes is RunBytes allocating its destination.
+//
+// Deprecated: use RunBytes with a caller-supplied destination.
+func EncryptBytes(m *sim.Machine, p *Program, src []byte) ([]byte, sim.Stats, error) {
+	dst := make([]byte, len(src))
+	stats, err := RunBytes(m, p, dst, src, Opts{})
+	if err != nil {
+		return nil, stats, err
+	}
+	return dst, stats, nil
+}
+
+// EncryptBytesInto is RunBytes without options.
+//
+// Deprecated: use RunBytes.
+func EncryptBytesInto(m *sim.Machine, p *Program, dst, src []byte) (sim.Stats, error) {
+	return RunBytes(m, p, dst, src, Opts{})
 }

@@ -26,28 +26,33 @@ import (
 	"cobra/internal/datapath"
 	"cobra/internal/iram"
 	"cobra/internal/isa"
+	"cobra/internal/obs"
 )
 
 // Stats aggregates the performance counters the evaluation section reports:
 // datapath cycles (Table 3's "Clock Cycles" currency), stall and advance
 // breakdown, and the instruction-stream composition used for the
 // overfull/underfull analysis of §3.4.
+// The JSON tags are part of the repo's stable reporting surface: the same
+// names appear in cobra-bench -json output, in core/farm report JSON and
+// in the /metrics counter families, pinned by golden tests so the views
+// cannot drift apart.
 type Stats struct {
 	// Cycles is the total number of datapath clock cycles.
-	Cycles int
+	Cycles int `json:"cycles"`
 	// Advanced counts cycles in which data moved through the array.
-	Advanced int
+	Advanced int `json:"advanced"`
 	// Stalled counts overfull/idle cycles (outputs disabled or input
 	// starvation).
-	Stalled int
+	Stalled int `json:"stalled"`
 	// Instructions counts executed instruction slots, including NOPs.
-	Instructions int
+	Instructions int `json:"instructions"`
 	// Nops counts executed NOPs (the underfull padding of §3.4).
-	Nops int
+	Nops int `json:"nops"`
 	// BlocksIn counts external blocks consumed.
-	BlocksIn int
+	BlocksIn int `json:"blocks_in"`
 	// BlocksOut counts valid output blocks collected.
-	BlocksOut int
+	BlocksOut int `json:"blocks_out"`
 }
 
 // Add accumulates other into s.
@@ -157,12 +162,31 @@ type Machine struct {
 	// compilation; the hook must not mutate the machine.
 	TickHook func()
 
+	// Obs, when non-nil, receives the machine-level counter movement of
+	// every Run call (set it once, before running; see Observer).
+	Obs *Observer
+
 	stats   Stats
 	inQ     []bits.Block128
 	outputs []bits.Block128
 	slot    int  // instructions executed within the current window
 	dirty   bool // any Run since the last LoadProgram
+
+	// resyncs and cfgInstrs are cumulative machine-lifetime counters (they
+	// survive LoadProgram, unlike stats): READY-flag idle points reached
+	// and configuration-class instructions executed.
+	resyncs   int
+	cfgInstrs int
 }
+
+// Resyncs returns the cumulative count of READY-flag idle points (§3.4
+// dual-clock resynchronizations) the machine has reached.
+func (m *Machine) Resyncs() int { return m.resyncs }
+
+// ConfigInstrs returns the cumulative count of configuration-class
+// instructions executed (CFGE, LUTW, SHUF, INMUX, WHITE, ERAMW, CAPT) —
+// the instruction-level distributed reconfiguration traffic of §3.3.
+func (m *Machine) ConfigInstrs() int { return m.cfgInstrs }
 
 // New builds a machine around a fresh array of the given geometry.
 func New(geo datapath.Geometry, window int) (*Machine, error) {
@@ -196,7 +220,7 @@ func (m *Machine) LoadProgram(words []isa.Word) error {
 // via MarkClean). Streaming (non-feedback) programs never return to the
 // idle point, so a dirty machine may hold in-flight pipeline contents;
 // callers that need a deterministic pipeline reload first, and
-// program.EncryptFastInto keeps a dirty machine on the interpreter.
+// program.Run keeps a dirty machine on the interpreter.
 func (m *Machine) Dirty() bool { return m.dirty }
 
 // MarkClean records that the machine sits at a well-defined idle point —
@@ -226,10 +250,71 @@ func (m *Machine) Stats() Stats { return m.stats }
 // Table 3 measures bulk encryption only, as §3.4 prescribes).
 func (m *Machine) ResetStats() { m.stats = Stats{} }
 
+// Observer is a set of pre-bound obs counters the machine flushes once
+// per Run call — never per tick, so instrumentation costs a handful of
+// atomic adds per run, not per cycle. Build one with NewObserver; all
+// fields must be non-nil.
+type Observer struct {
+	Runs         *obs.Counter // Run invocations
+	Ticks        *obs.Counter // datapath clock cycles (windows completed)
+	Advanced     *obs.Counter // cycles with data movement
+	Stalled      *obs.Counter // overfull/idle cycles
+	Instructions *obs.Counter // executed instruction slots, incl. NOPs
+	Nops         *obs.Counter // §3.4 underfull padding
+	BlocksIn     *obs.Counter // external blocks consumed
+	BlocksOut    *obs.Counter // valid output blocks collected
+	Resyncs      *obs.Counter // READY-flag idle points (dual-clock resync)
+	ConfigInstrs *obs.Counter // configuration-class instructions
+}
+
+// NewObserver registers the machine-level counter families on r and
+// returns the bound observer. The families are shared get-or-create, so
+// several machines bound to one registry aggregate into one time series.
+func NewObserver(r *obs.Registry) *Observer {
+	return &Observer{
+		Runs:         r.Counter("cobra_sim_runs_total", "sim.Machine.Run invocations"),
+		Ticks:        r.Counter("cobra_sim_ticks_total", "datapath clock cycles (instruction windows completed)"),
+		Advanced:     r.Counter("cobra_sim_advanced_total", "cycles in which data moved through the array"),
+		Stalled:      r.Counter("cobra_sim_stalled_total", "overfull/idle cycles"),
+		Instructions: r.Counter("cobra_sim_instructions_total", "executed instruction slots, including NOPs"),
+		Nops:         r.Counter("cobra_sim_nops_total", "executed NOP padding instructions"),
+		BlocksIn:     r.Counter("cobra_sim_blocks_in_total", "external blocks consumed"),
+		BlocksOut:    r.Counter("cobra_sim_blocks_out_total", "valid output blocks collected"),
+		Resyncs:      r.Counter("cobra_sim_ready_resyncs_total", "READY-flag idle points (dual-clock resynchronizations)"),
+		ConfigInstrs: r.Counter("cobra_sim_config_instrs_total", "configuration-class instructions executed"),
+	}
+}
+
+// record flushes one Run call's counter movement.
+func (o *Observer) record(d Stats, resyncs, cfgInstrs int) {
+	o.Runs.Inc()
+	o.Ticks.Add(int64(d.Cycles))
+	o.Advanced.Add(int64(d.Advanced))
+	o.Stalled.Add(int64(d.Stalled))
+	o.Instructions.Add(int64(d.Instructions))
+	o.Nops.Add(int64(d.Nops))
+	o.BlocksIn.Add(int64(d.BlocksIn))
+	o.BlocksOut.Add(int64(d.BlocksOut))
+	o.Resyncs.Add(int64(resyncs))
+	o.ConfigInstrs.Add(int64(cfgInstrs))
+}
+
 // Run executes microcode until a stop condition is reached. It may be
 // called repeatedly; execution resumes where it left off (idle points,
-// go-waits).
+// go-waits). When an Observer is bound, the call's counter movement is
+// flushed to it on return (including error returns).
 func (m *Machine) Run(lim Limits) (StopReason, error) {
+	if m.Obs == nil {
+		return m.run(lim)
+	}
+	s0, r0, c0 := m.stats, m.resyncs, m.cfgInstrs
+	reason, err := m.run(lim)
+	m.Obs.record(m.stats.Delta(s0), m.resyncs-r0, m.cfgInstrs-c0)
+	return reason, err
+}
+
+// run is the uninstrumented execution loop.
+func (m *Machine) run(lim Limits) (StopReason, error) {
 	maxCycles := lim.MaxCycles
 	if maxCycles <= 0 {
 		maxCycles = DefaultMaxCycles
@@ -252,6 +337,9 @@ func (m *Machine) Run(lim Limits) (StopReason, error) {
 		}
 		if halt {
 			return StopHalted, nil
+		}
+		if readySet {
+			m.resyncs++
 		}
 		if waitGo {
 			// §3.4: halt upon detection of the ready flag; wait for go.
@@ -327,23 +415,30 @@ func (m *Machine) execute(in isa.Instr) (halt, waitGo, readySet bool, err error)
 	case isa.OpNop:
 		m.stats.Nops++
 	case isa.OpCfgElem:
+		m.cfgInstrs++
 		err = m.Array.ApplyElem(in.Slice, in.Elem, in.Data)
 	case isa.OpEnOut:
 		err = m.Array.SetOutEnable(in.Slice, true)
 	case isa.OpDisOut:
 		err = m.Array.SetOutEnable(in.Slice, false)
 	case isa.OpLoadLUT:
+		m.cfgInstrs++
 		err = m.Array.LoadLUT(in.Slice, in.LUT, in.Data)
 	case isa.OpCfgShuf:
+		m.cfgInstrs++
 		err = m.Array.SetShuffler(int(in.Slice.Row), isa.DecodeShuf(in.Data))
 	case isa.OpCfgInMux:
+		m.cfgInstrs++
 		m.Array.SetInMux(isa.DecodeInMux(in.Data))
 	case isa.OpCfgWhite:
+		m.cfgInstrs++
 		m.Array.SetWhitening(isa.DecodeWhite(in.Data))
 	case isa.OpERAMWrite:
+		m.cfgInstrs++
 		cfg := isa.DecodeERAMWrite(in.Data)
 		m.Array.WriteERAM(int(in.Slice.Col), int(cfg.Bank), int(cfg.Addr), cfg.Value)
 	case isa.OpCfgCapture:
+		m.cfgInstrs++
 		m.Array.SetCapture(int(in.Slice.Col), isa.DecodeCapture(in.Data))
 	case isa.OpCtlFlag:
 		cfg := isa.DecodeFlag(in.Data)
