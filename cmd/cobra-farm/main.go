@@ -20,8 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -68,13 +70,22 @@ func main() {
 	}
 
 	var metrics *obs.Registry
+	var metricsSrv *obs.Server
 	if *metricsAddr != "" {
 		metrics = obs.Default
 		srv, err := obs.Serve(*metricsAddr, metrics)
 		if err != nil {
 			fatal(err)
 		}
-		defer srv.Close()
+		metricsSrv = srv
+		// A SIGTERM/SIGINT racing a scrape must not drop it: drain the
+		// endpoint gracefully (deadline-bounded) instead of letting the
+		// process exit tear the listener down mid-response.
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
 		// Parsed by the CI smoke test; keep the prefix stable.
 		fmt.Printf("metrics: serving on %s\n", srv.URL)
 	}
@@ -127,12 +138,22 @@ func main() {
 		}
 		fmt.Fprintf(w, "%d\t%d\t%d\t%.2f\t%.1f\t%.2fx\t%.1f\n",
 			n, jobs, r.WallCycles, r.CyclesPerBlock, r.EffectiveMbps, speedup, hostMS)
-		if n == workers[len(workers)-1] && *hold > 0 && *metricsAddr != "" {
+		if n == workers[len(workers)-1] && *hold > 0 && metricsSrv != nil {
 			// Leave the final pool attached so the endpoint keeps serving
-			// its live (post-sweep) counters — scrape, then Ctrl-C or wait.
+			// its live (post-sweep) counters — scrape, then signal or wait.
+			// The hold is interruptible: SIGTERM/SIGINT ends it early and
+			// falls through to the graceful metrics drain, so the held
+			// process exits cleanly instead of dying mid-scrape.
 			w.Flush()
-			fmt.Printf("\nholding last farm open for %s (scrape /metrics now)\n", *hold)
-			time.Sleep(*hold)
+			fmt.Printf("\nholding last farm open for %s (scrape /metrics now; SIGTERM ends the hold)\n", *hold)
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+			select {
+			case <-time.After(*hold):
+			case s := <-sig:
+				fmt.Printf("hold interrupted by %v, draining\n", s)
+			}
+			signal.Stop(sig)
 		}
 		f.Close()
 	}

@@ -419,6 +419,28 @@ func (f *Farm) EncryptCBC(ctx context.Context, iv, src []byte) ([]byte, error) {
 	return dst, nil
 }
 
+// QueueDepth returns the number of shards currently waiting in worker
+// queues (the sum of the per-worker cobra_farm_queue_depth gauges). It
+// is the admission signal cmd/cobrad sheds load on: at QueueCapacity the
+// next dispatch would block on backpressure, so a server can answer BUSY
+// instead of queueing behind it.
+func (f *Farm) QueueDepth() int {
+	n := 0
+	for _, w := range f.workers {
+		n += len(w.queue)
+	}
+	return n
+}
+
+// QueueCapacity returns the total buffered shard capacity of the worker
+// queues — the saturation point of QueueDepth.
+func (f *Farm) QueueCapacity() int { return len(f.workers) * workerQueueDepth }
+
+// UsesFastpath reports whether the pool's devices serve bulk encryption
+// on the trace-compiled executor (the workers are replicas, so one
+// answer covers the pool).
+func (f *Farm) UsesFastpath() bool { return f.workers[0].dev.UsesFastpath() }
+
 // Close shuts the worker queues, waits for the workers to drain, and
 // detaches the farm's registry from its Config.Metrics parent so a closed
 // farm stops appearing in /metrics. Encrypt calls already dispatching

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -337,5 +338,56 @@ func TestFarmScalingMonotonic(t *testing.T) {
 			t.Errorf("workers=%d: EffectiveMbps %.1f did not improve on %.1f", workers, mbps, prev)
 		}
 		prev = mbps
+	}
+}
+
+func TestFarmQueueSignals(t *testing.T) {
+	const workers = 3
+	f, err := New(core.Rijndael, key, core.Config{Unroll: 1}, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.QueueCapacity(), workers*workerQueueDepth; got != want {
+		t.Fatalf("QueueCapacity = %d, want %d", got, want)
+	}
+	if d := f.QueueDepth(); d != 0 {
+		t.Fatalf("idle QueueDepth = %d, want 0", d)
+	}
+	// Stall every worker in a fault hook, then dispatch enough shards
+	// (more than workers*(1+queue depth)) that some must sit in queues.
+	release := make(chan struct{})
+	var once sync.Once
+	unstall := func() { once.Do(func() { close(release) }) }
+	defer func() {
+		unstall()
+		f.Close()
+	}()
+	for _, w := range f.workers {
+		w.fault = func(j *job) error { <-release; return nil }
+	}
+	done := make(chan error, 1)
+	go func() {
+		const shards = workers*(workerQueueDepth+1) + 2
+		_, err := f.EncryptCTR(context.Background(), make([]byte, 16),
+			testMessage(16*shards*DefaultShardBlocks))
+		done <- err
+	}()
+	deadline := time.After(10 * time.Second)
+	for f.QueueDepth() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("QueueDepth never rose while workers were stalled")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	unstall()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if d := f.QueueDepth(); d != 0 {
+		t.Fatalf("drained QueueDepth = %d, want 0", d)
+	}
+	if !f.UsesFastpath() {
+		t.Fatal("UsesFastpath = false for a compilable configuration")
 	}
 }

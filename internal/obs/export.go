@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -140,11 +141,16 @@ func NewMux(r *Registry) *http.ServeMux {
 	return mux
 }
 
-// Server is a running observability HTTP listener.
+// Server is a running observability HTTP listener. Stop it with
+// Shutdown (graceful: in-flight scrapes finish) or Close (abrupt); Done
+// reports when the serving goroutine has fully exited, so a daemon's
+// drain path can wait for the metrics endpoint the way it waits for its
+// own sessions.
 type Server struct {
 	// URL is the base address, e.g. "http://127.0.0.1:9090".
-	URL string
-	srv *http.Server
+	URL  string
+	srv  *http.Server
+	done chan struct{}
 }
 
 // Serve starts the observability endpoints on addr (":9090",
@@ -157,12 +163,37 @@ func Serve(addr string, r *Registry) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		URL: "http://" + ln.Addr().String(),
-		srv: &http.Server{Handler: NewMux(r)},
+		URL:  "http://" + ln.Addr().String(),
+		srv:  &http.Server{Handler: NewMux(r)},
+		done: make(chan struct{}),
 	}
-	go func() { _ = s.srv.Serve(ln) }()
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln)
+	}()
 	return s, nil
 }
 
-// Close stops the listener.
+// Shutdown gracefully stops the server: the listener closes, in-flight
+// scrapes run to completion, and the serving goroutine exits — bounded
+// by ctx like net/http's Shutdown. This is the drain path cobrad and
+// cobra-farm take on SIGTERM, so a scrape racing the shutdown gets its
+// complete response instead of a reset connection.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}
+
+// Done is closed when the serving goroutine has exited.
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// Close stops the listener abruptly, dropping in-flight scrapes; prefer
+// Shutdown on orderly exits.
 func (s *Server) Close() error { return s.srv.Close() }

@@ -1,11 +1,15 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 // demoRegistry builds a small tree exercising every metric kind.
@@ -126,5 +130,66 @@ func TestServeScrape(t *testing.T) {
 	}
 	if len(spans) != 1 || spans[0].Name != "cobra_call_ns" {
 		t.Fatalf("/debug/trace spans = %v", spans)
+	}
+}
+
+// TestServeGracefulShutdown pins the drain contract: a scrape in flight
+// when Shutdown is called receives its complete response, the serving
+// goroutine exits, and new connections are refused.
+func TestServeGracefulShutdown(t *testing.T) {
+	reg := NewRegistry()
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	reg.GaugeFunc("cobra_slow_gauge", "Stalls the scrape until released.", func() int64 {
+		once.Do(func() { close(entered) })
+		<-release
+		return 42
+	})
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scraped := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			scraped <- err
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err == nil && !strings.Contains(string(body), "cobra_slow_gauge 42") {
+			err = fmt.Errorf("incomplete scrape: %q", body)
+		}
+		scraped <- err
+	}()
+	<-entered // the scrape is now in flight inside the handler
+	shut := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shut <- srv.Shutdown(ctx)
+	}()
+	// Shutdown must wait for the in-flight scrape, not kill it.
+	select {
+	case err := <-shut:
+		t.Fatalf("Shutdown returned (%v) while a scrape was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-scraped; err != nil {
+		t.Fatalf("in-flight scrape dropped during graceful shutdown: %v", err)
+	}
+	if err := <-shut; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	select {
+	case <-srv.Done():
+	default:
+		t.Fatal("Done() not closed after Shutdown returned")
+	}
+	if _, err := http.Get(srv.URL + "/metrics"); err == nil {
+		t.Fatal("scrape succeeded after shutdown")
 	}
 }

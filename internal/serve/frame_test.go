@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: FrameHello, Payload: Hello{MinVersion: 1, MaxVersion: 1}.Encode()},
+		{Type: FrameHello, Payload: HelloAck{Version: 1, MaxFrame: DefaultMaxFrame, Backend: "farm", Workers: 4}.Encode()},
+		{Type: FrameConfigure, Payload: ConfigureReq{Tenant: "site-a", Alg: "rc6", Key: make([]byte, 16), Unroll: 2}.Encode()},
+		{Type: FrameConfigure, Payload: ConfigureAck{Backend: "device", Workers: 1, Rows: 20, Unroll: 20, Fastpath: true}.Encode()},
+		{Type: FrameEncrypt, Payload: CipherReq{Mode: ModeCTR, IV: make([]byte, 16), Data: []byte("0123456789abcdef")}.Encode()},
+		{Type: FrameDecrypt, Payload: CipherReq{Mode: ModeECB, Data: make([]byte, 32)}.Encode()},
+		{Type: FrameStats},
+		{Type: FrameError, Payload: EncodeError(CodeBusy, "queue full")},
+	}
+	for _, f := range frames {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("%v: write: %v", f.Type, err)
+		}
+		got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatalf("%v: read: %v", f.Type, err)
+		}
+		if got.Type != f.Type || !bytes.Equal(got.Payload, f.Payload) {
+			t.Fatalf("%v: round trip mismatch", f.Type)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("%v: %d trailing bytes", f.Type, buf.Len())
+		}
+	}
+}
+
+func TestReadFrameMalformedHeader(t *testing.T) {
+	valid := AppendFrame(nil, Frame{Type: FrameStats})
+	cases := []struct {
+		name   string
+		mangle func([]byte) []byte
+		want   error
+	}{
+		{"zero type", func(b []byte) []byte { b[0] = 0; return b }, ErrMalformed},
+		{"unknown type", func(b []byte) []byte { b[0] = 200; return b }, ErrMalformed},
+		{"flags set", func(b []byte) []byte { b[1] = 1; return b }, ErrMalformed},
+		{"reserved set", func(b []byte) []byte { b[2] = 7; return b }, ErrMalformed},
+		{"oversize length", func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[4:], 1<<30)
+			return b
+		}, ErrTooLarge},
+	}
+	for _, tc := range cases {
+		b := tc.mangle(append([]byte(nil), valid...))
+		if _, err := ReadFrame(bytes.NewReader(b), 0); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestReadFrameMaxLengthEnforced(t *testing.T) {
+	f := Frame{Type: FrameEncrypt, Payload: make([]byte, 100)}
+	b := AppendFrame(nil, f)
+	if _, err := ReadFrame(bytes.NewReader(b), 99); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("payload over limit: got %v, want ErrTooLarge", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(b), 100); err != nil {
+		t.Fatalf("payload at limit: %v", err)
+	}
+	// The oversize length must be rejected from the header alone, before
+	// any payload byte is read.
+	hdrOnly := b[:headerSize]
+	if _, err := ReadFrame(bytes.NewReader(hdrOnly), 99); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("header-only over limit: got %v, want ErrTooLarge", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	b := AppendFrame(nil, Frame{Type: FrameEncrypt, Payload: make([]byte, 64)})
+	for _, cut := range []int{1, headerSize - 1, headerSize + 1, len(b) - 1} {
+		_, err := ReadFrame(bytes.NewReader(b[:cut]), 0)
+		if err == nil {
+			t.Fatalf("cut=%d: truncated frame accepted", cut)
+		}
+		if cut > headerSize && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut=%d: got %v, want unexpected EOF", cut, err)
+		}
+	}
+}
+
+func TestPayloadStrictness(t *testing.T) {
+	// Trailing bytes are rejected by every decoder.
+	if _, err := DecodeHello(append(Hello{1, 1}.Encode(), 0)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("hello trailing byte: %v", err)
+	}
+	if _, err := DecodeConfigureReq(append(ConfigureReq{Alg: "rc6"}.Encode(), 0)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("configure trailing byte: %v", err)
+	}
+	if _, err := DecodeCipherReq(append(CipherReq{Mode: ModeECB}.Encode(), 0)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("cipher trailing byte: %v", err)
+	}
+	// Bad magic.
+	h := Hello{1, 1}.Encode()
+	h[0] = 'X'
+	if _, err := DecodeHello(h); !errors.Is(err, ErrMalformed) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Inverted version range.
+	if _, err := DecodeHello(Hello{MinVersion: 2, MaxVersion: 1}.Encode()); !errors.Is(err, ErrMalformed) {
+		t.Errorf("inverted versions: %v", err)
+	}
+	// IV discipline.
+	if _, err := DecodeCipherReq(CipherReq{Mode: ModeECB, IV: make([]byte, 16)}.Encode()); !errors.Is(err, ErrMalformed) {
+		t.Errorf("ecb with IV: %v", err)
+	}
+	if _, err := DecodeCipherReq(CipherReq{Mode: ModeCTR, IV: make([]byte, 8)}.Encode()); !errors.Is(err, ErrMalformed) {
+		t.Errorf("short IV: %v", err)
+	}
+	// Tenant label discipline.
+	if _, err := DecodeConfigureReq(ConfigureReq{Tenant: "bad tenant!", Alg: "rc6"}.Encode()); !errors.Is(err, ErrMalformed) {
+		t.Errorf("bad tenant: %v", err)
+	}
+	if _, err := DecodeConfigureReq(ConfigureReq{Tenant: strings.Repeat("a", MaxTenantLen+1), Alg: "rc6"}.Encode()); !errors.Is(err, ErrMalformed) {
+		t.Errorf("long tenant: %v", err)
+	}
+}
+
+func TestPayloadCodecFixedPoints(t *testing.T) {
+	cr := ConfigureReq{Tenant: "t.0_a-B", Alg: "rijndael", Key: []byte{1, 2, 3}, Unroll: 10}
+	got, err := DecodeConfigureReq(cr.Encode())
+	if err != nil || !reflect.DeepEqual(got, cr) {
+		t.Fatalf("configure req: %+v, %v", got, err)
+	}
+	ca := ConfigureAck{Backend: "farm", Workers: 8, Rows: 44, Unroll: 4, Fastpath: true, CacheHit: true}
+	gotA, err := DecodeConfigureAck(ca.Encode())
+	if err != nil || gotA != ca {
+		t.Fatalf("configure ack: %+v, %v", gotA, err)
+	}
+	we, err := DecodeError(EncodeError(CodeDraining, "shutting down"))
+	if err != nil || we.Code != CodeDraining || we.Msg != "shutting down" {
+		t.Fatalf("error payload: %+v, %v", we, err)
+	}
+	if !IsDraining(we) || IsBusy(we) {
+		t.Fatalf("error classification: %+v", we)
+	}
+}

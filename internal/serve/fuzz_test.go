@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzFrameRoundTrip drives the wire layer with arbitrary bytes and pins
+// three properties:
+//
+//  1. encode→decode is a fixed point: any stream ReadFrame accepts
+//     re-encodes to the identical bytes it consumed, and typed payloads
+//     that decode re-encode to the identical payload.
+//  2. Malformed headers are rejected: nonzero flags/reserved bytes and
+//     unknown types never decode.
+//  3. The payload-size limit is enforced before the payload is read.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(AppendFrame(nil, Frame{Type: FrameHello, Payload: Hello{1, 1}.Encode()}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameHello,
+		Payload: HelloAck{Version: 1, MaxFrame: DefaultMaxFrame, Backend: "farm", Workers: 4}.Encode()}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameConfigure,
+		Payload: ConfigureReq{Tenant: "t0", Alg: "rc6", Key: make([]byte, 16), Unroll: 2}.Encode()}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameConfigure,
+		Payload: ConfigureAck{Backend: "device", Workers: 1, Rows: 20, Unroll: 20, Fastpath: true}.Encode()}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameEncrypt,
+		Payload: CipherReq{Mode: ModeCTR, IV: make([]byte, 16), Data: []byte("hello world, 16b")}.Encode()}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameStats}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameError, Payload: EncodeError(CodeBusy, "q")}))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 1, 0, 0, 0, 0, 0, 0})
+
+	const limit = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		fr, err := ReadFrame(r, limit)
+		if err != nil {
+			// Rejections must not be silent successes elsewhere: a header
+			// with bad static bytes must fail regardless of what follows.
+			if len(data) >= headerSize && (data[1] != 0 || data[2] != 0 || data[3] != 0) &&
+				!errors.Is(err, ErrMalformed) && !errors.Is(err, ErrTooLarge) {
+				// Type byte is checked first; zero/unknown types also map
+				// to ErrMalformed, so any other error here is a bug...
+				// unless the header was truncated.
+				if len(data) >= headerSize && !errors.Is(err, io.ErrUnexpectedEOF) && err != io.EOF {
+					t.Fatalf("malformed header got unexpected error class: %v", err)
+				}
+			}
+			return
+		}
+		if data[1] != 0 || data[2] != 0 || data[3] != 0 {
+			t.Fatalf("frame with nonzero flags/reserved decoded: % x", data[:headerSize])
+		}
+		if len(fr.Payload) > limit {
+			t.Fatalf("payload %d exceeds limit %d", len(fr.Payload), limit)
+		}
+		consumed := len(data) - r.Len()
+		re := AppendFrame(nil, fr)
+		if !bytes.Equal(re, data[:consumed]) {
+			t.Fatalf("re-encode differs from consumed bytes:\n  in:  % x\n  out: % x", data[:consumed], re)
+		}
+		fr2, err := ReadFrame(bytes.NewReader(re), limit)
+		if err != nil {
+			t.Fatalf("re-read of re-encoded frame: %v", err)
+		}
+		if fr2.Type != fr.Type || !bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatalf("second decode differs")
+		}
+
+		// Typed payload fixed points, by frame type. Client and server
+		// payloads share frame types, so try both decoders.
+		switch fr.Type {
+		case FrameHello:
+			if h, err := DecodeHello(fr.Payload); err == nil {
+				if got, err := DecodeHello(h.Encode()); err != nil || got != h {
+					t.Fatalf("hello fixed point: %+v vs %+v (%v)", h, got, err)
+				}
+			}
+			if h, err := DecodeHelloAck(fr.Payload); err == nil {
+				if got, err := DecodeHelloAck(h.Encode()); err != nil || got != h {
+					t.Fatalf("hello ack fixed point: %+v vs %+v (%v)", h, got, err)
+				}
+			}
+		case FrameConfigure:
+			if c, err := DecodeConfigureReq(fr.Payload); err == nil {
+				b := c.Encode()
+				if !bytes.Equal(b, fr.Payload) {
+					t.Fatalf("configure req re-encode differs")
+				}
+			}
+			if c, err := DecodeConfigureAck(fr.Payload); err == nil {
+				if !bytes.Equal(c.Encode(), fr.Payload) {
+					t.Fatalf("configure ack re-encode differs")
+				}
+			}
+		case FrameEncrypt, FrameDecrypt:
+			if c, err := DecodeCipherReq(fr.Payload); err == nil {
+				if !bytes.Equal(c.Encode(), fr.Payload) {
+					t.Fatalf("cipher req re-encode differs")
+				}
+			}
+		case FrameError:
+			if e, err := DecodeError(fr.Payload); err == nil {
+				if !bytes.Equal(EncodeError(e.Code, e.Msg), fr.Payload) {
+					t.Fatalf("error re-encode differs")
+				}
+			}
+		}
+	})
+}

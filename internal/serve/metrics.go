@@ -1,0 +1,80 @@
+package serve
+
+import "cobra/internal/obs"
+
+// serverMetrics is the daemon-level instrumentation: session lifecycle,
+// backend-cache behavior, and per-tenant request series. Everything
+// lives in one registry (labeled backend="serve") that the daemon
+// attaches to obs.Default for the /metrics endpoint; tests keep it
+// detached and scrape it directly.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	sessions       *obs.Counter
+	sessionsActive *obs.Gauge
+	framesIn       *obs.Counter
+	bytesIn        *obs.Counter
+	bytesOut       *obs.Counter
+	drained        *obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		reg: reg,
+		sessions: reg.Counter("cobra_serve_sessions_total",
+			"Client connections accepted."),
+		sessionsActive: reg.Gauge("cobra_serve_sessions_active",
+			"Client connections currently open."),
+		framesIn: reg.Counter("cobra_serve_frames_total",
+			"Frames received from clients."),
+		bytesIn: reg.Counter("cobra_serve_rx_bytes_total",
+			"Request payload bytes received."),
+		bytesOut: reg.Counter("cobra_serve_tx_bytes_total",
+			"Response payload bytes sent."),
+		drained: reg.Counter("cobra_serve_drained_sessions_total",
+			"Sessions closed by graceful drain."),
+	}
+}
+
+// tenantMetrics is the per-tenant series set, created (get-or-create —
+// two sessions of one tenant share series) at CONFIGURE time so the
+// request hot path only touches pre-resolved atomic counters.
+type tenantMetrics struct {
+	requests  [3]*obs.Counter // by op: encrypt, decrypt, stats
+	errors    *obs.Counter
+	sheds     *obs.Counter
+	latency   [3]*obs.Timer
+	blocks    *obs.Counter
+	cacheHits *obs.Counter
+}
+
+// Tenant op indices.
+const (
+	opEncrypt = iota
+	opDecrypt
+	opStats
+)
+
+var opNames = [3]string{"encrypt", "decrypt", "stats"}
+
+func newTenantMetrics(reg *obs.Registry, tenant string) *tenantMetrics {
+	tl := obs.L("tenant", tenant)
+	m := &tenantMetrics{
+		errors: reg.Counter("cobra_serve_errors_total",
+			"Requests answered with an ERROR frame, per tenant.", tl),
+		sheds: reg.Counter("cobra_serve_sheds_total",
+			"Requests shed with BUSY by admission control, per tenant.", tl),
+		blocks: reg.Counter("cobra_serve_blocks_total",
+			"128-bit blocks processed, per tenant.", tl),
+		cacheHits: reg.Counter("cobra_serve_backend_reuse_total",
+			"CONFIGUREs that reused a cached, already-configured backend.", tl),
+	}
+	for i, op := range opNames {
+		ol := obs.L("op", op)
+		m.requests[i] = reg.Counter("cobra_serve_requests_total",
+			"Requests served, per tenant and operation.", tl, ol)
+		m.latency[i] = reg.Timer("cobra_serve_request_ns",
+			"Wall-clock latency of one request, per tenant and operation.", tl, ol)
+	}
+	return m
+}
