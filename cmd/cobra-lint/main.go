@@ -1,0 +1,81 @@
+// Command cobra-lint runs the repository's Go-source analyzer suite
+// (package lint): stdlib-only syntactic analyzers in the go/analysis
+// multichecker shape.
+//
+// Usage:
+//
+//	cobra-lint ./...          # lint the whole tree below the current dir
+//	cobra-lint internal/farm  # lint one directory
+//	cobra-lint file.go        # lint one file
+//
+// Analyzers: deprecated (no new callers of the deprecated program.Encrypt*
+// wrappers), hotpath (no fmt or allocation-prone calls inside
+// //cobra:hotpath functions). Like cobra-vet, cobra-lint is full-report:
+// every requested file is checked and every finding printed before the
+// exit status (1 on findings, 2 on usage) is decided.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cobra/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole tool behind an exit code, testable without a process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cobra-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: cobra-lint <package-dir|./...|file.go>...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	dirty := false
+	report := func(findings []lint.Finding, err error) {
+		if err != nil {
+			dirty = true
+			fmt.Fprintln(stderr, "cobra-lint:", err)
+			return
+		}
+		for _, f := range findings {
+			dirty = true
+			fmt.Fprintln(stdout, f)
+		}
+	}
+
+	for _, arg := range fs.Args() {
+		switch {
+		case strings.HasSuffix(arg, "/..."):
+			report(lint.CheckDir(strings.TrimSuffix(arg, "/..."), os.ReadFile))
+		case strings.HasSuffix(arg, ".go"):
+			src, err := os.ReadFile(arg)
+			if err != nil {
+				report(nil, err)
+				continue
+			}
+			report(lint.CheckSource(arg, src))
+		default:
+			report(lint.CheckDir(arg, os.ReadFile))
+		}
+	}
+
+	if dirty {
+		return 1
+	}
+	return 0
+}

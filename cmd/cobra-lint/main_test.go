@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.go")
+	if err := os.WriteFile(clean, []byte("package x\n\nfunc F() int { return 1 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dirty := filepath.Join(dir, "dirty.go")
+	dirtySrc := `package x
+
+import "cobra/internal/program"
+
+func f() { program.Encrypt(nil, nil, nil) }
+`
+	if err := os.WriteFile(dirty, []byte(dirtySrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no args", nil, 2},
+		{"clean file", []string{clean}, 0},
+		{"dirty file", []string{dirty}, 1},
+		{"dir walk", []string{dir}, 1},
+		{"recursive pattern", []string{dir + "/..."}, 1},
+		{"missing file", []string{filepath.Join(dir, "absent.go")}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if got := run(tc.args, &out, &errb); got != tc.want {
+				t.Errorf("run(%v) = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					tc.args, got, tc.want, out.String(), errb.String())
+			}
+		})
+	}
+}
+
+// TestFullReport pins that a dirty file does not stop later arguments from
+// being checked.
+func TestFullReport(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.go")
+	b := filepath.Join(dir, "b.go")
+	os.WriteFile(a, []byte("package x\n\nimport \"cobra/internal/program\"\n\nfunc f() { program.Encrypt(nil, nil, nil) }\n"), 0o644)
+	os.WriteFile(b, []byte("package x\n\n//cobra:hotpath\nfunc g() { _ = make([]int, 1) }\n"), 0o644)
+	var out, errb bytes.Buffer
+	if got := run([]string{a, b}, &out, &errb); got != 1 {
+		t.Fatalf("exit = %d, want 1", got)
+	}
+	s := out.String()
+	if !strings.Contains(s, "deprecated") || !strings.Contains(s, "hotpath") {
+		t.Errorf("expected findings from both files:\n%s", s)
+	}
+}

@@ -11,127 +11,205 @@
 //	cobra-vet -window 4 prog.casm   # ...against an instruction window
 //	cobra-vet -rows 8 prog.casm     # ...against a taller geometry
 //	cobra-vet -dataflow -builtin    # ...plus the dataflow analyzers
+//	cobra-vet -equiv -builtin       # ...plus translation validation
 //
 // With -dataflow each program additionally runs package dataflow's abstract
 // walk: uninitialized-read, dead-element/dead-store, key/plaintext taint,
 // and static per-window timing, reported with the effective-gate-count
 // summary.
 //
-// Exit status is 1 if any program produced a finding.
+// With -equiv each program is additionally trace-compiled and the compiled
+// fastpath is symbolically proven equivalent to the microcode (package
+// equiv); a program the compiler refuses (key-request handshakes) is
+// reported as skipped, not failed. An unproven trace is a finding and
+// prints both sides' expressions plus a concrete diverging input witness.
+//
+// cobra-vet is a full-report tool: every program and every file is checked
+// and every finding printed before the exit status is decided. A broken
+// program never masks findings in the ones after it. Exit status is 1 if
+// any program produced a finding (or failed to build, assemble, or prove),
+// 2 on usage errors.
 package main
 
 import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"cobra/internal/asm"
 	"cobra/internal/bench"
 	"cobra/internal/dataflow"
+	"cobra/internal/datapath"
+	"cobra/internal/equiv"
+	"cobra/internal/fastpath"
 	"cobra/internal/isa"
 	"cobra/internal/program"
 	"cobra/internal/vet"
 )
 
 func main() {
-	builtin := flag.Bool("builtin", false, "lint every built-in program (Table 3 sweep, decrypt, GOST, windowed Serpent, keyed Rijndael)")
-	rows := flag.Int("rows", 4, "geometry rows for .casm files")
-	window := flag.Int("window", 1, "instruction window size for .casm files")
-	keyHex := flag.String("key", "000102030405060708090a0b0c0d0e0f", "key for the built-in builds (hex)")
-	dflow := flag.Bool("dataflow", false, "also run the word-level dataflow analyzers (def-use, liveness, taint, static timing)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if !*builtin && flag.NArg() == 0 {
-		flag.Usage()
-		os.Exit(2)
+// run is the whole tool behind an exit code, testable without a process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cobra-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	builtin := fs.Bool("builtin", false, "lint every built-in program (Table 3 sweep, decrypt, GOST, windowed Serpent, keyed Rijndael)")
+	rows := fs.Int("rows", 4, "geometry rows for .casm files")
+	window := fs.Int("window", 1, "instruction window size for .casm files")
+	keyHex := fs.String("key", "000102030405060708090a0b0c0d0e0f", "key for the built-in builds (hex)")
+	dflow := fs.Bool("dataflow", false, "also run the word-level dataflow analyzers (def-use, liveness, taint, static timing)")
+	equivFlag := fs.Bool("equiv", false, "also trace-compile and symbolically validate the fastpath against the microcode")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if !*builtin && fs.NArg() == 0 {
+		fs.Usage()
+		return 2
 	}
 
 	dirty := false
+	// fail records a finding that is not a vet.Finding: a build, assembly,
+	// or validation failure. It never aborts the run — full report first.
+	fail := func(format string, a ...any) {
+		dirty = true
+		fmt.Fprintf(stderr, "cobra-vet: "+format+"\n", a...)
+	}
 	report := func(name string, fs []vet.Finding) {
 		if len(fs) == 0 {
-			fmt.Printf("%-24s clean\n", name)
+			fmt.Fprintf(stdout, "%-24s clean\n", name)
 			return
 		}
 		dirty = true
 		for _, f := range fs {
-			fmt.Printf("%s: %s\n", name, f)
+			fmt.Fprintf(stdout, "%s: %s\n", name, f)
 		}
 	}
 	// reportFlow prints a program's dataflow result: findings (or "flow
 	// clean"), then the gate and timing summary for closed walks.
 	reportFlow := func(name string, res *dataflow.Result) {
 		if len(res.Findings) == 0 {
-			fmt.Printf("%-24s flow clean", name)
+			fmt.Fprintf(stdout, "%-24s flow clean", name)
 		} else {
 			dirty = true
-			fmt.Println()
+			fmt.Fprintln(stdout)
 			for _, f := range res.Findings {
-				fmt.Printf("%s: %s\n", name, f)
+				fmt.Fprintf(stdout, "%s: %s\n", name, f)
 			}
-			fmt.Printf("%-24s", name)
+			fmt.Fprintf(stdout, "%-24s", name)
 		}
 		if res.Complete && res.Outputs > 0 {
-			fmt.Printf("  %d/%d elems live (%d/%d gates)",
+			fmt.Fprintf(stdout, "  %d/%d elems live (%d/%d gates)",
 				res.Gates.LiveElems, res.Gates.ConfiguredElems,
 				res.Gates.LiveGates, res.Gates.ConfiguredGates)
 			if res.Timing.Configs > 0 {
-				fmt.Printf("  %.3f MHz over %d cfgs", res.Timing.DatapathMHz, res.Timing.Configs)
+				fmt.Fprintf(stdout, "  %.3f MHz over %d cfgs", res.Timing.DatapathMHz, res.Timing.Configs)
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
+	}
+	// reportEquiv prints one translation-validation verdict; an unproven
+	// trace dirties the run.
+	reportEquiv := func(res *equiv.Result) {
+		fmt.Fprintf(stdout, "%s\n", res)
+		if !res.Proven {
+			dirty = true
+		}
 	}
 
 	if *builtin {
 		key, err := hex.DecodeString(*keyHex)
 		if err != nil {
-			fatal(fmt.Errorf("bad -key: %v", err))
+			fmt.Fprintln(stderr, "cobra-vet: bad -key:", err)
+			return 2
 		}
 		if len(key) == 0 {
-			fatal(fmt.Errorf("bad -key: empty"))
+			fmt.Fprintln(stderr, "cobra-vet: bad -key: empty")
+			return 2
 		}
-		for _, p := range builtins(key) {
+		progs, errs := builtins(key)
+		for _, err := range errs {
+			fail("%v", err)
+		}
+		for _, p := range progs {
 			report(p.Name, p.Vet())
 			if *dflow {
 				reportFlow(p.Name, p.Analyze())
 			}
+			if *equivFlag {
+				// A compile refusal is a documented skip, not a failure:
+				// key-request handshake programs have no trace to validate.
+				if res, err := p.Validate(); err != nil {
+					fmt.Fprintf(stdout, "%-24s equiv skipped: %v\n", p.Name, err)
+				} else {
+					reportEquiv(res)
+				}
+			}
 		}
 	}
 
-	for _, path := range flag.Args() {
+	for _, path := range fs.Args() {
 		src, err := os.ReadFile(path)
 		if err != nil {
-			fatal(err)
+			fail("%v", err)
+			continue
 		}
 		words, err := asm.Assemble(string(src))
 		if err != nil {
-			fatal(fmt.Errorf("%s: %v", path, err))
+			fail("%s: %v", path, err)
+			continue
 		}
 		report(path, vet.CheckWords(words, vet.Config{Rows: *rows, Window: *window}))
 		if *dflow {
 			ins := make([]isa.Instr, len(words))
+			bad := false
 			for i, w := range words {
 				in, err := isa.Unpack(w)
 				if err != nil {
-					fatal(fmt.Errorf("%s: word %d: %v", path, i, err))
+					fail("%s: word %d: %v", path, i, err)
+					bad = true
+					break
 				}
 				ins[i] = in
 			}
-			reportFlow(path, dataflow.Analyze(ins, dataflow.Config{Rows: *rows, Window: *window}))
+			if !bad {
+				reportFlow(path, dataflow.Analyze(ins, dataflow.Config{Rows: *rows, Window: *window}))
+			}
+		}
+		if *equivFlag {
+			geo := datapath.Geometry{Rows: *rows}
+			ex, err := fastpath.Compile(fastpath.Source{
+				Name: path, Words: words, Geometry: geo, Window: *window,
+			})
+			if err != nil {
+				fmt.Fprintf(stdout, "%-24s equiv skipped: %v\n", path, err)
+			} else {
+				reportEquiv(equiv.Validate(words, equiv.Config{
+					Name: path, Geometry: geo, Window: *window,
+				}, ex.Trace()))
+			}
 		}
 	}
 
 	if dirty {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-// builtins compiles every built-in program the repository ships.
-func builtins(key []byte) []*program.Program {
+// builtins compiles every built-in program the repository ships. Builders
+// that fail are collected, not fatal: the rest of the corpus still runs.
+func builtins(key []byte) ([]*program.Program, []error) {
 	var progs []*program.Program
+	var errs []error
 	add := func(p *program.Program, err error) {
 		if err != nil {
-			fatal(err)
+			errs = append(errs, err)
+			return
 		}
 		progs = append(progs, p)
 	}
@@ -156,10 +234,5 @@ func builtins(key []byte) []*program.Program {
 	}
 	add(program.BuildGOST(gostKey))
 	add(program.BuildRijndaelKeyed())
-	return progs
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cobra-vet:", err)
-	os.Exit(1)
+	return progs, errs
 }

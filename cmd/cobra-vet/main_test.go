@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const (
+	cleanFile = "testdata/rc6_1_clean.casm"
+	dirtyFile = "testdata/falloff_dirty.casm"
+)
+
+// TestExitCodeMatrix pins the exit-status contract across the analyzer
+// flags: 0 only when every requested analysis of every program is clean,
+// 1 on any finding, 2 on usage errors.
+func TestExitCodeMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no args", nil, 2},
+		{"bad key", []string{"-builtin", "-key", "zz"}, 2},
+		{"empty key", []string{"-builtin", "-key", ""}, 2},
+		{"unknown flag", []string{"-nope", cleanFile}, 2},
+		{"missing file", []string{"testdata/no_such.casm"}, 1},
+
+		{"clean", []string{cleanFile}, 0},
+		{"clean dataflow", []string{"-dataflow", cleanFile}, 0},
+		{"clean equiv", []string{"-equiv", cleanFile}, 0},
+		{"clean dataflow equiv", []string{"-dataflow", "-equiv", cleanFile}, 0},
+
+		{"dirty", []string{dirtyFile}, 1},
+		{"dirty dataflow", []string{"-dataflow", dirtyFile}, 1},
+		{"dirty equiv", []string{"-equiv", dirtyFile}, 1},
+		{"dirty dataflow equiv", []string{"-dataflow", "-equiv", dirtyFile}, 1},
+
+		{"dirty then clean", []string{dirtyFile, cleanFile}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if got := run(tc.args, &out, &errb); got != tc.want {
+				t.Errorf("run(%v) = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					tc.args, got, tc.want, out.String(), errb.String())
+			}
+		})
+	}
+}
+
+// TestFullReport pins the full-report contract: a dirty file first in the
+// argument list must not stop the clean file after it from being checked
+// and reported.
+func TestFullReport(t *testing.T) {
+	var out, errb bytes.Buffer
+	if got := run([]string{"-equiv", dirtyFile, cleanFile}, &out, &errb); got != 1 {
+		t.Fatalf("exit = %d, want 1", got)
+	}
+	s := out.String()
+	if !strings.Contains(s, "fall-off-end") {
+		t.Errorf("dirty file's finding missing from output:\n%s", s)
+	}
+	if !strings.Contains(s, cleanFile+" clean") && !strings.Contains(s, "clean") {
+		t.Errorf("clean file not reported after the dirty one:\n%s", s)
+	}
+	if !strings.Contains(s, "proven equivalent") {
+		t.Errorf("clean file's equiv verdict missing:\n%s", s)
+	}
+	// The dirty file has an Error-severity finding, so its fastpath compile
+	// is refused — reported as a skip, not silently dropped.
+	if !strings.Contains(s, "equiv skipped") {
+		t.Errorf("dirty file's equiv skip missing:\n%s", s)
+	}
+}
+
+// TestBuiltinEquivGate runs the CI gate end-to-end: every built-in program
+// is vetted and its compiled fastpath proven equivalent to the microcode
+// (the key-request handshake program is skipped — it has no trace).
+func TestBuiltinEquivGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builtin corpus sweep in -short mode")
+	}
+	var out, errb bytes.Buffer
+	if got := run([]string{"-builtin", "-equiv"}, &out, &errb); got != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", got, out.String(), errb.String())
+	}
+	s := out.String()
+	if n := strings.Count(s, "proven equivalent"); n < 40 {
+		t.Errorf("proved %d programs, want the full corpus (>= 40)\n%s", n, s)
+	}
+	if !strings.Contains(s, "rijndael-keyed-2         equiv skipped") {
+		t.Errorf("key-handshake program not reported as skipped:\n%s", s)
+	}
+	if strings.Contains(s, "NOT proven") {
+		t.Errorf("corpus contains unproven programs:\n%s", s)
+	}
+}

@@ -70,6 +70,15 @@ type Config struct {
 	// default uses the fastpath executor for bulk modes when the program
 	// proves steady-state compilable.
 	Interpreter bool
+	// Validate runs the symbolic translation validator (package equiv) over
+	// every compiled fastpath trace before installing it: a trace not proven
+	// to compute the microcode's exact block stream is refused, and the
+	// device falls back to the interpreter with FastpathErr reporting the
+	// verdict. Off by default — validation costs a few ms to tens of ms per
+	// (re)load, and the compiler is itself covered by the cobra-vet -equiv
+	// corpus gate — but recommended wherever microcode arrives from outside
+	// the build (cobrad tenants, assembled .casm files).
+	Validate bool
 	// Metrics, when non-nil, is the parent obs registry the device's own
 	// registry is attached to — typically obs.Default in a binary that
 	// serves /metrics. Nil keeps the device's registry detached (hermetic:
@@ -116,6 +125,7 @@ type Device struct {
 	fast       *fastpath.Exec
 	fastErr    error
 	interpOnly bool
+	validate   bool
 
 	// Decryption datapath, built lazily on first DecryptECB call (in
 	// hardware terms: a second device, or this one re-loaded between
@@ -170,7 +180,8 @@ func Configure(alg Algorithm, key []byte, cfg Config) (*Device, error) {
 	// engines) are the bulk-encryption source of truth.
 	m.Obs = sim.NewObserver(met.reg)
 	d := &Device{alg: alg, prog: p, machine: m, ref: ref,
-		key: append([]byte(nil), key...), interpOnly: cfg.Interpreter, met: met}
+		key: append([]byte(nil), key...), interpOnly: cfg.Interpreter,
+		validate: cfg.Validate, met: met}
 	if err := d.load(); err != nil {
 		return nil, err
 	}
@@ -195,6 +206,15 @@ func (d *Device) load() error {
 	d.met.resetStats()
 	if !d.interpOnly {
 		d.fast, d.fastErr = d.prog.Compile()
+		if d.fast != nil && d.validate {
+			// The opt-in translation-validation gate: an unproven trace is
+			// never installed. The device still works — every encryption
+			// routes through the interpreter — and FastpathErr carries the
+			// validator's verdict (divergence witness included).
+			if res := d.prog.ValidateExec(d.fast); !res.Proven {
+				d.fast, d.fastErr = nil, res.Err()
+			}
+		}
 		if d.fast != nil {
 			d.met.noteCompile(true, d.fast.Elided())
 		} else {
@@ -297,7 +317,7 @@ func (d *Device) Reconfigure(alg Algorithm, key []byte, cfg Config) error {
 		// configuration's (nd already compiled it — no second recording).
 		d.alg, d.prog, d.ref, d.key = nd.alg, nd.prog, nd.ref, nd.key
 		d.decProg, d.decMachine = nil, nil
-		d.interpOnly = nd.interpOnly
+		d.interpOnly, d.validate = nd.interpOnly, nd.validate
 		if err := program.Load(d.machine, d.prog); err != nil {
 			return err
 		}

@@ -1,0 +1,201 @@
+package equiv
+
+import (
+	"testing"
+
+	"cobra/internal/bits"
+)
+
+// TestCanonicalLaws pins the arena's rewrite laws two ways, independent of
+// any program: both sides of each law must intern to the SAME node (the
+// canonicalization the validator's xid comparisons rely on), and the built
+// expression must evaluate to the law's concrete model on random inputs
+// (so no rewrite is a canonicalization that changes the function).
+func TestCanonicalLaws(t *testing.T) {
+	type law struct {
+		name     string
+		lhs, rhs func(a *Arena, x, y, z xid) xid
+		model    func(x, y, z uint32) uint32 // nil: law has no single model
+	}
+	laws := []law{
+		{"xor commutative",
+			func(a *Arena, x, y, z xid) xid { return a.Xor(x, y) },
+			func(a *Arena, x, y, z xid) xid { return a.Xor(y, x) },
+			func(x, y, z uint32) uint32 { return x ^ y }},
+		{"xor associative",
+			func(a *Arena, x, y, z xid) xid { return a.Xor(a.Xor(x, y), z) },
+			func(a *Arena, x, y, z xid) xid { return a.Xor(x, a.Xor(y, z)) },
+			func(x, y, z uint32) uint32 { return x ^ y ^ z }},
+		{"double-xor cancels",
+			func(a *Arena, x, y, z xid) xid { return a.Xor(a.Xor(x, y), y) },
+			func(a *Arena, x, y, z xid) xid { return x },
+			func(x, y, z uint32) uint32 { return x }},
+		{"self-xor is zero",
+			func(a *Arena, x, y, z xid) xid { return a.Xor(x, x) },
+			func(a *Arena, x, y, z xid) xid { return a.Const(0) },
+			func(x, y, z uint32) uint32 { return 0 }},
+		{"xor constant folding",
+			func(a *Arena, x, y, z xid) xid { return a.Xor(a.Xor(x, a.Const(0x5a5a)), a.Const(0xa5a5)) },
+			func(a *Arena, x, y, z xid) xid { return a.Xor(x, a.Const(0xffff)) },
+			func(x, y, z uint32) uint32 { return x ^ 0xffff }},
+		{"and commutative",
+			func(a *Arena, x, y, z xid) xid { return a.And(x, y) },
+			func(a *Arena, x, y, z xid) xid { return a.And(y, x) },
+			func(x, y, z uint32) uint32 { return x & y }},
+		{"and idempotent",
+			func(a *Arena, x, y, z xid) xid { return a.And(x, x) },
+			func(a *Arena, x, y, z xid) xid { return x },
+			func(x, y, z uint32) uint32 { return x }},
+		{"and zero annihilates",
+			func(a *Arena, x, y, z xid) xid { return a.And(x, a.Const(0)) },
+			func(a *Arena, x, y, z xid) xid { return a.Const(0) },
+			func(x, y, z uint32) uint32 { return 0 }},
+		{"or commutative",
+			func(a *Arena, x, y, z xid) xid { return a.Or(x, y) },
+			func(a *Arena, x, y, z xid) xid { return a.Or(y, x) },
+			func(x, y, z uint32) uint32 { return x | y }},
+		{"or idempotent",
+			func(a *Arena, x, y, z xid) xid { return a.Or(x, x) },
+			func(a *Arena, x, y, z xid) xid { return x },
+			func(x, y, z uint32) uint32 { return x }},
+		{"add commutative w32",
+			func(a *Arena, x, y, z xid) xid { return a.Add(x, y, bits.W32) },
+			func(a *Arena, x, y, z xid) xid { return a.Add(y, x, bits.W32) },
+			func(x, y, z uint32) uint32 { return x + y }},
+		{"add associative w16",
+			func(a *Arena, x, y, z xid) xid { return a.Add(a.Add(x, y, bits.W16), z, bits.W16) },
+			func(a *Arena, x, y, z xid) xid { return a.Add(x, a.Add(y, z, bits.W16), bits.W16) },
+			func(x, y, z uint32) uint32 { return bits.AddMod(bits.AddMod(x, y, bits.W16), z, bits.W16) }},
+		{"mul commutative",
+			func(a *Arena, x, y, z xid) xid { return a.Mul(x, y, bits.W32) },
+			func(a *Arena, x, y, z xid) xid { return a.Mul(y, x, bits.W32) },
+			func(x, y, z uint32) uint32 { return x * y }},
+		{"mul identity",
+			func(a *Arena, x, y, z xid) xid { return a.Mul(x, a.Const(1), bits.W32) },
+			func(a *Arena, x, y, z xid) xid { return x },
+			func(x, y, z uint32) uint32 { return x }},
+		{"sub of constant is negated add",
+			func(a *Arena, x, y, z xid) xid { return a.Sub(x, a.Const(7), bits.W32) },
+			func(a *Arena, x, y, z xid) xid { return a.Add(x, a.Const(^uint32(7)+1), bits.W32) },
+			func(x, y, z uint32) uint32 { return x - 7 }},
+		{"sub self is zero",
+			func(a *Arena, x, y, z xid) xid { return a.Sub(x, x, bits.W16) },
+			func(a *Arena, x, y, z xid) xid { return a.Const(0) },
+			func(x, y, z uint32) uint32 { return 0 }},
+		{"rotate composition",
+			func(a *Arena, x, y, z xid) xid { return a.Rotl(a.Rotl(x, 13), 25) },
+			func(a *Arena, x, y, z xid) xid { return a.Rotl(x, (13+25)%32) },
+			func(x, y, z uint32) uint32 { return bits.RotL(x, 6) }},
+		{"full rotation is identity",
+			func(a *Arena, x, y, z xid) xid { return a.Rotl(a.Rotl(x, 20), 12) },
+			func(a *Arena, x, y, z xid) xid { return x },
+			func(x, y, z uint32) uint32 { return x }},
+		{"zero rotation is identity",
+			func(a *Arena, x, y, z xid) xid { return a.Rotl(x, 0) },
+			func(a *Arena, x, y, z xid) xid { return x },
+			func(x, y, z uint32) uint32 { return x }},
+		{"shift composition",
+			func(a *Arena, x, y, z xid) xid { return a.Shl(a.Shl(x, 3), 4) },
+			func(a *Arena, x, y, z xid) xid { return a.Shl(x, 7) },
+			func(x, y, z uint32) uint32 { return x << 7 }},
+		{"shift saturates at 32",
+			func(a *Arena, x, y, z xid) xid { return a.Shl(a.Shl(x, 20), 12) },
+			func(a *Arena, x, y, z xid) xid { return a.Const(0) },
+			func(x, y, z uint32) uint32 { return 0 }},
+		{"shr composition",
+			func(a *Arena, x, y, z xid) xid { return a.Shr(a.Shr(x, 5), 6) },
+			func(a *Arena, x, y, z xid) xid { return a.Shr(x, 11) },
+			func(x, y, z uint32) uint32 { return x >> 11 }},
+		{"constant variable rotate reduces to immediate",
+			func(a *Arena, x, y, z xid) xid { return a.RotlVar(x, a.Const(40), false) },
+			func(a *Arena, x, y, z xid) xid { return a.Rotl(x, 8) },
+			func(x, y, z uint32) uint32 { return bits.RotL(x, 8) }},
+		{"negated constant variable rotate",
+			func(a *Arena, x, y, z xid) xid { return a.RotlVar(x, a.Const(5), true) },
+			func(a *Arena, x, y, z xid) xid { return a.Rotl(x, 27) },
+			func(x, y, z uint32) uint32 { return bits.RotL(x, 27) }},
+		{"pack of own bytes is identity",
+			func(a *Arena, x, y, z xid) xid {
+				return a.Pack4([4]xid{a.Byte(x, 0), a.Byte(x, 1), a.Byte(x, 2), a.Byte(x, 3)})
+			},
+			func(a *Arena, x, y, z xid) xid { return x },
+			func(x, y, z uint32) uint32 { return x }},
+		{"byte of pack extracts",
+			func(a *Arena, x, y, z xid) xid {
+				return a.Byte(a.Pack4([4]xid{a.Byte(y, 0), a.Byte(x, 1), a.Byte(y, 2), a.Byte(y, 3)}), 1)
+			},
+			func(a *Arena, x, y, z xid) xid { return a.Byte(x, 1) },
+			func(x, y, z uint32) uint32 { return (x >> 8) & 0xff }},
+		{"degenerate MDS column is lane mode",
+			func(a *Arena, x, y, z xid) xid { return a.GF(x, gfMDS, [4]uint8{3, 0, 0, 0}) },
+			func(a *Arena, x, y, z xid) xid { return a.GF(x, gfLanes, [4]uint8{3, 3, 3, 3}) },
+			func(x, y, z uint32) uint32 { return evalGF(gfLanes, [4]uint8{3, 3, 3, 3}, x) }},
+		{"all-ones lane GF is identity",
+			func(a *Arena, x, y, z xid) xid { return a.GF(x, gfLanes, [4]uint8{1, 1, 1, 1}) },
+			func(a *Arena, x, y, z xid) xid { return x },
+			func(x, y, z uint32) uint32 { return x }},
+	}
+
+	for _, l := range laws {
+		t.Run(l.name, func(t *testing.T) {
+			a := NewArena()
+			x, y, z := a.Input(0, 0), a.Input(0, 1), a.Input(0, 2)
+			le, re := l.lhs(a, x, y, z), l.rhs(a, x, y, z)
+			if le != re {
+				t.Fatalf("sides intern to different nodes:\n  lhs: %s\n  rhs: %s", a.String(le), a.String(re))
+			}
+			if l.model == nil {
+				return
+			}
+			ev := newEvaluator(a)
+			for _, env := range witnessCandidates(1) {
+				ev.reset(env)
+				if got, want := ev.eval(le), l.model(env[0][0], env[0][1], env[0][2]); got != want {
+					t.Fatalf("env %v: built expression evaluates to %#08x, model says %#08x\n  expr: %s",
+						env, got, want, a.String(le))
+				}
+			}
+		})
+	}
+}
+
+// TestHashConsing pins the arena's core invariant: structurally equal
+// expressions, built along different construction orders, are the same
+// node — equal xids are what the validator's output comparisons mean.
+func TestHashConsing(t *testing.T) {
+	a := NewArena()
+	x, y := a.Input(0, 0), a.Input(0, 1)
+	e1 := a.Add(a.Rotl(a.Xor(x, y), 3), a.Const(0x9e3779b9), bits.W32)
+	e2 := a.Add(a.Const(0x9e3779b9), a.Rotl(a.Xor(y, x), 3), bits.W32)
+	if e1 != e2 {
+		t.Fatalf("same expression interned twice: %s vs %s", a.String(e1), a.String(e2))
+	}
+	if a.Input(0, 0) != x || a.Const(0x9e3779b9) == a.Const(0x9e3779b8) {
+		t.Fatal("atom interning broken")
+	}
+}
+
+// TestSubstRebuilds pins subst: replacing variables with concrete
+// expressions must renormalize through the public constructors, so a
+// variable-kept identity collapses once the variable is substituted.
+func TestSubstRebuilds(t *testing.T) {
+	a := NewArena()
+	x := a.Input(0, 0)
+	v := a.Var(0)
+	// (x ^ v) stays symbolic while v is opaque...
+	e := a.Xor(x, v)
+	if cv, ok := a.isConst(e); ok {
+		t.Fatalf("x^v folded prematurely to %#x", cv)
+	}
+	// ...and cancels to a constant once v turns out to be x itself.
+	got := a.subst(e, map[uint32]xid{0: x}, make(map[xid]xid))
+	if got != a.Const(0) {
+		t.Fatalf("subst(x^v, v:=x) = %s, want 0", a.String(got))
+	}
+	// A rotate chain rebuilt through the constructor recomposes.
+	e2 := a.Rotl(v, 10)
+	got2 := a.subst(e2, map[uint32]xid{0: a.Rotl(x, 22)}, make(map[xid]xid))
+	if got2 != x {
+		t.Fatalf("subst((v<<<10), v:=x<<<22) = %s, want x", a.String(got2))
+	}
+}

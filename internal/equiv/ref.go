@@ -1,0 +1,524 @@
+package equiv
+
+import (
+	"fmt"
+	"strings"
+
+	"cobra/internal/bits"
+	"cobra/internal/datapath"
+	"cobra/internal/isa"
+	"cobra/internal/rce"
+	"cobra/internal/sim"
+)
+
+// refMaxSteps bounds the reference walk's instruction fetches, mirroring
+// package dataflow's budget: a bulk phase that has not produced its next
+// output within this many fetches is refused rather than hung on.
+const refMaxSteps = 1 << 22
+
+// refWalker symbolically executes the microcode's bulk-encryption phase:
+// the reference side of the translation validation. The setup phase (load
+// to the ready idle point) runs concretely on a real cycle-accurate machine
+// — every value is a compile-time constant there, exactly as the fastpath
+// recorder sees it — and the walker takes over at the idle point, mirroring
+// sim.Machine.Run instruction by instruction with the machine's own array
+// as the configuration shadow (applied, never Ticked) and expression IDs in
+// place of the 32-bit data words.
+type refWalker struct {
+	a *Arena
+	m *sim.Machine
+
+	window int
+	pc     int
+	slot   int
+	flags  uint16
+	steps  int
+
+	inCount int
+	reg     [][datapath.Cols]xid
+	fb      [datapath.Cols]xid
+
+	// Interned LUT table ids per cell, resolved lazily; LUT loads during
+	// bulk are refused, so one interning per cell is valid for the walk.
+	s8ids map[int]uint32
+	s4ids map[int]uint32
+}
+
+// newRefWalker loads the program on a scratch machine, runs setup
+// concretely to the ready idle point, and initializes the symbolic state
+// from the machine's concrete registers and feedback.
+func newRefWalker(a *Arena, words []isa.Word, geo datapath.Geometry, window int) (*refWalker, error) {
+	m, err := sim.New(geo, window)
+	if err != nil {
+		return nil, err
+	}
+	m.Go = false
+	if err := m.LoadProgram(words); err != nil {
+		return nil, err
+	}
+	reason, err := m.Run(sim.Limits{})
+	if err != nil {
+		return nil, err
+	}
+	if reason != sim.StopWaitGo {
+		return nil, fmt.Errorf("equiv: setup stopped with %v, want idle at ready", reason)
+	}
+	w := &refWalker{
+		a:      a,
+		m:      m,
+		window: window,
+		pc:     m.Seq.PC(),
+		flags:  m.Seq.Flags(),
+		reg:    make([][datapath.Cols]xid, geo.Rows),
+		s8ids:  make(map[int]uint32),
+		s4ids:  make(map[int]uint32),
+	}
+	for r := 0; r < geo.Rows; r++ {
+		for c := 0; c < datapath.Cols; c++ {
+			w.reg[r][c] = a.Const(m.Array.RegValue(r, c))
+		}
+	}
+	for c := 0; c < datapath.Cols; c++ {
+		w.fb[c] = a.Const(m.Array.Feedback()[c])
+	}
+	return w, nil
+}
+
+// idleReg returns the concrete idle-point register value (the cross-check
+// against the trace's recorded initial state).
+func (w *refWalker) idleReg(r, c int) uint32 { return w.m.Array.RegValue(r, c) }
+func (w *refWalker) idleFB() bits.Block128   { return w.m.Array.Feedback() }
+
+// nextOutput advances the symbolic walk to the next collected output block
+// and returns its four column expressions. It mirrors sim.Machine.Run's
+// fetch/slot/tick loop; instructions the compiled trace cannot replay
+// (eRAM writes, LUT loads, capture enables, halts) are refused — exactly
+// the set the fastpath recorder's hazard watcher refuses, so a refusal here
+// means Compile would have failed too.
+func (w *refWalker) nextOutput() ([datapath.Cols]xid, error) {
+	var zero [datapath.Cols]xid
+	for {
+		if w.steps >= refMaxSteps {
+			return zero, fmt.Errorf("equiv: reference walk exceeded %d instruction fetches", refMaxSteps)
+		}
+		w.steps++
+		if w.pc < 0 || w.pc >= w.m.Seq.Len() {
+			return zero, fmt.Errorf("equiv: control falls off the program (pc=%#x)", w.pc)
+		}
+		addr := w.pc
+		in, err := w.m.Seq.Instr(addr)
+		if err != nil {
+			return zero, err
+		}
+		w.pc++
+		ready, err := w.execute(addr, in)
+		if err != nil {
+			return zero, err
+		}
+		if ready {
+			// Idle point: the window resynchronizes (sim.Machine resyncs its
+			// slot counter; input availability is the executor's to grant and
+			// is always granted during bulk).
+			w.slot = 0
+			continue
+		}
+		w.slot++
+		if w.slot < w.window {
+			continue
+		}
+		w.slot = 0
+		out, emitted, err := w.tick()
+		if err != nil {
+			return zero, err
+		}
+		if emitted {
+			return out, nil
+		}
+	}
+}
+
+// execute mirrors sim.Machine.execute over the shadow array. Opcodes that
+// mutate state the trace resolved to constants are refused.
+func (w *refWalker) execute(addr int, in isa.Instr) (ready bool, err error) {
+	arr := w.m.Array
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpCfgElem:
+		if err := arr.ApplyElem(in.Slice, in.Elem, in.Data); err != nil {
+			return false, fmt.Errorf("equiv: %#x: %v", addr, err)
+		}
+	case isa.OpEnOut, isa.OpDisOut:
+		if err := arr.SetOutEnable(in.Slice, in.Op == isa.OpEnOut); err != nil {
+			return false, fmt.Errorf("equiv: %#x: %v", addr, err)
+		}
+	case isa.OpLoadLUT:
+		return false, fmt.Errorf("equiv: LUT load at %#x during bulk encryption", addr)
+	case isa.OpCfgShuf:
+		idx := int(in.Slice.Row)
+		if idx < 0 || idx >= arr.Geometry().Shufflers() {
+			return false, fmt.Errorf("equiv: %#x: shuffler %d out of range", addr, idx)
+		}
+		if err := arr.SetShuffler(idx, isa.DecodeShuf(in.Data)); err != nil {
+			return false, fmt.Errorf("equiv: %#x: %v", addr, err)
+		}
+	case isa.OpCfgInMux:
+		arr.SetInMux(isa.DecodeInMux(in.Data))
+	case isa.OpCfgWhite:
+		arr.SetWhitening(isa.DecodeWhite(in.Data))
+	case isa.OpERAMWrite:
+		return false, fmt.Errorf("equiv: eRAM write at %#x during bulk encryption", addr)
+	case isa.OpCfgCapture:
+		cfg := isa.DecodeCapture(in.Data)
+		if cfg.Enabled {
+			return false, fmt.Errorf("equiv: capture port enabled at %#x during bulk encryption", addr)
+		}
+		arr.SetCapture(int(in.Slice.Col&3), cfg)
+	case isa.OpCtlFlag:
+		cfg := isa.DecodeFlag(in.Data)
+		w.flags = (w.flags &^ cfg.Clear) | cfg.Set
+		if cfg.Set&isa.FlagReady != 0 {
+			return true, nil
+		}
+	case isa.OpJmp:
+		target := int(in.Data & 0xfff)
+		if target >= w.m.Seq.Len() {
+			return false, fmt.Errorf("equiv: %#x: jump target %#x outside the program", addr, target)
+		}
+		w.pc = target
+	case isa.OpHalt:
+		return false, fmt.Errorf("equiv: program halts at %#x before the walk closed", addr)
+	default:
+		return false, fmt.Errorf("equiv: %#x: unimplemented opcode %v", addr, in.Op)
+	}
+	return false, nil
+}
+
+// tick mirrors datapath.Array.Tick symbolically: the same phase order,
+// shuffler and bypass-bus semantics, register present/latch split, with
+// every 32-bit word replaced by an arena expression.
+func (w *refWalker) tick() (out [datapath.Cols]xid, emitted bool, err error) {
+	a, arr := w.a, w.m.Array
+	if !arr.Enabled() {
+		return out, false, nil // stall: no state moves
+	}
+	im := arr.InMux()
+	var vec [datapath.Cols]xid
+	switch im.Mode {
+	case isa.InExternal:
+		for c := 0; c < datapath.Cols; c++ {
+			vec[c] = a.Input(w.inCount, c)
+		}
+		w.inCount++
+	case isa.InFeedback:
+		vec = w.fb
+	case isa.InERAM:
+		// eRAM contents are frozen during bulk (writes and captures are
+		// refused), so playback reads are the setup-time constants.
+		for c := 0; c < datapath.Cols; c++ {
+			vec[c] = a.Const(arr.ReadERAM(c, int(im.Bank), int(arr.PlaybackAddr())))
+		}
+	}
+	for c := 0; c < datapath.Cols; c++ {
+		vec[c] = whiteExpr(a, vec[c], arr.Whitening(c), true)
+	}
+
+	type pend struct {
+		r, c int
+		v    xid
+	}
+	var latches []pend
+	prev := vec
+	rows := arr.Geometry().Rows
+	for r := 0; r < rows; r++ {
+		if r%2 == 1 {
+			perm := arr.Shuffler(r / 2)
+			vec = symShuffle(a, vec, &perm)
+		}
+		rowIn := vec
+		var next [datapath.Cols]xid
+		for c := 0; c < datapath.Cols; c++ {
+			el := arr.RCE(r, c)
+			if el.Cfg.Reg.Enabled && arr.Held(r, c) {
+				// Frozen register: presents its stored value, latches nothing.
+				next[c] = w.reg[r][c]
+				continue
+			}
+			v := w.evalCell(r, c, el, vec, prev)
+			if el.Cfg.Reg.Enabled {
+				next[c] = w.reg[r][c]
+				latches = append(latches, pend{r, c, v})
+			} else {
+				next[c] = v
+			}
+		}
+		vec = next
+		prev = rowIn
+	}
+
+	for c := 0; c < datapath.Cols; c++ {
+		vec[c] = whiteExpr(a, vec[c], arr.Whitening(c), false)
+	}
+
+	// Commit.
+	for _, p := range latches {
+		w.reg[p.r][p.c] = p.v
+	}
+	for c := 0; c < datapath.Cols; c++ {
+		if arr.Capture(c).Enabled {
+			// Unreachable given the execute() refusal, but a capture armed
+			// before bulk began would silently corrupt the frozen-eRAM model.
+			return out, false, fmt.Errorf("equiv: capture port active at an advancing cycle")
+		}
+	}
+	if im.Mode == isa.InERAM {
+		arr.SetInMux(isa.InMuxCfg{Mode: isa.InERAM, Bank: im.Bank, Addr: arr.PlaybackAddr() + 1})
+	}
+	w.fb = vec
+
+	if w.flags&isa.FlagDValid != 0 {
+		return vec, true, nil
+	}
+	return out, false, nil
+}
+
+// evalCell mirrors rce.Eval symbolically: INSEL selection, then every
+// element of the fixed chain in order, each building its arena expression.
+func (w *refWalker) evalCell(r, c int, el *rce.RCE, vec, prev [datapath.Cols]xid) xid {
+	a := w.a
+	cfg := &el.Cfg
+
+	// sel resolves an operand source, mirroring rce.Inputs.Select: the eRAM
+	// read port is a frozen setup-time constant, undefined sources are zero.
+	sel := func(src isa.Src, imm uint32) xid {
+		switch src {
+		case isa.SrcINB:
+			return vec[secondaryBlock(c, 0)]
+		case isa.SrcINC:
+			return vec[secondaryBlock(c, 1)]
+		case isa.SrcIND:
+			return vec[secondaryBlock(c, 2)]
+		case isa.SrcINER:
+			return a.Const(w.m.Array.ReadERAM(c, int(cfg.ER.Bank), int(cfg.ER.Addr)))
+		case isa.SrcImm:
+			return a.Const(imm)
+		case isa.SrcINA:
+			return vec[c]
+		}
+		return a.Const(0)
+	}
+	evalE := func(e isa.ECfg, x xid) xid {
+		if e.Mode == isa.EBypass {
+			return x
+		}
+		if e.AmtSrc == isa.SrcImm {
+			amt := uint(e.Amt)
+			if e.Neg {
+				amt = (32 - amt) & 31
+			}
+			switch e.Mode {
+			case isa.EShl:
+				return a.Shl(x, amt)
+			case isa.EShr:
+				return a.Shr(x, amt)
+			default:
+				return a.Rotl(x, amt)
+			}
+		}
+		amtX := sel(e.AmtSrc, 0)
+		switch e.Mode {
+		case isa.EShl:
+			return a.ShlVar(x, amtX, e.Neg)
+		case isa.EShr:
+			return a.ShrVar(x, amtX, e.Neg)
+		default:
+			return a.RotlVar(x, amtX, e.Neg)
+		}
+	}
+	evalA := func(ac isa.ACfg, x xid) xid {
+		if ac.Op == isa.ABypass {
+			return x
+		}
+		op := sel(ac.Operand, ac.Imm)
+		if ac.PreShift != 0 {
+			if ac.PreShiftRot {
+				op = a.Rotl(op, uint(ac.PreShift))
+			} else {
+				op = a.Shl(op, uint(ac.PreShift))
+			}
+		}
+		switch ac.Op {
+		case isa.AXor:
+			return a.Xor(x, op)
+		case isa.AAnd:
+			return a.And(x, op)
+		default:
+			return a.Or(x, op)
+		}
+	}
+
+	var x xid
+	switch src := cfg.Insel.Source & 7; src {
+	case 1:
+		x = vec[secondaryBlock(c, 0)]
+	case 2:
+		x = vec[secondaryBlock(c, 1)]
+	case 3:
+		x = vec[secondaryBlock(c, 2)]
+	case 4, 5, 6, 7:
+		x = prev[src-4]
+	default:
+		x = vec[c]
+	}
+	x = evalE(cfg.E1, x)
+	x = evalA(cfg.A1, x)
+	switch cfg.C.Mode {
+	case isa.CS8x8:
+		x = a.S8(x, w.s8id(r, c, el))
+	case isa.CS4x4:
+		x = a.S4(x, w.s4id(r, c, el), uint32(cfg.C.Page))
+	case isa.CS8to32:
+		x = a.S8to32(x, w.s8id(r, c, el), uint32(cfg.C.ByteSel))
+	}
+	x = evalE(cfg.E2, x)
+	if el.HasMul {
+		switch cfg.D.Mode {
+		case isa.DMul16:
+			x = a.Mul(x, sel(cfg.D.Operand, cfg.D.Imm), bits.W16)
+		case isa.DMul32:
+			x = a.Mul(x, sel(cfg.D.Operand, cfg.D.Imm), bits.W32)
+		case isa.DSquare:
+			x = a.Square(x)
+		}
+	}
+	if cfg.B.Mode != isa.BBypass {
+		op := sel(cfg.B.Operand, cfg.B.Imm)
+		if cfg.B.Mode == isa.BAdd {
+			x = a.Add(x, op, bits.Width(cfg.B.Width))
+		} else {
+			x = a.Sub(x, op, bits.Width(cfg.B.Width))
+		}
+	}
+	switch cfg.F.Mode {
+	case isa.FLanes:
+		x = a.GF(x, gfLanes, cfg.F.Consts)
+	case isa.FMDS:
+		x = a.GF(x, gfMDS, cfg.F.Consts)
+	}
+	x = evalA(cfg.A2, x)
+	x = evalE(cfg.E3, x)
+	return x
+}
+
+func (w *refWalker) s8id(r, c int, el *rce.RCE) uint32 {
+	key := r*datapath.Cols + c
+	if id, ok := w.s8ids[key]; ok {
+		return id
+	}
+	id := w.a.InternS8(&el.LUT.S8)
+	w.s8ids[key] = id
+	return id
+}
+
+func (w *refWalker) s4id(r, c int, el *rce.RCE) uint32 {
+	key := r*datapath.Cols + c
+	if id, ok := w.s4ids[key]; ok {
+		return id
+	}
+	id := w.a.InternS4(&el.LUT.S4)
+	w.s4ids[key] = id
+	return id
+}
+
+// ctlKey renders the walker's complete control and configuration state —
+// pc, flags, output enables, input mux, playback address, every cell's
+// decoded configuration and hold bit, shufflers, and whitening. Together
+// with the frozen eRAM/LUT contents and the immutable instruction stream
+// (neither of which can change during bulk — the walk refuses the writes),
+// this determines every future control decision and every future operation
+// applied to the carried data. Data expressions are deliberately absent:
+// control in this machine is data-independent, and the inductive step
+// quantifies over the carried data separately.
+func (w *refWalker) ctlKey() string {
+	arr := w.m.Array
+	var sb strings.Builder
+	im := arr.InMux()
+	fmt.Fprintf(&sb, "pc=%d f=%04x en=%t im=%d.%d.%d pa=%d|",
+		w.pc, w.flags, arr.Enabled(), im.Mode, im.Bank, im.Addr, arr.PlaybackAddr())
+	rows := arr.Geometry().Rows
+	for r := 0; r < rows; r++ {
+		for c := 0; c < datapath.Cols; c++ {
+			// rce.Config is a plain comparable struct of decoded fields; its
+			// %v rendering is an exact representation.
+			fmt.Fprintf(&sb, "%v/%t;", arr.RCE(r, c).Cfg, arr.Held(r, c))
+		}
+	}
+	for i := 0; i < arr.Geometry().Shufflers(); i++ {
+		fmt.Fprintf(&sb, "s%v;", arr.Shuffler(i))
+	}
+	for c := 0; c < datapath.Cols; c++ {
+		fmt.Fprintf(&sb, "w%v;", arr.Whitening(c))
+	}
+	return sb.String()
+}
+
+// carried returns the walker's carried-data expressions: register cells in
+// row-major order, then the feedback words.
+func (w *refWalker) carried() []xid {
+	ids := make([]xid, 0, len(w.reg)*datapath.Cols+datapath.Cols)
+	for r := range w.reg {
+		ids = append(ids, w.reg[r][:]...)
+	}
+	return append(ids, w.fb[:]...)
+}
+
+// setCarried overwrites the carried data (the inductive step's
+// generalization point). Layout matches carried().
+func (w *refWalker) setCarried(ids []xid) {
+	for r := range w.reg {
+		copy(w.reg[r][:], ids[r*datapath.Cols:])
+	}
+	copy(w.fb[:], ids[len(w.reg)*datapath.Cols:])
+}
+
+// whiteExpr applies one column's whitening register symbolically when the
+// stage matches (datapath.whiteState.apply; WhiteAdd is a full 32-bit add).
+func whiteExpr(a *Arena, x xid, cfg isa.WhiteCfg, atInput bool) xid {
+	if cfg.In != atInput {
+		return x
+	}
+	switch cfg.Mode {
+	case isa.WhiteXor:
+		return a.Xor(x, a.Const(cfg.Key))
+	case isa.WhiteAdd:
+		return a.Add(x, a.Const(cfg.Key), bits.W32)
+	default:
+		return x
+	}
+}
+
+// symShuffle permutes the sixteen stream bytes symbolically: destination
+// word c packs the four extracted source bytes (perm[dst] = src index).
+// An identity permutation normalizes back to the unshuffled words, which is
+// how the fastpath's compiled-out identity shufflers stay equivalent.
+func symShuffle(a *Arena, v [datapath.Cols]xid, perm *[16]uint8) [datapath.Cols]xid {
+	var out [datapath.Cols]xid
+	for c := 0; c < datapath.Cols; c++ {
+		var b [4]xid
+		for i := 0; i < 4; i++ {
+			src := perm[c*4+i]
+			b[i] = a.Byte(v[src>>2], int(src&3))
+		}
+		out[c] = a.Pack4(b)
+	}
+	return out
+}
+
+// secondaryBlock mirrors datapath's fixed interconnect: the block index of
+// column c's k-th secondary input (k = 0 → INB, 1 → INC, 2 → IND).
+func secondaryBlock(c, k int) int {
+	b := k
+	if b >= c {
+		b++
+	}
+	return b
+}

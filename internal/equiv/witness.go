@@ -1,0 +1,106 @@
+package equiv
+
+import "cobra/internal/bits"
+
+// Witness is a concrete input assignment on which the two sides compute
+// different values for one output word: the ground-truth certificate that a
+// symbolic mismatch is a real functional divergence, not a normalization
+// gap. Inputs[k] is the k-th block consumed from the input stream.
+type Witness struct {
+	Inputs []bits.Block128
+	RefVal uint32
+	FPVal  uint32
+}
+
+// findWitness searches for a diverging input assignment for two expressions
+// over nInputs stream blocks, then greedily minimizes it (zeroing whole
+// blocks, then single words, while divergence persists). Returns nil if no
+// candidate diverges — in which case the caller must refuse to certify the
+// mismatch rather than report it, since the divergence may be a
+// normalization gap rather than a real one.
+func findWitness(a *Arena, ref, fp xid, nInputs int) *Witness {
+	if nInputs <= 0 {
+		nInputs = 1
+	}
+	ev := newEvaluator(a)
+	diverges := func(env []bits.Block128) (uint32, uint32, bool) {
+		ev.reset(env)
+		rv := ev.eval(ref)
+		fv := ev.eval(fp)
+		return rv, fv, rv != fv
+	}
+
+	var found []bits.Block128
+	for _, env := range witnessCandidates(nInputs) {
+		if _, _, ok := diverges(env); ok {
+			found = env
+			break
+		}
+	}
+	if found == nil {
+		return nil
+	}
+
+	// Greedy minimization: most mismatches depend on a handful of words.
+	zero := bits.Block128{}
+	for b := range found {
+		if found[b] == zero {
+			continue
+		}
+		save := found[b]
+		found[b] = zero
+		if _, _, ok := diverges(found); !ok {
+			found[b] = save
+		}
+	}
+	for b := range found {
+		for c := 0; c < 4; c++ {
+			if found[b][c] == 0 {
+				continue
+			}
+			save := found[b][c]
+			found[b][c] = 0
+			if _, _, ok := diverges(found); !ok {
+				found[b][c] = save
+			}
+		}
+	}
+	rv, fv, _ := diverges(found)
+	return &Witness{Inputs: found, RefVal: rv, FPVal: fv}
+}
+
+// witnessCandidates enumerates the deterministic trial battery: the all-zero
+// stream, the recorder's own pseudorandom stream, every constant byte fill,
+// and a spread of further pseudorandom streams.
+func witnessCandidates(nInputs int) [][]bits.Block128 {
+	out := make([][]bits.Block128, 0, 1+1+256+512)
+	out = append(out, make([]bits.Block128, nInputs))
+	out = append(out, xorshiftStream(0x9e3779b9, nInputs))
+	for v := 0; v < 256; v++ {
+		w := uint32(v) * 0x01010101
+		env := make([]bits.Block128, nInputs)
+		for b := range env {
+			env[b] = bits.Block128{w, w, w, w}
+		}
+		out = append(out, env)
+	}
+	for i := 0; i < 512; i++ {
+		out = append(out, xorshiftStream(0x2545f491+uint32(i)*0x9e3779b9, nInputs))
+	}
+	return out
+}
+
+// xorshiftStream generates nInputs blocks with the same xorshift32 the
+// fastpath recorder uses for its probe stream.
+func xorshiftStream(seed uint32, nInputs int) []bits.Block128 {
+	env := make([]bits.Block128, nInputs)
+	for b := range env {
+		for c := 0; c < 4; c++ {
+			seed ^= seed << 13
+			seed ^= seed >> 17
+			seed ^= seed << 5
+			env[b][c] = seed
+		}
+	}
+	return env
+}

@@ -16,6 +16,8 @@ import (
 // Stall cycles only move counters; enabled cycles move one 128-bit vector
 // down the array exactly as datapath.Tick would, but with every
 // configuration decision pre-resolved.
+//
+//cobra:hotpath
 func (e *Exec) runSeg(ticks []cTick, start int, in []bits.Block128, inPos *int, dst []bits.Block128, want int, outPos *int, acc *sim.Stats) int {
 	for t := start; t < len(ticks); t++ {
 		ct := &ticks[t]
@@ -96,6 +98,8 @@ func (e *Exec) runSeg(ticks []cTick, start int, in []bits.Block128, inPos *int, 
 }
 
 // evalSteps runs one RCE's compiled element chain.
+//
+//cobra:hotpath
 func evalSteps(steps []step, x uint32, vec *bits.Block128) uint32 {
 	for i := range steps {
 		st := &steps[i]
@@ -167,6 +171,8 @@ func evalSteps(steps []step, x uint32, vec *bits.Block128) uint32 {
 
 // varAmt extracts a data-dependent shift amount: the low five bits of the
 // selected block, negated mod 32 when the E element's Neg stage is active.
+//
+//cobra:hotpath
 func varAmt(v uint32, neg bool) uint {
 	amt := uint(v & 31)
 	if neg {
@@ -176,6 +182,8 @@ func varAmt(v uint32, neg bool) uint {
 }
 
 // preShift applies an A element's fixed operand pre-shift.
+//
+//cobra:hotpath
 func preShift(v uint32, amt uint8, rot bool) uint32 {
 	if amt == 0 {
 		return v
@@ -188,6 +196,8 @@ func preShift(v uint32, amt uint8, rot bool) uint32 {
 
 // shuffleBytes permutes the 16 bytes of the stream through a compiled
 // shuffler permutation (perm[dst] = src byte index).
+//
+//cobra:hotpath
 func shuffleBytes(v bits.Block128, perm *[16]uint8) bits.Block128 {
 	var out bits.Block128
 	for dst := 0; dst < 16; dst++ {

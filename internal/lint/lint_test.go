@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// check runs the suite over one in-memory fixture and returns the findings.
+func check(t *testing.T, src string) []Finding {
+	t.Helper()
+	fs, err := CheckSource("fixture.go", []byte(src))
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	return fs
+}
+
+// codes extracts the analyzer names of a finding list.
+func codes(fs []Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Code
+	}
+	return out
+}
+
+func TestDeprecatedAnalyzer(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{"direct call", `package x
+import "cobra/internal/program"
+func f() { program.Encrypt(nil, nil, nil) }
+`, 1},
+		{"renamed import", `package x
+import prog "cobra/internal/program"
+func f() { prog.EncryptFastInto(nil, nil, nil, nil, nil) }
+`, 1},
+		{"every wrapper", `package x
+import "cobra/internal/program"
+func f() {
+	program.Encrypt(nil, nil, nil)
+	program.EncryptInto(nil, nil, nil, nil)
+	program.EncryptBytes(nil, nil, nil)
+	program.EncryptBytesInto(nil, nil, nil, nil)
+	program.EncryptFastInto(nil, nil, nil, nil, nil)
+}
+`, 5},
+		{"run is fine", `package x
+import "cobra/internal/program"
+func f() { program.Run(nil, nil, nil, nil, program.Opts{}) }
+`, 0},
+		{"same name different package", `package x
+import program "example.com/other/program"
+func f() { program.Encrypt(nil) }
+`, 0}, // matched by import path, not by local name
+		{"declaring package's own tests exempt", `package program_test
+import "cobra/internal/program"
+func f() { program.EncryptInto(nil, nil, nil, nil) }
+`, 0},
+		{"no program import", `package x
+func Encrypt() {}
+func f() { Encrypt() }
+`, 0},
+		{"blank import", `package x
+import _ "cobra/internal/program"
+func f() {}
+`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := check(t, tc.src)
+			if len(fs) != tc.want {
+				t.Errorf("got %d findings %v, want %d", len(fs), fs, tc.want)
+			}
+			for _, f := range fs {
+				if f.Code != "deprecated" {
+					t.Errorf("unexpected analyzer %q: %v", f.Code, f)
+				}
+			}
+		})
+	}
+}
+
+func TestHotpathAnalyzer(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{"clean hotpath", `package x
+// doc comment.
+//
+//cobra:hotpath
+func f(x uint32) uint32 { return x<<1 | x>>31 }
+`, 0},
+		{"fmt in hotpath", `package x
+import "fmt"
+
+//cobra:hotpath
+func f() { fmt.Println("debug") }
+`, 1},
+		{"allocations in hotpath", `package x
+//cobra:hotpath
+func f(xs []int) []int {
+	buf := make([]int, 4)
+	p := new(int)
+	_ = p
+	return append(xs, buf...)
+}
+`, 3},
+		{"unmarked function is free", `package x
+import "fmt"
+func f() { fmt.Println(make([]int, 4)) }
+`, 0},
+		{"marker must be exact", `package x
+// cobra:hotpath (a prose mention, not the directive)
+func f() { _ = make([]int, 4) }
+`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := check(t, tc.src)
+			if len(fs) != tc.want {
+				t.Errorf("got %d findings %v, want %d", len(fs), fs, tc.want)
+			}
+			for _, f := range fs {
+				if f.Code != "hotpath" {
+					t.Errorf("unexpected analyzer %q: %v", f.Code, f)
+				}
+			}
+		})
+	}
+}
+
+// TestRepoIsClean runs the whole suite over the repository — the same gate
+// CI runs as `cobra-lint ./...`, kept inside `go test ./...` so it cannot
+// be skipped. This subsumes the old AST-walk deprecated-caller test that
+// lived in internal/program.
+func TestRepoIsClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := CheckDir(root, os.ReadFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		rel, rerr := filepath.Rel(root, f.Pos.Filename)
+		if rerr != nil {
+			rel = f.Pos.Filename
+		}
+		t.Errorf("%s:%d: %s: %s", rel, f.Pos.Line, f.Code, f.Msg)
+	}
+	if t.Failed() {
+		t.Log("fix the findings or run: go run ./cmd/cobra-lint ./...")
+	}
+}

@@ -1,0 +1,29 @@
+package program
+
+import (
+	"cobra/internal/equiv"
+	"cobra/internal/fastpath"
+)
+
+// Validate trace-compiles the program and runs the translation validator
+// over the result: a symbolic proof that the compiled fastpath computes the
+// same block stream as the microcode (see package equiv). The returned
+// Result is never nil when err is nil; a compile refusal (fastpath.ErrNotSteady
+// and friends) is returned as err, since there is no trace to validate.
+func (p *Program) Validate() (*equiv.Result, error) {
+	ex, err := p.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return p.ValidateExec(ex), nil
+}
+
+// ValidateExec validates an already-compiled executor against this
+// program's microcode.
+func (p *Program) ValidateExec(ex *fastpath.Exec) *equiv.Result {
+	return equiv.Validate(p.Words(), equiv.Config{
+		Name:     p.Name,
+		Geometry: p.Geometry,
+		Window:   p.Window,
+	}, ex.Trace())
+}
