@@ -121,7 +121,8 @@ func main() {
 		stats.Cycles, cpb, stats.Stalled, stats.Nops)
 	fmt.Printf("clock (model):    %.3f MHz datapath, %.3f MHz iRAM\n",
 		meas.FreqMHz, 2*meas.FreqMHz)
-	fmt.Printf("throughput:       %.2f Mbps\n", meas.FreqMHz*128/cpb)
+	fmt.Printf("throughput:       %.2f Mbps\n",
+		meas.FreqMHz*float64(bench.PayloadBitsPerSuperblock(*alg))/cpb)
 	if !quiet(dst) {
 		fmt.Printf("first block out:  %x\n", dst[:16])
 	}

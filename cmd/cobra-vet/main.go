@@ -234,5 +234,9 @@ func builtins(key []byte) ([]*program.Program, []error) {
 	}
 	add(program.BuildGOST(gostKey))
 	add(program.BuildRijndaelKeyed())
+	for _, c := range bench.ExtendedConfigurations() {
+		add(bench.BuildExtended(c, key))
+		add(bench.BuildExtendedDecrypt(c, key))
+	}
 	return progs, errs
 }

@@ -86,8 +86,8 @@ func TestBuiltinEquivGate(t *testing.T) {
 		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", got, out.String(), errb.String())
 	}
 	s := out.String()
-	if n := strings.Count(s, "proven equivalent"); n < 40 {
-		t.Errorf("proved %d programs, want the full corpus (>= 40)\n%s", n, s)
+	if n := strings.Count(s, "proven equivalent"); n < 80 {
+		t.Errorf("proved %d programs, want the full corpus (>= 80)\n%s", n, s)
 	}
 	if !strings.Contains(s, "rijndael-keyed-2         equiv skipped") {
 		t.Errorf("key-handshake program not reported as skipped:\n%s", s)

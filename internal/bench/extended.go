@@ -1,0 +1,248 @@
+package bench
+
+// The extended corpus: the 64-bit-block mappings beyond the paper's three
+// evaluated ciphers — RC5, TEA, SIMON 64/128, Blowfish, and DES. Their
+// Table 3-style rows land in EXPERIMENTS.md next to the pinned sweep;
+// Configurations() itself stays frozen to the paper's set.
+
+import (
+	"bytes"
+	"fmt"
+
+	"cobra/internal/cipher"
+	"cobra/internal/model"
+	"cobra/internal/program"
+)
+
+// ExtendedConfigurations returns the 64-bit-cipher measurement sweep:
+// every supported unroll depth for RC5, TEA and SIMON, the LUT-budget-
+// capped Blowfish depths, and the single-stage DES mapping.
+func ExtendedConfigurations() []Config {
+	var out []Config
+	for _, hw := range []int{1, 2, 3, 4, 6, 12} {
+		out = append(out, Config{"rc5", hw})
+	}
+	for _, hw := range []int{1, 2, 4, 8, 16, 32} {
+		out = append(out, Config{"tea", hw})
+	}
+	for _, hw := range []int{1, 2, 4, 11, 22, 44} {
+		out = append(out, Config{"simon64", hw})
+	}
+	out = append(out, Config{"blowfish", 1}, Config{"blowfish", 2}, Config{"des", 1})
+	return out
+}
+
+// desKey trims the measurement key to DES's 8 bytes, rejecting shorter
+// ones up front (the builders index into it).
+func desKey(key []byte) ([]byte, error) {
+	if len(key) < 8 {
+		return nil, fmt.Errorf("bench: des needs an 8-byte key, got %d bytes", len(key))
+	}
+	return key[:8], nil
+}
+
+// BuildExtended compiles one extended-corpus encryption configuration.
+func BuildExtended(c Config, key []byte) (*program.Program, error) {
+	switch c.Alg {
+	case "rc5":
+		return program.BuildRC5(key, c.Rounds, cipher.RC5Rounds)
+	case "tea":
+		return program.BuildTEA(key, c.Rounds)
+	case "simon64":
+		return program.BuildSIMON(key, c.Rounds)
+	case "blowfish":
+		return program.BuildBlowfish(key, c.Rounds)
+	case "des":
+		k, err := desKey(key)
+		if err != nil {
+			return nil, err
+		}
+		return program.BuildDES(k)
+	}
+	return nil, fmt.Errorf("bench: unknown extended algorithm %q", c.Alg)
+}
+
+// BuildExtendedDecrypt compiles one extended-corpus decryption
+// configuration.
+func BuildExtendedDecrypt(c Config, key []byte) (*program.Program, error) {
+	switch c.Alg {
+	case "rc5":
+		return program.BuildRC5Decrypt(key, c.Rounds, cipher.RC5Rounds)
+	case "tea":
+		return program.BuildTEADecrypt(key, c.Rounds)
+	case "simon64":
+		return program.BuildSIMONDecrypt(key, c.Rounds)
+	case "blowfish":
+		return program.BuildBlowfishDecrypt(key, c.Rounds)
+	case "des":
+		k, err := desKey(key)
+		if err != nil {
+			return nil, err
+		}
+		return program.BuildDESDecrypt(k)
+	}
+	return nil, fmt.Errorf("bench: unknown extended algorithm %q", c.Alg)
+}
+
+// extendedReference constructs the host oracle for an extended
+// configuration.
+func extendedReference(c Config, key []byte) (cipher.Block, error) {
+	switch c.Alg {
+	case "rc5":
+		return cipher.NewRC5(key)
+	case "tea":
+		return cipher.NewTEA(key)
+	case "simon64":
+		return cipher.NewSIMON64(key)
+	case "blowfish":
+		return cipher.NewBlowfish(key)
+	case "des":
+		k, err := desKey(key)
+		if err != nil {
+			return nil, err
+		}
+		return cipher.NewDES(k)
+	}
+	return nil, fmt.Errorf("bench: unknown extended algorithm %q", c.Alg)
+}
+
+// extendedBlocksPerSuperblock is 2 for the little-endian-word ciphers that
+// pair two blocks across the 128-bit datapath, 1 for the mappings that
+// spread one block over all four columns.
+func extendedBlocksPerSuperblock(alg string) int {
+	switch alg {
+	case "rc5", "simon64":
+		return 2
+	}
+	return 1
+}
+
+// PayloadBitsPerSuperblock reports how many cipher-payload bits one
+// 128-bit superblock carries for alg: 128 for the paper's ciphers and the
+// paired LE mappings, 64 for the mappings that spend two lanes on scratch.
+func PayloadBitsPerSuperblock(alg string) int {
+	switch alg {
+	case "rc5", "tea", "simon64", "blowfish", "des":
+		return 64 * extendedBlocksPerSuperblock(alg)
+	}
+	return 128
+}
+
+// extendedPack marshals 8-byte cipher blocks into superblocks for one
+// extended algorithm; extendedUnpack inverts it on the datapath output.
+func extendedPack(alg string, blocks []byte) ([]byte, error) {
+	switch alg {
+	case "rc5", "simon64": // little-endian words: raw concatenation
+		out := make([]byte, len(blocks))
+		copy(out, blocks)
+		return out, nil
+	case "tea", "blowfish": // big-endian words, one block per superblock
+		out := make([]byte, 2*len(blocks))
+		for i := 0; i*8 < len(blocks); i++ {
+			copy(out[16*i:], blocks[8*i:8*i+8])
+			program.SwapWords32(out[16*i : 16*i+8])
+		}
+		return out, nil
+	case "des":
+		return program.DESPack(blocks)
+	}
+	return nil, fmt.Errorf("bench: unknown extended algorithm %q", alg)
+}
+
+func extendedUnpack(alg string, sbs []byte) ([]byte, error) {
+	switch alg {
+	case "rc5", "simon64":
+		out := make([]byte, len(sbs))
+		copy(out, sbs)
+		return out, nil
+	case "tea", "blowfish":
+		out := make([]byte, len(sbs)/2)
+		for i := 0; 16*i < len(sbs); i++ {
+			copy(out[8*i:], sbs[16*i:16*i+8])
+			program.SwapWords32(out[8*i : 8*i+8])
+		}
+		return out, nil
+	case "des":
+		return program.DESUnpack(sbs)
+	}
+	return nil, fmt.Errorf("bench: unknown extended algorithm %q", alg)
+}
+
+// MeasureExtended runs one extended configuration over a batch of 64-bit
+// blocks, verifies every output against the host cipher, and returns
+// Table 3-style metrics. CyclesPerBlock is per 64-bit cipher block (half
+// a superblock for the paired mappings), so rows are comparable across
+// the corpus.
+func MeasureExtended(c Config, key []byte, batch int) (Measurement, error) {
+	p, err := BuildExtended(c, key)
+	if err != nil {
+		return Measurement{}, err
+	}
+	m, err := program.NewMachine(p)
+	if err != nil {
+		return Measurement{}, err
+	}
+	observe(m)
+	if err := program.Load(m, p); err != nil {
+		return Measurement{}, err
+	}
+	tm := model.Analyze(m.Array, model.DefaultDelays())
+
+	// Round the batch up to a whole number of superblocks.
+	bps := extendedBlocksPerSuperblock(c.Alg)
+	if batch%bps != 0 {
+		batch += bps - batch%bps
+	}
+	raw := testBatch((batch*8 + 15) / 16)
+	blocks := make([]byte, 8*batch)
+	for i := range blocks {
+		blocks[i] = byte(raw[i/16][i/4%4] >> (8 * (i % 4)))
+	}
+	sbs, err := extendedPack(c.Alg, blocks)
+	if err != nil {
+		return Measurement{}, err
+	}
+	got := make([]byte, len(sbs))
+	stats, err := program.RunBytes(m, p, got, sbs, program.Opts{})
+	if err != nil {
+		return Measurement{}, err
+	}
+	out, err := extendedUnpack(c.Alg, got)
+	if err != nil {
+		return Measurement{}, err
+	}
+	ref, err := extendedReference(c, key)
+	if err != nil {
+		return Measurement{}, err
+	}
+	want := make([]byte, len(blocks))
+	for i := 0; i*8 < len(blocks); i++ {
+		ref.Encrypt(want[8*i:8*i+8], blocks[8*i:8*i+8])
+	}
+	cpb := float64(stats.Cycles) / float64(batch)
+	return Measurement{
+		Config:         c,
+		CyclesPerBlock: cpb,
+		FreqMHz:        tm.DatapathMHz,
+		Mbps:           tm.DatapathMHz * 64 / cpb, // 64-bit blocks, not 128
+		FPGAMbps:       FPGAEquivalentMbps(c.Alg, c.Rounds),
+		Rows:           p.Geometry.Rows,
+		Instructions:   stats.Instructions,
+		Stalled:        stats.Stalled,
+		Nops:           stats.Nops,
+		Verified:       bytes.Equal(out, want),
+	}, nil
+}
+
+// MeasureAllExtended runs the whole extended sweep.
+func MeasureAllExtended(key []byte, batch int) ([]Measurement, error) {
+	var out []Measurement
+	for _, c := range ExtendedConfigurations() {
+		m, err := MeasureExtended(c, key, batch)
+		if err != nil {
+			return nil, fmt.Errorf("%s-%d: %w", c.Alg, c.Rounds, err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package bench
+
+import "testing"
+
+// TestMeasureAllExtendedVerifies runs the 64-bit-cipher sweep: every
+// configuration must build, run, and reproduce its host cipher exactly,
+// and within a cipher deeper unrolls must not lose throughput.
+func TestMeasureAllExtendedVerifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extended sweep is not short")
+	}
+	ms, err := MeasureAllExtended(benchKey, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(ExtendedConfigurations()) {
+		t.Fatalf("measurements = %d", len(ms))
+	}
+	perAlg := map[string][]Measurement{}
+	for _, m := range ms {
+		if !m.Verified {
+			t.Errorf("%s-%d: outputs failed verification", m.Alg, m.Rounds)
+		}
+		if m.CyclesPerBlock <= 0 || m.Mbps <= 0 {
+			t.Errorf("%s-%d: implausible measurement %+v", m.Alg, m.Rounds, m)
+		}
+		perAlg[m.Alg] = append(perAlg[m.Alg], m)
+		t.Logf("%s-%d: %.1f cycles/64-bit block, %.3f MHz, %.2f Mbps (%d rows)",
+			m.Alg, m.Rounds, m.CyclesPerBlock, m.FreqMHz, m.Mbps, m.Rows)
+	}
+	for alg, rows := range perAlg {
+		first, last := rows[0], rows[len(rows)-1]
+		if len(rows) > 1 && last.Mbps <= first.Mbps {
+			t.Errorf("%s: deepest unroll %.1f Mbps not above minimal %.1f",
+				alg, last.Mbps, first.Mbps)
+		}
+	}
+}
+
+// TestExtendedDecryptConfigsBuild compiles every extended decryptor.
+func TestExtendedDecryptConfigsBuild(t *testing.T) {
+	for _, c := range ExtendedConfigurations() {
+		if _, err := BuildExtendedDecrypt(c, benchKey); err != nil {
+			t.Errorf("%s-dec-%d: %v", c.Alg, c.Rounds, err)
+		}
+	}
+}
+
+// TestExtendedRejectsUnknownAlg pins the error paths.
+func TestExtendedRejectsUnknownAlg(t *testing.T) {
+	bad := Config{"idea", 8}
+	if _, err := BuildExtended(bad, benchKey); err == nil {
+		t.Error("BuildExtended should reject an unknown algorithm")
+	}
+	if _, err := BuildExtendedDecrypt(bad, benchKey); err == nil {
+		t.Error("BuildExtendedDecrypt should reject an unknown algorithm")
+	}
+	if _, err := extendedReference(bad, benchKey); err == nil {
+		t.Error("extendedReference should reject an unknown algorithm")
+	}
+	if _, err := extendedPack("idea", nil); err == nil {
+		t.Error("extendedPack should reject an unknown algorithm")
+	}
+	if _, err := extendedUnpack("idea", nil); err == nil {
+		t.Error("extendedUnpack should reject an unknown algorithm")
+	}
+}

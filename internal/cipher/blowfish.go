@@ -141,6 +141,11 @@ func (c *Blowfish) decryptWords(l, r uint32) (uint32, uint32) {
 	return l, r
 }
 
+// Schedule exposes the key-mixed P-array and S-boxes; the COBRA program
+// builder loads the S-boxes into C-element LUT banks and walks the P-array
+// through the eRAMs.
+func (c *Blowfish) Schedule() (p [18]uint32, s [4][256]uint32) { return c.p, c.s }
+
 // BlockSize returns 8.
 func (c *Blowfish) BlockSize() int { return 8 }
 

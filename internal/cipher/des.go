@@ -174,11 +174,7 @@ func desF(r uint32, k uint64) uint32 {
 func (c *DES) BlockSize() int { return 8 }
 
 func (c *DES) crypt(dst, src []byte, decrypt bool) {
-	x := load64BE(src)
-	var t uint64
-	for _, p := range desIP {
-		t = t<<1 | bit64(x, p)
-	}
+	t := DESInitialPermutation(load64BE(src))
 	l := uint32(t >> 32)
 	r := uint32(t)
 	for i := 0; i < 16; i++ {
@@ -189,12 +185,7 @@ func (c *DES) crypt(dst, src []byte, decrypt bool) {
 		l, r = r, l^desF(r, k)
 	}
 	// Swap halves (the final round omits the swap) and apply FP.
-	pre := uint64(r)<<32 | uint64(l)
-	var out uint64
-	for _, p := range desFP {
-		out = out<<1 | bit64(pre, p)
-	}
-	store64BE(dst, out)
+	store64BE(dst, DESFinalPermutation(uint64(r)<<32|uint64(l)))
 }
 
 // Encrypt encrypts one 8-byte block.
@@ -202,3 +193,70 @@ func (c *DES) Encrypt(dst, src []byte) { c.crypt(dst, src, false) }
 
 // Decrypt decrypts one 8-byte block.
 func (c *DES) Decrypt(dst, src []byte) { c.crypt(dst, src, true) }
+
+// --- COBRA mapping support ----------------------------------------------------
+//
+// The §4 objection to DES is the bit-level IP/FP permutations, not the
+// round function: expansion E reads six consecutive R bits per S-box group
+// (a rotation window), the key mix is a XOR, the S-boxes fold into 8→32
+// lookup tables with P pre-applied (P is linear over GF(2)), and the round
+// mix is a word-wide XOR. The exports below slice the reference
+// implementation along exactly that line: the COBRA program computes the
+// 16 Feistel rounds on IP-domain words while the host applies the rejected
+// bit permutations at the block boundary.
+
+// RoundKeys48 returns the 16 48-bit round keys, right-aligned.
+func (c *DES) RoundKeys48() [16]uint64 { return c.subkeys }
+
+// DESKeyChunk extracts S-box group i's 6-bit chunk of a 48-bit round key.
+func DESKeyChunk(k uint64, i int) uint32 {
+	return uint32(k >> (42 - 6*uint(i)) & 0x3f)
+}
+
+// DESSPTables builds the eight combined S-box+P 8→32 tables: entry b of
+// table i is P applied to S_i(b & 0x3f) in its output nibble position. The
+// two high index bits are ignored, so a mapping may index with an unmasked
+// rotated-R byte. The identity (pinned by a package test):
+//
+//	desF(r, k) == XOR_i sp[i][(RotL(r, 4i+5) ^ DESKeyChunk(k, i)) & 0xff]
+func DESSPTables() [8][256]uint32 {
+	var sp [8][256]uint32
+	for i := 0; i < 8; i++ {
+		for b := 0; b < 256; b++ {
+			six := uint8(b) & 0x3f
+			row := six>>4&2 | six&1
+			col := six >> 1 & 0xf
+			sval := uint32(desSBoxes[i][row][col]) << (28 - 4*uint(i))
+			var p uint32
+			for _, src := range desP {
+				p = p<<1 | sval>>(32-uint(src))&1
+			}
+			sp[i][b] = p
+		}
+	}
+	return sp
+}
+
+// DESInitialPermutation applies IP to a 64-bit block.
+func DESInitialPermutation(x uint64) uint64 {
+	var t uint64
+	for _, p := range desIP {
+		t = t<<1 | bit64(x, p)
+	}
+	return t
+}
+
+// DESFinalPermutation applies FP = IP⁻¹ to a 64-bit block.
+func DESFinalPermutation(x uint64) uint64 {
+	var t uint64
+	for _, p := range desFP {
+		t = t<<1 | bit64(x, p)
+	}
+	return t
+}
+
+// DESLoad64 and DESStore64 expose the big-endian block packing so program
+// tests marshal host blocks into the IP-domain word pair without
+// re-implementing it.
+func DESLoad64(b []byte) uint64     { return load64BE(b) }
+func DESStore64(b []byte, x uint64) { store64BE(b, x) }

@@ -51,6 +51,17 @@ func NewRC5Rounds(key []byte, rounds int) (*RC5, error) {
 // BlockSize returns 8.
 func (c *RC5) BlockSize() int { return 8 }
 
+// Rounds returns the configured round count.
+func (c *RC5) Rounds() int { return c.rounds }
+
+// RoundKeys exposes the expanded schedule S[0..2r+1]; the COBRA program
+// builder loads these words into the eRAMs and whitening units.
+func (c *RC5) RoundKeys() []uint32 {
+	out := make([]uint32, len(c.s))
+	copy(out, c.s)
+	return out
+}
+
 // Encrypt encrypts one 8-byte block.
 func (c *RC5) Encrypt(dst, src []byte) {
 	a := bits.Load32LE(src[0:]) + c.s[0]

@@ -1,0 +1,80 @@
+package cipher
+
+import "cobra/internal/bits"
+
+// SIMON 64/128: a post-2003 lightweight block cipher (Beaulieu et al.,
+// 2013) mapped onto COBRA as a stress test of the paper's algorithm-agility
+// claim — its round function is pure rotate/AND/XOR, an operation profile
+// even leaner than the Table 2 set the architecture was sized for.
+
+// SIMON64Rounds is the round count of SIMON 64/128.
+const SIMON64Rounds = 44
+
+// simonZ3 is the specification's z3 constant sequence (period 62), consumed
+// one bit per scheduled key word.
+const simonZ3 = "11011011101011000110010111100000010010001010011100110100001111"
+
+// SIMON64 implements SIMON 64/128: 32-bit words, 128-bit key, 44 rounds.
+type SIMON64 struct {
+	k [SIMON64Rounds]uint32
+}
+
+// NewSIMON64 derives the 44-round schedule from a 16-byte key. Key words
+// k0..k3 sit little-endian at key[0:4]..key[12:16] with k0 the first round
+// key (the specification's (k3,k2,k1,k0) tuple read right to left), and a
+// block places the x word little-endian at b[0:4] and y at b[4:8] — the
+// convention under which the published 64/128 test vector reproduces
+// byte-for-byte (see the package tests).
+func NewSIMON64(key []byte) (*SIMON64, error) {
+	if len(key) != 16 {
+		return nil, KeySizeError{"simon64", len(key)}
+	}
+	var c SIMON64
+	for i := 0; i < 4; i++ {
+		c.k[i] = bits.Load32LE(key[4*i:])
+	}
+	// k[i] = c ^ z3[i-4] ^ k[i-4] ^ (I ^ S^-1)(S^-3 k[i-1] ^ k[i-3]) with
+	// c = 2^32 - 4, i.e. ~k[i-4] ^ 3 folded with the sequence bit.
+	for i := 4; i < SIMON64Rounds; i++ {
+		tmp := bits.RotR(c.k[i-1], 3) ^ c.k[i-3]
+		tmp ^= bits.RotR(tmp, 1)
+		c.k[i] = ^c.k[i-4] ^ tmp ^ uint32(simonZ3[(i-4)%62]-'0') ^ 3
+	}
+	return &c, nil
+}
+
+// BlockSize returns 8.
+func (c *SIMON64) BlockSize() int { return 8 }
+
+// RoundKeys exposes the key schedule; the COBRA program builder loads these
+// words into the eRAMs.
+func (c *SIMON64) RoundKeys() []uint32 {
+	out := make([]uint32, SIMON64Rounds)
+	copy(out, c.k[:])
+	return out
+}
+
+// simonF is the round function f(x) = (x<<<1 & x<<<8) ^ x<<<2.
+func simonF(x uint32) uint32 {
+	return (bits.RotL(x, 1) & bits.RotL(x, 8)) ^ bits.RotL(x, 2)
+}
+
+// Encrypt encrypts one 8-byte block.
+func (c *SIMON64) Encrypt(dst, src []byte) {
+	x, y := bits.Load32LE(src[0:]), bits.Load32LE(src[4:])
+	for i := 0; i < SIMON64Rounds; i++ {
+		x, y = y^simonF(x)^c.k[i], x
+	}
+	bits.Store32LE(dst[0:], x)
+	bits.Store32LE(dst[4:], y)
+}
+
+// Decrypt decrypts one 8-byte block.
+func (c *SIMON64) Decrypt(dst, src []byte) {
+	x, y := bits.Load32LE(src[0:]), bits.Load32LE(src[4:])
+	for i := SIMON64Rounds - 1; i >= 0; i-- {
+		x, y = y, x^simonF(y)^c.k[i]
+	}
+	bits.Store32LE(dst[0:], x)
+	bits.Store32LE(dst[4:], y)
+}

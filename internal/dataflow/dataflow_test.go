@@ -9,8 +9,8 @@ import (
 )
 
 // corpus builds every built-in program the repository ships (the cobra-vet
-// -builtin set): the Table 3 sweep with decryptors, windowed Serpent, GOST
-// and keyed Rijndael.
+// -builtin set): the Table 3 sweep with decryptors, windowed Serpent, GOST,
+// keyed Rijndael, and the extended 64-bit corpus with its decryptors.
 func corpus(t *testing.T) []*program.Program {
 	t.Helper()
 	key := []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
@@ -42,6 +42,10 @@ func corpus(t *testing.T) []*program.Program {
 	}
 	add(program.BuildGOST(gostKey))
 	add(program.BuildRijndaelKeyed())
+	for _, c := range bench.ExtendedConfigurations() {
+		add(bench.BuildExtended(c, key))
+		add(bench.BuildExtendedDecrypt(c, key))
+	}
 	return progs
 }
 

@@ -27,8 +27,10 @@ type builderCase struct {
 
 // allBuilders enumerates every builder × depth × window combination the
 // repository ships: the §4 encryption mappings at every Table-3 unroll,
-// the windowed Serpent variants at w = 1..16, GOST, and the decryption
-// mappings. Every one of them must trace-compile.
+// the windowed Serpent variants at w = 1..16, GOST, the decryption
+// mappings, and the extended 64-bit corpus (RC5, TEA, SIMON 64/128,
+// Blowfish, DES) in both directions. Every one of them must
+// trace-compile.
 func allBuilders() []builderCase {
 	key := make([]byte, 16)
 	for i := range key {
@@ -80,6 +82,44 @@ func allBuilders() []builderCase {
 		})
 	}
 	add("serpent-dec", func() (*program.Program, error) { return program.BuildSerpentDecrypt(key) })
+	for _, hw := range []int{1, 2, 3, 4, 6, 12} {
+		hw := hw
+		add(fmt.Sprintf("rc5-%d", hw), func() (*program.Program, error) {
+			return program.BuildRC5(key, hw, 12)
+		})
+		add(fmt.Sprintf("rc5-dec-%d", hw), func() (*program.Program, error) {
+			return program.BuildRC5Decrypt(key, hw, 12)
+		})
+	}
+	for _, hw := range []int{1, 2, 4, 8, 16, 32} {
+		hw := hw
+		add(fmt.Sprintf("tea-%d", hw), func() (*program.Program, error) {
+			return program.BuildTEA(key, hw)
+		})
+		add(fmt.Sprintf("tea-dec-%d", hw), func() (*program.Program, error) {
+			return program.BuildTEADecrypt(key, hw)
+		})
+	}
+	for _, hw := range []int{1, 2, 4, 11, 22, 44} {
+		hw := hw
+		add(fmt.Sprintf("simon64-%d", hw), func() (*program.Program, error) {
+			return program.BuildSIMON(key, hw)
+		})
+		add(fmt.Sprintf("simon64-dec-%d", hw), func() (*program.Program, error) {
+			return program.BuildSIMONDecrypt(key, hw)
+		})
+	}
+	for _, hw := range []int{1, 2} {
+		hw := hw
+		add(fmt.Sprintf("blowfish-%d", hw), func() (*program.Program, error) {
+			return program.BuildBlowfish(key, hw)
+		})
+		add(fmt.Sprintf("blowfish-dec-%d", hw), func() (*program.Program, error) {
+			return program.BuildBlowfishDecrypt(key, hw)
+		})
+	}
+	add("des-1", func() (*program.Program, error) { return program.BuildDES(key[:8]) })
+	add("des-dec-1", func() (*program.Program, error) { return program.BuildDESDecrypt(key[:8]) })
 	return cases
 }
 

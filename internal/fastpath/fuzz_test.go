@@ -18,19 +18,34 @@ func FuzzFastpathVsInterpreter(f *testing.F) {
 	f.Add(uint8(0), []byte("an-example-key-1"), []byte("attack at dawn!!attack at dusk!!"))
 	f.Add(uint8(1), make([]byte, 16), []byte{})
 	f.Add(uint8(2), []byte{0xff}, []byte("0123456789abcdef"))
+	f.Add(uint8(3), []byte("rc5-key-material"), []byte("two 64-bit lanes per superblock!"))
+	f.Add(uint8(4), []byte("tea-key-16-bytes"), []byte("big-endian words"))
+	f.Add(uint8(5), []byte("simon64/128-key!"), []byte("lik eund mapping"))
+	f.Add(uint8(6), []byte("blowfish-pi-key!"), []byte("feistel+sboxes!!"))
+	f.Add(uint8(7), []byte("8bytekey"), []byte("partial"))
 	f.Fuzz(func(t *testing.T, sel uint8, keyData, ptData []byte) {
 		key := make([]byte, 16)
 		copy(key, keyData)
 
 		var p *program.Program
 		var err error
-		switch sel % 3 {
+		switch sel % 8 {
 		case 0:
 			p, err = program.BuildRC6(key, 2, 20)
 		case 1:
 			p, err = program.BuildRijndael(key, 2)
-		default:
+		case 2:
 			p, err = program.BuildSerpent(key, 4)
+		case 3:
+			p, err = program.BuildRC5(key, 2, 12)
+		case 4:
+			p, err = program.BuildTEA(key, 2)
+		case 5:
+			p, err = program.BuildSIMON(key, 4)
+		case 6:
+			p, err = program.BuildBlowfish(key, 1)
+		default:
+			p, err = program.BuildDES(key[:8])
 		}
 		if err != nil {
 			t.Fatalf("build: %v", err)

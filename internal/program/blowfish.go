@@ -1,0 +1,215 @@
+package program
+
+import (
+	"fmt"
+
+	"cobra/internal/cipher"
+	"cobra/internal/isa"
+)
+
+// Blowfish on COBRA — the cipher family the C element's 8→32 mode was
+// designed for (§3.2): each of the four key-dependent S-boxes is one RCE's
+// four LUT banks, so the whole F function is four look-ups plus the B
+// adders and A XORs. One 64-bit block occupies words 0,1 of a superblock
+// (big-endian words byte-swapped at the host boundary; words 2,3 are
+// scratch lanes that exit holding round intermediates, keeping every
+// output word key- and plaintext-tainted). A round is four rows:
+//
+//	r0: l' = l ^ P[i] in col 0; r passes in col 1
+//	r1: a = S0[l'>>24], b = S1[l'>>16]   (cols 0,1); cols 2,3 carry l', r
+//	r2: a+b in col 0; c = S2[l'>>8], d = S3[l'&ff] (cols 2,3); col 1: r
+//	r3: newL = ((a+b)^c)+d ^ r in col 0; newR = l' off the bypass in col 1
+//
+// The look-ups split across two rows because the four tables monopolise a
+// row's RCEs while r and l' still need live lanes — the Prev bypass only
+// spans one row. The last pass runs unswapped with P[17]/P[16] (P[0]/P[1]
+// for decryption) applied as output whitening, mirroring the host's
+// final-swap-undo. Table copies are per round stage, so the iRAM budget
+// (4·1024 LUTLD words per stage) caps the unroll at two rounds.
+
+// blowfishBankTables splits a 256×32 S-box into the C element's four 8→8
+// byte-lane banks (bank k holds output byte k).
+func blowfishBankTables(s *[256]uint32) [4][256]uint8 {
+	var out [4][256]uint8
+	for v := 0; v < 256; v++ {
+		for k := 0; k < 4; k++ {
+			out[k][v] = uint8(s[v] >> (8 * k))
+		}
+	}
+	return out
+}
+
+// blowfishRoundRows emits one (swapped) Blowfish round at rows rt..rt+3.
+func (b *builder) blowfishRoundRows(rt int) {
+	// Row rt: l' = l ^ P[i]; r passes untouched in column 1.
+	b.cfge(isa.SliceAt(rt, 0), isa.ElemA1, aCfg(isa.AXor, isa.SrcINER))
+
+	// Row rt+1: the two high-byte look-ups; columns 2 and 3 keep l' and r
+	// alive (the tables monopolise the row's C elements otherwise).
+	b.cfge(isa.SliceAt(rt+1, 0), isa.ElemC,
+		isa.CCfg{Mode: isa.CS8to32, ByteSel: 3}.Encode())
+	b.insel(rt+1, 1, 1) // col1's INB = block 0 = l'
+	b.cfge(isa.SliceAt(rt+1, 1), isa.ElemC,
+		isa.CCfg{Mode: isa.CS8to32, ByteSel: 2}.Encode())
+	b.insel(rt+1, 2, 1) // col2's INB = block 0 = l'
+	b.insel(rt+1, 3, 2) // col3's INC = block 1 = r
+
+	// Row rt+2: a+b in column 0; the two low-byte look-ups; r rides col 1.
+	b.cfge(isa.SliceAt(rt+2, 0), isa.ElemB, bCfg(isa.BAdd, 2, isa.SrcINB))
+	b.insel(rt+2, 1, 3) // col1's IND = block 3 = r
+	b.cfge(isa.SliceAt(rt+2, 2), isa.ElemC,
+		isa.CCfg{Mode: isa.CS8to32, ByteSel: 1}.Encode())
+	b.insel(rt+2, 3, 3) // col3's IND = block 2 = l'
+	b.cfge(isa.SliceAt(rt+2, 3), isa.ElemC,
+		isa.CCfg{Mode: isa.CS8to32, ByteSel: 0}.Encode())
+
+	// Row rt+3: newL = (((a+b)^c)+d) ^ r in column 0 (the A1→B→A2 chain
+	// matches F's fixed operator order); newR = l' off the bypass.
+	s := isa.SliceAt(rt+3, 0)
+	b.cfge(s, isa.ElemA1, aCfg(isa.AXor, isa.SrcINC)) // ^ c
+	b.cfge(s, isa.ElemB, bCfg(isa.BAdd, 2, isa.SrcIND))
+	b.cfge(s, isa.ElemA2, aCfg(isa.AXor, isa.SrcINB)) // ^ r
+	b.insel(rt+3, 1, 6)                               // PC: row rt+2's col-2 input = l'
+}
+
+// blowfishLastRoundToggle reconfigures the round at rows rt..rt+3 to run
+// unswapped, emitting (l', newL, c, d) so the output lanes line up with
+// the host's post-loop swap-undo. restore re-emits the swapped form.
+func (b *builder) blowfishLastRoundToggle(rt int, restore bool) {
+	s := isa.SliceAt(rt+3, 0)
+	co := isa.SliceAt(rt+3, 1)
+	if restore {
+		b.insel(rt+3, 0, 0)
+		b.cfge(s, isa.ElemA1, aCfg(isa.AXor, isa.SrcINC))
+		b.cfge(s, isa.ElemB, bCfg(isa.BAdd, 2, isa.SrcIND))
+		b.cfge(s, isa.ElemA2, aCfg(isa.AXor, isa.SrcINB))
+		b.insel(rt+3, 1, 6)
+		b.cfge(co, isa.ElemA1, bypass)
+		b.cfge(co, isa.ElemB, bypass)
+		b.cfge(co, isa.ElemA2, bypass)
+		return
+	}
+	// Column 0 passes l' from the bypass; column 1 computes newL with the
+	// raw own-block port supplying r past the mid-chain elements.
+	b.insel(rt+3, 0, 6) // PC = l'
+	b.cfge(s, isa.ElemA1, bypass)
+	b.cfge(s, isa.ElemB, bypass)
+	b.cfge(s, isa.ElemA2, bypass)
+	b.insel(rt+3, 1, 1) // col1's INB = block 0 = a+b
+	b.cfge(co, isa.ElemA1, aCfg(isa.AXor, isa.SrcINC))
+	b.cfge(co, isa.ElemB, bCfg(isa.BAdd, 2, isa.SrcIND))
+	b.cfge(co, isa.ElemA2, aCfg(isa.AXor, isa.SrcINA)) // ^ r (raw block 1)
+}
+
+// buildBlowfish shares the two directions' skeleton: decryption is the
+// same datapath walking the P-array backwards.
+func buildBlowfish(key []byte, hw int, decrypt bool) (*Program, error) {
+	ck, err := cipher.NewBlowfish(key)
+	if err != nil {
+		return nil, err
+	}
+	pa, sb := ck.Schedule()
+	const rounds = 16
+
+	geo, passes, err := validateUnroll("blowfish", hw, rounds, 4, 0)
+	if err != nil {
+		return nil, err
+	}
+	if hw > 2 {
+		return nil, fmt.Errorf("blowfish-%d: %d LUTLD words for per-stage S-box copies exceed the %d-word iRAM",
+			hw, hw*4*4*64, isa.IRAMWords)
+	}
+
+	// Round subkeys and final whitening: P[0..15] then P[17],P[16] for
+	// encryption; P[17..2] then P[0],P[1] for decryption.
+	var sub [rounds]uint32
+	var wh0, wh1 uint32
+	for i := range sub {
+		if decrypt {
+			sub[i] = pa[17-i]
+		} else {
+			sub[i] = pa[i]
+		}
+	}
+	if decrypt {
+		wh0, wh1 = pa[0], pa[1]
+	} else {
+		wh0, wh1 = pa[17], pa[16]
+	}
+
+	name := fmt.Sprintf("blowfish-%d", hw)
+	if decrypt {
+		name = fmt.Sprintf("blowfish-dec-%d", hw)
+	}
+	p := &Program{
+		Name:        name,
+		Cipher:      "blowfish",
+		HWRounds:    hw,
+		TotalRounds: rounds,
+		Geometry:    geo,
+		Window:      1,
+	}
+	b := &builder{}
+	b.disout()
+
+	for st := 0; st < hw; st++ {
+		b.blowfishRoundRows(4 * st)
+		// Each stage's S-boxes: S0,S1 at rows 4st+1 cols 0,1; S2,S3 at
+		// rows 4st+2 cols 2,3.
+		for t := 0; t < 4; t++ {
+			banks := blowfishBankTables(&sb[t])
+			s := isa.SliceAt(4*st+1, t)
+			if t >= 2 {
+				s = isa.SliceAt(4*st+2, t)
+			}
+			for bank := 0; bank < 4; bank++ {
+				b.loadS8(s, bank, &banks[bank])
+			}
+		}
+	}
+	for i := 0; i < rounds; i++ {
+		b.eramw(0, 0, i, sub[i])
+	}
+
+	var regs []int
+	for st := 0; st < hw-1; st++ {
+		regs = append(regs, 4*st+3)
+	}
+	for _, row := range regs {
+		// Only l' and newL cross the boundary live; the next round
+		// overwrites the scratch lanes without reading them.
+		b.regAt(row, 0, true)
+		b.regAt(row, 1, true)
+	}
+
+	b.iterativeFlow(len(regs)+1, passes, iterHooks{
+		LastPass: func(b *builder) {
+			b.blowfishLastRoundToggle(4*(hw-1), false)
+			b.white(0, isa.WhiteXor, false, wh0)
+			b.white(1, isa.WhiteXor, false, wh1)
+		},
+		EveryPass: func(b *builder, pass int) {
+			for st := 0; st < hw; st++ {
+				b.er(4*st, 0, 0, pass*hw+st)
+			}
+		},
+		Epilogue: func(b *builder) {
+			b.blowfishLastRoundToggle(4*(hw-1), true)
+			b.whiteOff(0)
+			b.whiteOff(1)
+		},
+	})
+	p.Instrs = b.ins
+	return p, nil
+}
+
+// BuildBlowfish compiles Blowfish encryption at unroll depth hw (1 or 2 —
+// the per-stage LUT copies cap deeper unrolls).
+func BuildBlowfish(key []byte, hw int) (*Program, error) {
+	return buildBlowfish(key, hw, false)
+}
+
+// BuildBlowfishDecrypt compiles Blowfish decryption at unroll depth hw.
+func BuildBlowfishDecrypt(key []byte, hw int) (*Program, error) {
+	return buildBlowfish(key, hw, true)
+}

@@ -1,0 +1,92 @@
+package program
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"cobra/internal/cipher"
+)
+
+// blowfishDepths are the unroll depths the iRAM's LUT budget admits.
+var blowfishDepths = []int{1, 2}
+
+func TestBlowfishOnCOBRAAllUnrolls(t *testing.T) {
+	ref, err := cipher.NewBlowfish(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refEncryptECB(t, ref, testPlain) // 8 blocks, one per superblock
+	for _, hw := range blowfishDepths {
+		p, err := BuildBlowfish(testKey, hw)
+		if err != nil {
+			t.Fatalf("blowfish-%d: %v", hw, err)
+		}
+		got, stats := cobraEncryptECB(t, p, be64Pack(testPlain))
+		if !bytes.Equal(be64Unpack(got), want) {
+			t.Errorf("blowfish-%d: ciphertext mismatch\n got %x\nwant %x", hw, be64Unpack(got), want)
+		}
+		perBlock := float64(stats.Cycles) / float64(len(testPlain)/8)
+		t.Logf("blowfish-%d: %.1f cycles per 64-bit block (%d cycles)", hw, perBlock, stats.Cycles)
+	}
+}
+
+func TestBlowfishDecryptOnCOBRAAllUnrolls(t *testing.T) {
+	ref, err := cipher.NewBlowfish(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := refEncryptECB(t, ref, testPlain)
+	for _, hw := range blowfishDepths {
+		p, err := BuildBlowfishDecrypt(testKey, hw)
+		if err != nil {
+			t.Fatalf("blowfish-dec-%d: %v", hw, err)
+		}
+		got, _ := cobraEncryptECB(t, p, be64Pack(ct))
+		if !bytes.Equal(be64Unpack(got), testPlain) {
+			t.Errorf("blowfish-dec-%d: plaintext mismatch\n got %x\nwant %x", hw, be64Unpack(got), testPlain)
+		}
+	}
+}
+
+func TestBlowfishOnCOBRARandomized(t *testing.T) {
+	f := func(key [16]byte, blk [8]byte) bool {
+		ref, err := cipher.NewBlowfish(key[:])
+		if err != nil {
+			return false
+		}
+		want := make([]byte, 8)
+		ref.Encrypt(want, blk[:])
+		p, err := BuildBlowfish(key[:], 1)
+		if err != nil {
+			return false
+		}
+		m, err := NewMachine(p)
+		if err != nil {
+			return false
+		}
+		if err := Load(m, p); err != nil {
+			return false
+		}
+		got, _, err := EncryptBytes(m, p, be64Pack(blk[:]))
+		return err == nil && bytes.Equal(be64Unpack(got), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlowfishUnrollRejectsBadDepth(t *testing.T) {
+	if _, err := BuildBlowfish(testKey, 3); err == nil {
+		t.Error("expected error: 3 does not divide 16")
+	}
+	if _, err := BuildBlowfish(testKey, 4); err == nil {
+		t.Error("expected error: depth 4 exceeds the LUT budget")
+	}
+	if _, err := BuildBlowfishDecrypt(testKey, 0); err == nil {
+		t.Error("expected error for depth 0")
+	}
+	if _, err := BuildBlowfish(nil, 1); err == nil {
+		t.Error("expected key size error")
+	}
+}

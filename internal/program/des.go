@@ -1,0 +1,214 @@
+package program
+
+import (
+	"fmt"
+
+	"cobra/internal/cipher"
+	"cobra/internal/isa"
+)
+
+// DES on COBRA. The paper's §4 survey rejects bit-level permutation
+// networks as a poor fit for a 32-bit coarse-grained array, and the
+// mapping honours that verdict: the initial and final permutations stay
+// on the host, and the round permutation P is folded into eight 256×32
+// SP tables (P applied to each S-box's positioned output), the classic
+// software decomposition restated as C-element 8→32 look-ups. With the
+// expansion E expressed as byte-aligned rotations of R — group i of the
+// 48-bit round key meets bits RotL(R, 4i+5) — a round is:
+//
+//	s_i = SP_i[(RotL(R, 4i+5) ^ K_i[g_i]) & 0xff]   (junk high index
+//	      bits are don't-cares: the tables repeat every 64 entries)
+//	L', R' = R, L ^ s_0 ^ ... ^ s_7
+//
+// Eight look-ups need eight RCEs, so a round is six rows: two look-ups
+// per row staggered Blowfish-style down columns 2-3 (R re-fetched from
+// the one-row bypass), with column 0 folding the XOR tree and column 1
+// carrying L. One block per superblock: words 0,1 = (hi,lo) of IP(pt);
+// the host applies IP before packing and the swap-undo plus FP after
+// unpacking, and the scratch lanes exit holding round intermediates so
+// every output word stays key- and plaintext-tainted. Decryption is the
+// identical program walking the subkeys backwards. The eight per-stage
+// tables cost 2048 LUTLD words, capping the unroll at one round.
+
+// desRoundRows emits one (swapped) DES round at rows rt..rt+5. Key-chunk
+// ER configs are walked per pass by the flow hooks, not set here.
+func (b *builder) desRoundRows(rt int) {
+	lut := func(row, col int, group int) {
+		s := isa.SliceAt(row, col)
+		b.cfge(s, isa.ElemE1, eImm(isa.ERotl, uint8((4*group+5)&31)))
+		b.cfge(s, isa.ElemA1, aCfg(isa.AXor, isa.SrcINER))
+		b.cfge(s, isa.ElemC, isa.CCfg{Mode: isa.CS8to32, ByteSel: 0}.Encode())
+	}
+
+	// The bypass bus carries the vector that ENTERED the previous row, so
+	// L and R ping-pong between a live lane and a Prev recovery: a value
+	// absent from one row's vector is still reachable one row later.
+
+	// Row rt: s0, s1 of R (block 1); columns 2, 3 carry R and L.
+	b.insel(rt, 0, 1) // col0's INB = block 1 = R
+	lut(rt, 0, 0)
+	lut(rt, 1, 1)     // col1's own block is R
+	b.insel(rt, 2, 2) // col2's INC = block 1 = R
+	b.insel(rt, 3, 1) // col3's INB = block 0 = L
+
+	// Row rt+1: s2 (own R), s3 in columns 2-3; column 0 folds s0^s1; L
+	// (block 3) moves to column 1.
+	s := isa.SliceAt(rt+1, 0)
+	b.cfge(s, isa.ElemA1, aCfg(isa.AXor, isa.SrcINB)) // ^ s1
+	b.insel(rt+1, 1, 3)                               // col1's IND = block 3 = L
+	lut(rt+1, 2, 2)
+	b.insel(rt+1, 3, 3) // col3's IND = block 2 = R
+	lut(rt+1, 3, 3)
+
+	// Row rt+2: s4, s5 of R recovered off the bypass (Prev[2], the R lane
+	// entering row rt+1); column 1 swaps to carrying R the same way while
+	// L rides the bus to the next row.
+	s = isa.SliceAt(rt+2, 0)
+	b.cfge(s, isa.ElemA1, aCfg(isa.AXor, isa.SrcINC))
+	b.cfge(s, isa.ElemA2, aCfg(isa.AXor, isa.SrcIND))
+	b.insel(rt+2, 1, 6) // PC = R
+	b.insel(rt+2, 2, 6) // PC = R
+	lut(rt+2, 2, 4)
+	b.insel(rt+2, 3, 6) // PC = R
+	lut(rt+2, 3, 5)
+
+	// Row rt+3: s6, s7 of R (now block 1); L comes back off the bypass
+	// (Prev[1], the L lane entering row rt+2).
+	s = isa.SliceAt(rt+3, 0)
+	b.cfge(s, isa.ElemA1, aCfg(isa.AXor, isa.SrcINC))
+	b.cfge(s, isa.ElemA2, aCfg(isa.AXor, isa.SrcIND))
+	b.insel(rt+3, 1, 5) // PB = L
+	b.insel(rt+3, 2, 2) // col2's INC = block 1 = R
+	lut(rt+3, 2, 6)
+	b.insel(rt+3, 3, 2) // col3's INC = block 1 = R
+	lut(rt+3, 3, 7)
+
+	// Row rt+4: y = x ^ s6 ^ s7; newL = R recovered one last time
+	// (Prev[1], the R lane entering row rt+3).
+	s = isa.SliceAt(rt+4, 0)
+	b.cfge(s, isa.ElemA1, aCfg(isa.AXor, isa.SrcINC))
+	b.cfge(s, isa.ElemA2, aCfg(isa.AXor, isa.SrcIND))
+	b.insel(rt+4, 2, 5) // PB = R
+
+	// Row rt+5: settle (L', R') = (R, y ^ L); scratch lanes carry y and s7.
+	b.insel(rt+5, 0, 2) // col0's INC = block 2 = R
+	s = isa.SliceAt(rt+5, 1)
+	b.cfge(s, isa.ElemA1, aCfg(isa.AXor, isa.SrcINB)) // L ^ y
+	b.insel(rt+5, 2, 1)                               // col2's INB = block 0 = y
+}
+
+// buildDES compiles the single-round-stage DES program; decryption is the
+// same datapath walking the subkeys backwards.
+func buildDES(key []byte, decrypt bool) (*Program, error) {
+	ck, err := cipher.NewDES(key)
+	if err != nil {
+		return nil, err
+	}
+	rk := ck.RoundKeys48()
+	const rounds = 16
+
+	geo, passes, err := validateUnroll("des", 1, rounds, 6, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	name := "des-1"
+	if decrypt {
+		name = "des-dec-1"
+	}
+	p := &Program{
+		Name:        name,
+		Cipher:      "des",
+		HWRounds:    1,
+		TotalRounds: rounds,
+		Geometry:    geo,
+		Window:      1,
+	}
+	b := &builder{}
+	b.disout()
+	b.desRoundRows(0)
+
+	// The eight SP tables live where their look-up fires: groups 0,1 at
+	// rows 0; 2,3 at row 1; 4,5 at row 2; 6,7 at row 3 (columns per
+	// desRoundRows).
+	sp := cipher.DESSPTables()
+	at := [8][2]int{{0, 0}, {0, 1}, {1, 2}, {1, 3}, {2, 2}, {2, 3}, {3, 2}, {3, 3}}
+	for g := range sp {
+		banks := blowfishBankTables(&sp[g])
+		s := isa.SliceAt(at[g][0], at[g][1])
+		for bank := 0; bank < 4; bank++ {
+			b.loadS8(s, bank, &banks[bank])
+		}
+	}
+
+	// Key chunks: group g's 6-bit chunk for round r sits at address r of
+	// the consuming column's eRAM, banked by row so columns 2-3 serve
+	// three groups each (bank = 0, 1, 2 for rows 1, 2, 3).
+	for r := 0; r < rounds; r++ {
+		k := rk[r]
+		if decrypt {
+			k = rk[rounds-1-r]
+		}
+		for g := 0; g < 8; g++ {
+			col := at[g][1]
+			bank := 0
+			if g >= 4 {
+				bank = (g - 2) / 2 // groups 4,5 → bank 1; 6,7 → bank 2
+			}
+			b.eramw(col, bank, r, cipher.DESKeyChunk(k, g))
+		}
+	}
+
+	b.iterativeFlow(1, passes, iterHooks{
+		EveryPass: func(b *builder, pass int) {
+			for g := 0; g < 8; g++ {
+				bank := 0
+				if g >= 4 {
+					bank = (g - 2) / 2
+				}
+				b.er(at[g][0], at[g][1], bank, pass)
+			}
+		},
+	})
+	p.Instrs = b.ins
+	return p, nil
+}
+
+// BuildDES compiles DES encryption (host-side IP/FP; see the package
+// comment above on the superblock convention).
+func BuildDES(key []byte) (*Program, error) { return buildDES(key, false) }
+
+// BuildDESDecrypt compiles DES decryption.
+func BuildDESDecrypt(key []byte) (*Program, error) { return buildDES(key, true) }
+
+// DESPack packs 8-byte DES blocks for the datapath: IP applied host-side,
+// then the (hi,lo) halves as superblock words 0,1 (scratch words zero).
+func DESPack(blocks []byte) ([]byte, error) {
+	if len(blocks)%8 != 0 {
+		return nil, fmt.Errorf("des: %d bytes is not a whole number of blocks", len(blocks))
+	}
+	out := make([]byte, 2*len(blocks))
+	for i := 0; i*8 < len(blocks); i++ {
+		v := cipher.DESInitialPermutation(cipher.DESLoad64(blocks[8*i:]))
+		cipher.DESStore64(out[16*i:], v)
+		SwapWords32(out[16*i : 16*i+8])
+	}
+	return out, nil
+}
+
+// DESUnpack undoes DESPack on the datapath's output: the Feistel
+// swap-undo and the final permutation.
+func DESUnpack(sbs []byte) ([]byte, error) {
+	if len(sbs)%16 != 0 {
+		return nil, fmt.Errorf("des: %d bytes is not a whole number of superblocks", len(sbs))
+	}
+	out := make([]byte, len(sbs)/2)
+	buf := make([]byte, 8)
+	for i := 0; 16*i < len(sbs); i++ {
+		copy(buf, sbs[16*i:16*i+8])
+		SwapWords32(buf)
+		v := cipher.DESLoad64(buf)
+		cipher.DESStore64(out[8*i:], cipher.DESFinalPermutation(v<<32|v>>32))
+	}
+	return out, nil
+}

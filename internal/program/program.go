@@ -106,6 +106,13 @@ func (b *builder) regRow(row int, on bool) {
 	b.cfge(isa.SliceRow(row), isa.ElemReg, isa.RegCfg{Enabled: on}.Encode())
 }
 
+// regAt enables the output register of a single RCE — for round
+// boundaries where only some lanes stay live into the next round (a dead
+// scratch lane's register would burn gates feeding nothing).
+func (b *builder) regAt(row, col int, on bool) {
+	b.cfge(isa.SliceAt(row, col), isa.ElemReg, isa.RegCfg{Enabled: on}.Encode())
+}
+
 func (b *builder) enout()  { b.raw(isa.Instr{Op: isa.OpEnOut, Slice: isa.SliceAll()}) }
 func (b *builder) disout() { b.raw(isa.Instr{Op: isa.OpDisOut, Slice: isa.SliceAll()}) }
 

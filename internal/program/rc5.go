@@ -1,0 +1,254 @@
+package program
+
+import (
+	"fmt"
+
+	"cobra/internal/cipher"
+	"cobra/internal/isa"
+)
+
+// RC5-32/r/b on COBRA. RC5 is RC6's 64-bit-block ancestor and an even
+// cleaner fit for the §3.2 operation set: each half-round is exactly the
+// A1 → E2 → B element chain of one RCE (XOR, data-dependent rotate, add).
+//
+// Like GOST, a 64-bit block occupies one column pair, so the 128-bit
+// datapath processes TWO blocks per pass: block A (words a,b little-endian)
+// in columns 0-1, block B in columns 2-3. One round is two rows:
+//
+//	row T:  a' = ((a ^ b) <<< b) + S[2i]   in the even columns
+//	        (b passes untouched in the odd ones)
+//	row U:  b' = ((b ^ a') <<< a') + S[2i+1] in the odd columns
+//
+// The pre-whitening a += S[0], b += S[1] uses the input-side whitening
+// adders of all four columns.
+
+// rc5RoundRows emits one RC5 round for both parallel blocks at rows
+// (rt, rt+1).
+func (b *builder) rc5RoundRows(rt int) {
+	ru := rt + 1
+	for _, base := range []int{0, 2} {
+		// The odd word of the pair: column 0 sees it as INB, column 2 as IND.
+		odd := isa.SrcINB
+		if base == 2 {
+			odd = isa.SrcIND
+		}
+		// Row T: a' in the even column.
+		s := isa.SliceAt(rt, base)
+		b.cfge(s, isa.ElemA1, aCfg(isa.AXor, odd))
+		b.cfge(s, isa.ElemE2, eCfg(isa.ERotl, odd, 0))
+		b.cfge(s, isa.ElemB, bCfg(isa.BAdd, 2, isa.SrcINER))
+		// Row U: b' in the odd column; the even word of the pair is INB for
+		// column 1 and IND for column 3.
+		even := isa.SrcINB
+		if base == 2 {
+			even = isa.SrcIND
+		}
+		s = isa.SliceAt(ru, base+1)
+		b.cfge(s, isa.ElemA1, aCfg(isa.AXor, even))
+		b.cfge(s, isa.ElemE2, eCfg(isa.ERotl, even, 0))
+		b.cfge(s, isa.ElemB, bCfg(isa.BAdd, 2, isa.SrcINER))
+	}
+}
+
+// BuildRC5 compiles RC5-32/rounds/16 encryption at unroll depth hw. rounds
+// is normally cipher.RC5Rounds (12); the key is 1–255 bytes like the host
+// reference.
+func BuildRC5(key []byte, hw, rounds int) (*Program, error) {
+	ck, err := cipher.NewRC5Rounds(key, rounds)
+	if err != nil {
+		return nil, err
+	}
+	s := ck.RoundKeys()
+
+	full := hw == rounds
+	geo, passes, err := validateUnroll("rc5", hw, rounds, 2, 0)
+	if err != nil {
+		return nil, err
+	}
+	if geo.Rows < 4 {
+		geo.Rows = 4 // the paper's base architecture is the minimum build
+	}
+
+	p := &Program{
+		Name:        fmt.Sprintf("rc5-%d", hw),
+		Cipher:      "rc5",
+		HWRounds:    hw,
+		TotalRounds: rounds,
+		Geometry:    geo,
+		Window:      1,
+		Streaming:   full,
+	}
+	b := &builder{}
+	b.disout()
+
+	for st := 0; st < hw; st++ {
+		b.rc5RoundRows(2 * st)
+	}
+
+	// Key layout: bank 0 address r holds round r's S[2r] in the even
+	// columns (row T) and S[2r+1] in the odd ones (row U); both parallel
+	// blocks share the schedule.
+	for r := 1; r <= rounds; r++ {
+		b.eramw(0, 0, r, s[2*r])
+		b.eramw(2, 0, r, s[2*r])
+		b.eramw(1, 0, r, s[2*r+1])
+		b.eramw(3, 0, r, s[2*r+1])
+	}
+
+	var regs []int
+	for st := 0; st < hw; st++ {
+		if full || st < hw-1 {
+			regs = append(regs, 2*st+1)
+		}
+	}
+	for _, row := range regs {
+		b.regRow(row, true)
+	}
+
+	if full {
+		p.PipelineDepth = len(regs)
+		for c := 0; c < 4; c++ {
+			b.white(c, isa.WhiteAdd, true, s[c%2])
+		}
+		for st := 0; st < hw; st++ {
+			b.erRow(2*st, 0, st+1)
+			b.erRow(2*st+1, 0, st+1)
+		}
+		b.streamingFlow(len(regs))
+		p.Instrs = b.ins
+		return p, nil
+	}
+
+	b.iterativeFlow(len(regs)+1, passes, iterHooks{
+		FirstPass: func(b *builder) {
+			for c := 0; c < 4; c++ {
+				b.white(c, isa.WhiteAdd, true, s[c%2])
+			}
+		},
+		SecondPass: func(b *builder) {
+			for c := 0; c < 4; c++ {
+				b.whiteOff(c)
+			}
+		},
+		EveryPass: func(b *builder, pass int) {
+			for st := 0; st < hw; st++ {
+				b.erRow(2*st, 0, pass*hw+st+1)
+				b.erRow(2*st+1, 0, pass*hw+st+1)
+			}
+		},
+	})
+	p.Instrs = b.ins
+	return p, nil
+}
+
+// rc5DecRoundRows emits one RC5 decryption round at rows rt..rt+3. The
+// inverse half-rounds subtract before rotating, and the element chain
+// evaluates B after E2, so each half-round splits across two rows (the
+// same split BuildRC6Decrypt uses):
+//
+//	row T1:  t  = b - S[2i+1]          (odd columns)
+//	row U1:  b' = (t >>> a) ^ a        (odd columns; E2 Neg + A2)
+//	row T2:  u  = a - S[2i]            (even columns)
+//	row U2:  a' = (u >>> b') ^ b'      (even columns)
+func (b *builder) rc5DecRoundRows(rt int) {
+	for _, base := range []int{0, 2} {
+		even := isa.SrcINB // the pair's even word as seen from the odd column
+		odd := isa.SrcINB  // the pair's odd word as seen from the even column
+		if base == 2 {
+			even = isa.SrcIND
+			odd = isa.SrcIND
+		}
+		b.cfge(isa.SliceAt(rt, base+1), isa.ElemB, bCfg(isa.BSub, 2, isa.SrcINER))
+		s := isa.SliceAt(rt+1, base+1)
+		b.cfge(s, isa.ElemE2, isa.ECfg{Mode: isa.ERotl, AmtSrc: even, Neg: true}.Encode())
+		b.cfge(s, isa.ElemA2, aCfg(isa.AXor, even))
+		b.cfge(isa.SliceAt(rt+2, base), isa.ElemB, bCfg(isa.BSub, 2, isa.SrcINER))
+		s = isa.SliceAt(rt+3, base)
+		b.cfge(s, isa.ElemE2, isa.ECfg{Mode: isa.ERotl, AmtSrc: odd, Neg: true}.Encode())
+		b.cfge(s, isa.ElemA2, aCfg(isa.AXor, odd))
+	}
+}
+
+// BuildRC5Decrypt compiles RC5 decryption at unroll depth hw: four rows per
+// round, rounds walked highest-first, with the final a -= S[0], b -= S[1]
+// applied as negated-key output whitening.
+func BuildRC5Decrypt(key []byte, hw, rounds int) (*Program, error) {
+	ck, err := cipher.NewRC5Rounds(key, rounds)
+	if err != nil {
+		return nil, err
+	}
+	s := ck.RoundKeys()
+
+	full := hw == rounds
+	geo, passes, err := validateUnroll("rc5", hw, rounds, 4, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Program{
+		Name:        fmt.Sprintf("rc5-dec-%d", hw),
+		Cipher:      "rc5",
+		HWRounds:    hw,
+		TotalRounds: rounds,
+		Geometry:    geo,
+		Window:      1,
+		Streaming:   full,
+	}
+	b := &builder{}
+	b.disout()
+
+	for st := 0; st < hw; st++ {
+		b.rc5DecRoundRows(4 * st)
+	}
+	for r := 1; r <= rounds; r++ {
+		b.eramw(1, 0, r, s[2*r+1])
+		b.eramw(3, 0, r, s[2*r+1])
+		b.eramw(0, 0, r, s[2*r])
+		b.eramw(2, 0, r, s[2*r])
+	}
+
+	var regs []int
+	for st := 0; st < hw; st++ {
+		if full || st < hw-1 {
+			regs = append(regs, 4*st+3)
+		}
+	}
+	for _, row := range regs {
+		b.regRow(row, true)
+	}
+
+	if full {
+		p.PipelineDepth = len(regs)
+		for c := 0; c < 4; c++ {
+			b.white(c, isa.WhiteAdd, false, -s[c%2])
+		}
+		for st := 0; st < hw; st++ {
+			b.erRow(4*st, 0, rounds-st)
+			b.erRow(4*st+2, 0, rounds-st)
+		}
+		b.streamingFlow(len(regs))
+		p.Instrs = b.ins
+		return p, nil
+	}
+
+	b.iterativeFlow(len(regs)+1, passes, iterHooks{
+		LastPass: func(b *builder) {
+			for c := 0; c < 4; c++ {
+				b.white(c, isa.WhiteAdd, false, -s[c%2])
+			}
+		},
+		EveryPass: func(b *builder, pass int) {
+			for st := 0; st < hw; st++ {
+				b.erRow(4*st, 0, rounds-(pass*hw+st))
+				b.erRow(4*st+2, 0, rounds-(pass*hw+st))
+			}
+		},
+		Epilogue: func(b *builder) {
+			for c := 0; c < 4; c++ {
+				b.whiteOff(c)
+			}
+		},
+	})
+	p.Instrs = b.ins
+	return p, nil
+}

@@ -32,6 +32,24 @@ func allPrograms(t *testing.T) []*Program {
 		add(BuildSerpent(testKey, hw))
 	}
 	add(BuildSerpentDecrypt(testKey))
+	for _, hw := range []int{1, 2, 3, 4, 6, 12} {
+		add(BuildRC5(testKey, hw, cipher.RC5Rounds))
+		add(BuildRC5Decrypt(testKey, hw, cipher.RC5Rounds))
+	}
+	for _, hw := range []int{1, 2, 4, 8, 16, 32} {
+		add(BuildTEA(testKey, hw))
+		add(BuildTEADecrypt(testKey, hw))
+	}
+	for _, hw := range []int{1, 2, 4, 11, 22, 44} {
+		add(BuildSIMON(testKey, hw))
+		add(BuildSIMONDecrypt(testKey, hw))
+	}
+	for _, hw := range []int{1, 2} {
+		add(BuildBlowfish(testKey, hw))
+		add(BuildBlowfishDecrypt(testKey, hw))
+	}
+	add(BuildDES(testKey[:8]))
+	add(BuildDESDecrypt(testKey[:8]))
 	return out
 }
 

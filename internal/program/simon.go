@@ -1,0 +1,179 @@
+package program
+
+import (
+	"fmt"
+
+	"cobra/internal/cipher"
+	"cobra/internal/isa"
+)
+
+// SIMON 64/128 on COBRA — a 2013 lightweight cipher the 2003 architecture
+// was never designed for, mapped as a stress test of the paper's
+// algorithm-agility claim. The round function needs only rotates, one AND
+// and XORs, so a full round fits the A elements' pre-shift rotate path
+// with the B adder, C LUT and D multiplier all idle:
+//
+//	row T:  t = (x <<< 1) & (x <<< 8) ^ (x <<< 2)     (even columns:
+//	        E1 ROTL 1, A1 AND with pre-rotate 8, A2 XOR with pre-rotate 2)
+//	row U:  x' = y ^ t ^ k_i  (even columns; y arrives as INB/IND, the raw
+//	        t as the A operand); y' = x recovered from the bypass bus.
+//
+// Like GOST and RC5, two 64-bit blocks ride one superblock: block A
+// (words x,y little-endian) in columns 0-1, block B in columns 2-3.
+
+// aRotl builds an A-element config whose operand is pre-rotated left.
+func aRotl(op isa.AOp, src isa.Src, rot uint8) uint64 {
+	return isa.ACfg{Op: op, Operand: src, PreShift: rot, PreShiftRot: true}.Encode()
+}
+
+// simonRoundRows emits one SIMON round for both parallel blocks at rows
+// (rt, rt+1).
+func (b *builder) simonRoundRows(rt int) {
+	ru := rt + 1
+	for _, base := range []int{0, 2} {
+		// Row T: t = f(x) in the even column; y passes in the odd one.
+		s := isa.SliceAt(rt, base)
+		b.cfge(s, isa.ElemE1, eImm(isa.ERotl, 1))
+		b.cfge(s, isa.ElemA1, aRotl(isa.AAnd, isa.SrcINA, 8))
+		b.cfge(s, isa.ElemA2, aRotl(isa.AXor, isa.SrcINA, 2))
+		// Row U: x' = y ^ t ^ k in the even column. The odd word y is INB
+		// for column 0 and IND for column 2; t is the column's own raw block.
+		odd := uint8(1) // col0's INB = block 1
+		if base == 2 {
+			odd = 3 // col2's IND = block 3
+		}
+		b.insel(ru, base, odd)
+		s = isa.SliceAt(ru, base)
+		b.cfge(s, isa.ElemA1, aCfg(isa.AXor, isa.SrcINA))
+		b.cfge(s, isa.ElemA2, aCfg(isa.AXor, isa.SrcINER))
+		// y' = x, recovered from the one-row bypass.
+		b.insel(ru, base+1, uint8(4+base)) // PA / PC
+	}
+}
+
+// simonDecRoundRows emits one inverse SIMON round at rows (rt, rt+1): the
+// Feistel mirror with x and y roles exchanged.
+func (b *builder) simonDecRoundRows(rt int) {
+	ru := rt + 1
+	for _, base := range []int{0, 2} {
+		// Row T: t = f(y) in the odd column; x passes in the even one.
+		s := isa.SliceAt(rt, base+1)
+		b.cfge(s, isa.ElemE1, eImm(isa.ERotl, 1))
+		b.cfge(s, isa.ElemA1, aRotl(isa.AAnd, isa.SrcINA, 8))
+		b.cfge(s, isa.ElemA2, aRotl(isa.AXor, isa.SrcINA, 2))
+		// Row U: y' = x ^ t ^ k in the odd column.
+		even := uint8(1) // col1's INB = block 0
+		if base == 2 {
+			even = 3 // col3's IND = block 2
+		}
+		b.insel(ru, base+1, even)
+		s = isa.SliceAt(ru, base+1)
+		b.cfge(s, isa.ElemA1, aCfg(isa.AXor, isa.SrcINA))
+		b.cfge(s, isa.ElemA2, aCfg(isa.AXor, isa.SrcINER))
+		// x' = y, recovered from the one-row bypass.
+		b.insel(ru, base, uint8(4+base+1)) // PB / PD
+	}
+}
+
+// buildSIMON shares the skeleton of the two directions: 2 rows per round,
+// key schedule in bank 0, no whitening.
+func buildSIMON(key []byte, hw int, decrypt bool) (*Program, error) {
+	ck, err := cipher.NewSIMON64(key)
+	if err != nil {
+		return nil, err
+	}
+	k := ck.RoundKeys()
+	rounds := cipher.SIMON64Rounds
+
+	full := hw == rounds
+	geo, passes, err := validateUnroll("simon64", hw, rounds, 2, 0)
+	if err != nil {
+		return nil, err
+	}
+	if geo.Rows < 4 {
+		geo.Rows = 4 // the paper's base architecture is the minimum build
+	}
+
+	name := fmt.Sprintf("simon64-%d", hw)
+	if decrypt {
+		name = fmt.Sprintf("simon64-dec-%d", hw)
+	}
+	p := &Program{
+		Name:        name,
+		Cipher:      "simon64",
+		HWRounds:    hw,
+		TotalRounds: rounds,
+		Geometry:    geo,
+		Window:      1,
+		Streaming:   full,
+	}
+	b := &builder{}
+	b.disout()
+
+	// The key-consuming columns: even for encryption, odd for decryption.
+	kcols := []int{0, 2}
+	if decrypt {
+		kcols = []int{1, 3}
+	}
+	for st := 0; st < hw; st++ {
+		if decrypt {
+			b.simonDecRoundRows(2 * st)
+		} else {
+			b.simonRoundRows(2 * st)
+		}
+	}
+	for i := 0; i < rounds; i++ {
+		for _, c := range kcols {
+			b.eramw(c, 0, i, k[i])
+		}
+	}
+
+	var regs []int
+	for st := 0; st < hw; st++ {
+		if full || st < hw-1 {
+			regs = append(regs, 2*st+1)
+		}
+	}
+	for _, row := range regs {
+		b.regRow(row, true)
+	}
+
+	// round returns the schedule index stage st serves on pass `pass`.
+	round := func(pass, st int) int {
+		if decrypt {
+			return rounds - 1 - (pass*hw + st)
+		}
+		return pass*hw + st
+	}
+
+	if full {
+		p.PipelineDepth = len(regs)
+		for st := 0; st < hw; st++ {
+			b.erRow(2*st+1, 0, round(0, st))
+		}
+		b.streamingFlow(len(regs))
+		p.Instrs = b.ins
+		return p, nil
+	}
+
+	b.iterativeFlow(len(regs)+1, passes, iterHooks{
+		EveryPass: func(b *builder, pass int) {
+			for st := 0; st < hw; st++ {
+				b.erRow(2*st+1, 0, round(pass, st))
+			}
+		},
+	})
+	p.Instrs = b.ins
+	return p, nil
+}
+
+// BuildSIMON compiles SIMON 64/128 encryption at unroll depth hw (any
+// divisor of the 44 rounds; 44 streams one superblock per cycle).
+func BuildSIMON(key []byte, hw int) (*Program, error) {
+	return buildSIMON(key, hw, false)
+}
+
+// BuildSIMONDecrypt compiles SIMON 64/128 decryption at unroll depth hw.
+func BuildSIMONDecrypt(key []byte, hw int) (*Program, error) {
+	return buildSIMON(key, hw, true)
+}

@@ -1,0 +1,19 @@
+package program
+
+// Superblock marshalling for the 64-bit-block mappings. The datapath loads
+// a 16-byte superblock as four little-endian 32-bit words
+// (bits.LoadBlock128). GOST, RC5 and SIMON specify little-endian words, so
+// two of their blocks concatenate into a superblock byte-for-byte; ciphers
+// specified with big-endian words (TEA, Blowfish, DES) byte-swap each word
+// at the host boundary instead — a reordering the byte shufflers cannot
+// express, because they apply on every pass rather than once per block.
+
+// SwapWords32 byte-swaps every aligned 4-byte group of buf in place (the
+// tail of a non-multiple-of-4 buffer is left untouched). It is its own
+// inverse.
+func SwapWords32(buf []byte) {
+	for i := 0; i+3 < len(buf); i += 4 {
+		buf[i], buf[i+3] = buf[i+3], buf[i]
+		buf[i+1], buf[i+2] = buf[i+2], buf[i+1]
+	}
+}

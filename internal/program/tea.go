@@ -1,0 +1,213 @@
+package program
+
+import (
+	"fmt"
+
+	"cobra/internal/bits"
+	"cobra/internal/cipher"
+	"cobra/internal/isa"
+)
+
+// TEA on COBRA. TEA is the archetype of the paper's Table 2 operation
+// profile — additions, fixed shifts and XORs only — but its three-term
+// mix ((v<<4)+k ^ v+sum ^ (v>>5)+k') needs three adders per half-round,
+// so one 64-bit block spreads across all four columns instead of pairing
+// two blocks per superblock the way GOST/RC5/SIMON do. One round is six
+// rows (three per half-round):
+//
+//	r0: t1 = (v1<<4)+k0 | t2 = v1+sum | t3 = (v1>>5)+k1   (cols 2,1,3)
+//	r1: u = t1^t2^t3 in col 2; v1 recovered from the bypass
+//	r2: v0 += u
+//	r3-r5: the mirrored second half-round updating v1
+//
+// Superblock convention: words 0,1 hold v0,v1 little-endian (the host
+// byte-swaps TEA's big-endian words); words 2,3 are scratch lanes that
+// emerge holding round intermediates — deliberately key- and
+// plaintext-tainted so the dataflow taint gate holds on every output word.
+//
+// The per-round sums delta*(i+1) live in eRAM bank 1 of column 1 and are
+// the only per-pass address walk; k0..k3 are static bank-0 reads in the
+// shifted-term columns.
+
+// teaHalfRows emits one TEA half-round at rows (r, r+1, r+2): the three
+// terms of the source word, their combination, and the update of the
+// destination word. src/dst are the block indices of the two state words
+// (1,0 for the first half-round, 0,1 for the second).
+func (b *builder) teaHalfRows(r, src, dst int, sub bool) {
+	// Row r: three terms. The source word is column 1's INSEL pick and the
+	// shifted-term columns' secondary pick.
+	if src == 1 {
+		b.insel(r, 1, 0) // col 1's own primary block
+	} else {
+		b.insel(r, 1, 1) // col 1's INB = block 0
+	}
+	s := isa.SliceAt(r, 1)
+	b.cfge(s, isa.ElemB, bCfg(isa.BAdd, 2, isa.SrcINER)) // + sum (bank 1)
+	// col 2 sees block 0 as INB (source 1) and block 1 as INC (source 2);
+	// col 3 sees block 0 as INB (source 1) and block 1 as INC (source 2).
+	sel := uint8(1)
+	if src == 1 {
+		sel = 2
+	}
+	b.insel(r, 2, sel)
+	s = isa.SliceAt(r, 2)
+	b.cfge(s, isa.ElemE1, eImm(isa.EShl, 4))
+	b.cfge(s, isa.ElemB, bCfg(isa.BAdd, 2, isa.SrcINER)) // + k0/k2 (bank 0)
+	b.insel(r, 3, sel)
+	s = isa.SliceAt(r, 3)
+	b.cfge(s, isa.ElemE1, eImm(isa.EShr, 5))
+	b.cfge(s, isa.ElemB, bCfg(isa.BAdd, 2, isa.SrcINER)) // + k1/k3 (bank 0)
+
+	// Row r+1: u = t1 ^ t2 ^ t3 in col 2; the consumed source word comes
+	// back from the one-row bypass into col 1.
+	s = isa.SliceAt(r+1, 2)
+	b.cfge(s, isa.ElemA1, aCfg(isa.AXor, isa.SrcINC)) // t2 (block 1)
+	b.cfge(s, isa.ElemA2, aCfg(isa.AXor, isa.SrcIND)) // t3 (block 3)
+	b.insel(r+1, 1, 5)                                // PB: the source word
+
+	// Row r+2: dst = dst ± u (u is block 2: INC for both cols 0 and 1).
+	mode := isa.BAdd
+	if sub {
+		mode = isa.BSub
+	}
+	b.cfge(isa.SliceAt(r+2, dst), isa.ElemB, bCfg(mode, 2, isa.SrcINC))
+}
+
+// teaRoundRows emits one encryption round at rows rt..rt+5.
+func (b *builder) teaRoundRows(rt int) {
+	b.teaHalfRows(rt, 1, 0, false)   // v0 += mix(v1)
+	b.teaHalfRows(rt+3, 0, 1, false) // v1 += mix(v0)
+}
+
+// teaDecRoundRows emits one decryption round at rows rt..rt+5.
+func (b *builder) teaDecRoundRows(rt int) {
+	b.teaHalfRows(rt, 0, 1, true)   // v1 -= mix(v0)
+	b.teaHalfRows(rt+3, 1, 0, true) // v0 -= mix(v1)
+}
+
+// buildTEA shares the two directions' skeleton: six rows per round, sums
+// walked through column 1's bank 1, k-words static in columns 2 and 3.
+func buildTEA(key []byte, hw int, decrypt bool) (*Program, error) {
+	if _, err := cipher.NewTEA(key); err != nil {
+		return nil, err
+	}
+	var kw [4]uint32
+	for i := range kw {
+		kw[i] = bits.Load32BE(key[4*i:])
+	}
+	const rounds = 32
+
+	full := hw == rounds
+	geo, passes, err := validateUnroll("tea", hw, rounds, 6, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	name := fmt.Sprintf("tea-%d", hw)
+	if decrypt {
+		name = fmt.Sprintf("tea-dec-%d", hw)
+	}
+	p := &Program{
+		Name:        name,
+		Cipher:      "tea",
+		HWRounds:    hw,
+		TotalRounds: rounds,
+		Geometry:    geo,
+		Window:      1,
+		Streaming:   full,
+	}
+	b := &builder{}
+	b.disout()
+
+	for st := 0; st < hw; st++ {
+		if decrypt {
+			b.teaDecRoundRows(6 * st)
+		} else {
+			b.teaRoundRows(6 * st)
+		}
+	}
+
+	// Key words: the first half-round's shifted terms read bank-0 address 0,
+	// the second half-round's address 1. Encryption mixes (k0,k1) into v0
+	// first; decryption undoes v1's (k2,k3) mix first.
+	first, second := [2]uint32{kw[0], kw[1]}, [2]uint32{kw[2], kw[3]}
+	if decrypt {
+		first, second = second, first
+	}
+	b.eramw(2, 0, 0, first[0])
+	b.eramw(3, 0, 0, first[1])
+	b.eramw(2, 0, 1, second[0])
+	b.eramw(3, 0, 1, second[1])
+	for i := 0; i < rounds; i++ {
+		b.eramw(1, 1, i, teaDelta*uint32(i+1))
+	}
+	for st := 0; st < hw; st++ {
+		b.er(6*st, 2, 0, 0)
+		b.er(6*st, 3, 0, 0)
+		b.er(6*st+3, 2, 0, 1)
+		b.er(6*st+3, 3, 0, 1)
+	}
+
+	var regs []int
+	for st := 0; st < hw; st++ {
+		if full || st < hw-1 {
+			regs = append(regs, 6*st+5)
+		}
+	}
+	for i, row := range regs {
+		if full && i == len(regs)-1 {
+			b.regRow(row, true) // all four lanes feed the output mux
+			continue
+		}
+		// Interior boundaries: the next round overwrites the scratch
+		// lanes without reading them, so only v0 and v1 register.
+		b.regAt(row, 0, true)
+		b.regAt(row, 1, true)
+	}
+
+	// sum returns the bank-1 address stage st reads on pass `pass`: sums
+	// walk up for encryption, down for decryption.
+	sum := func(pass, st int) int {
+		if decrypt {
+			return rounds - 1 - (pass*hw + st)
+		}
+		return pass*hw + st
+	}
+
+	if full {
+		p.PipelineDepth = len(regs)
+		for st := 0; st < hw; st++ {
+			b.er(6*st, 1, 1, sum(0, st))
+			b.er(6*st+3, 1, 1, sum(0, st))
+		}
+		b.streamingFlow(len(regs))
+		p.Instrs = b.ins
+		return p, nil
+	}
+
+	b.iterativeFlow(len(regs)+1, passes, iterHooks{
+		EveryPass: func(b *builder, pass int) {
+			for st := 0; st < hw; st++ {
+				b.er(6*st, 1, 1, sum(pass, st))
+				b.er(6*st+3, 1, 1, sum(pass, st))
+			}
+		},
+	})
+	p.Instrs = b.ins
+	return p, nil
+}
+
+// teaDelta is the TEA round constant (mirrors cipher.teaDelta, which is
+// unexported).
+const teaDelta = 0x9e3779b9
+
+// BuildTEA compiles TEA encryption at unroll depth hw (any divisor of the
+// 32 rounds; 32 streams one block per cycle through 192 rows).
+func BuildTEA(key []byte, hw int) (*Program, error) {
+	return buildTEA(key, hw, false)
+}
+
+// BuildTEADecrypt compiles TEA decryption at unroll depth hw.
+func BuildTEADecrypt(key []byte, hw int) (*Program, error) {
+	return buildTEA(key, hw, true)
+}

@@ -34,6 +34,12 @@ func TestValidateProvesBuiltins(t *testing.T) {
 		{"rijndael-1", func() (*Program, error) { return BuildRijndael(key, 1) }},
 		{"serpent-1", func() (*Program, error) { return BuildSerpent(key, 1) }},
 		{"gost-2", func() (*Program, error) { return BuildGOST(gostKey) }},
+		{"rc5-1", func() (*Program, error) { return BuildRC5(key, 1, 12) }},
+		{"rc5-dec-12", func() (*Program, error) { return BuildRC5Decrypt(key, 12, 12) }},
+		{"tea-2", func() (*Program, error) { return BuildTEA(key, 2) }},
+		{"simon64-44", func() (*Program, error) { return BuildSIMON(key, 44) }},
+		{"blowfish-1", func() (*Program, error) { return BuildBlowfish(key, 1) }},
+		{"des-1", func() (*Program, error) { return BuildDES(key[:8]) }},
 	}
 	for _, b := range builds {
 		t.Run(b.name, func(t *testing.T) {
