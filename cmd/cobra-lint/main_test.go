@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"cobra/internal/vet"
 )
 
 func TestExitCodes(t *testing.T) {
@@ -63,5 +66,42 @@ func TestFullReport(t *testing.T) {
 	s := out.String()
 	if !strings.Contains(s, "deprecated") || !strings.Contains(s, "hotpath") {
 		t.Errorf("expected findings from both files:\n%s", s)
+	}
+}
+
+// TestJSONReports pins the machine-readable output: source positions in
+// the shared cobra-vet schema, one report per argument.
+func TestJSONReports(t *testing.T) {
+	dir := t.TempDir()
+	dirty := filepath.Join(dir, "dirty.go")
+	src := `package x
+
+//cobra:hotpath
+func g() {
+	panic("boom")
+}
+`
+	if err := os.WriteFile(dirty, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "findings.json")
+	var out, errb bytes.Buffer
+	if got := run([]string{"-json", path, dirty}, &out, &errb); got != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", got, errb.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []vet.JSONReport
+	if err := json.Unmarshal(raw, &reports); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, raw)
+	}
+	if len(reports) != 1 || reports[0].Check != "lint" || reports[0].Clean {
+		t.Fatalf("reports = %+v", reports)
+	}
+	f := reports[0].Findings[0]
+	if f.Code != "hotpathpanic" || f.File != dirty || f.SrcLine != 5 || f.SrcCol == 0 {
+		t.Errorf("finding = %+v", f)
 	}
 }

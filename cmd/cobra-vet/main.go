@@ -12,6 +12,8 @@
 //	cobra-vet -rows 8 prog.casm     # ...against a taller geometry
 //	cobra-vet -dataflow -builtin    # ...plus the dataflow analyzers
 //	cobra-vet -equiv -builtin       # ...plus translation validation
+//	cobra-vet -ct -builtin          # ...plus side-channel analysis
+//	cobra-vet -json ct.json -ct -builtin   # ...plus machine-readable findings
 //
 // With -dataflow each program additionally runs package dataflow's abstract
 // walk: uninitialized-read, dead-element/dead-store, key/plaintext taint,
@@ -23,6 +25,18 @@
 // equiv); a program the compiler refuses (key-request handshakes) is
 // reported as skipped, not failed. An unproven trace is a finding and
 // prints both sides' expressions plus a concrete diverging input witness.
+//
+// With -ct each program additionally runs package sca's static side-channel
+// analysis: key/plaintext taint reaching table indices (the T-table class,
+// a warning with element coordinates), eRAM address lanes or control
+// decisions (errors), plus the microcode/fastpath profile differential.
+// A T-table-class profile is a clean verdict — only Error findings dirty
+// the run — so ARX ciphers must prove constant-time profiles while S-box
+// ciphers document their access patterns.
+//
+// With -json <path> every finding is additionally written as a
+// machine-readable report ("-" writes to stdout), one entry per
+// (program, check) pair — the CI artifact format.
 //
 // cobra-vet is a full-report tool: every program and every file is checked
 // and every finding printed before the exit status is decided. A broken
@@ -46,6 +60,7 @@ import (
 	"cobra/internal/fastpath"
 	"cobra/internal/isa"
 	"cobra/internal/program"
+	"cobra/internal/sca"
 	"cobra/internal/vet"
 )
 
@@ -63,6 +78,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	keyHex := fs.String("key", "000102030405060708090a0b0c0d0e0f", "key for the built-in builds (hex)")
 	dflow := fs.Bool("dataflow", false, "also run the word-level dataflow analyzers (def-use, liveness, taint, static timing)")
 	equivFlag := fs.Bool("equiv", false, "also trace-compile and symbolically validate the fastpath against the microcode")
+	ctFlag := fs.Bool("ct", false, "also run the static side-channel analysis (secret-indexed table reads, address/control lanes, fastpath differential)")
+	jsonPath := fs.String("json", "", `write machine-readable findings to this path ("-": stdout)`)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -73,13 +90,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	dirty := false
+	var jsonReports []vet.JSONReport
+	addJSON := func(r vet.JSONReport) {
+		if *jsonPath != "" {
+			jsonReports = append(jsonReports, r)
+		}
+	}
 	// fail records a finding that is not a vet.Finding: a build, assembly,
 	// or validation failure. It never aborts the run — full report first.
 	fail := func(format string, a ...any) {
 		dirty = true
-		fmt.Fprintf(stderr, "cobra-vet: "+format+"\n", a...)
+		msg := fmt.Sprintf(format, a...)
+		fmt.Fprintf(stderr, "cobra-vet: %s\n", msg)
+		addJSON(vet.JSONReport{Check: "build", Findings: []vet.JSONFinding{
+			{Severity: "error", Code: "build-failure", Msg: msg},
+		}})
 	}
 	report := func(name string, fs []vet.Finding) {
+		addJSON(vet.NewJSONReport(name, "vet", fs))
 		if len(fs) == 0 {
 			fmt.Fprintf(stdout, "%-24s clean\n", name)
 			return
@@ -92,6 +120,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// reportFlow prints a program's dataflow result: findings (or "flow
 	// clean"), then the gate and timing summary for closed walks.
 	reportFlow := func(name string, res *dataflow.Result) {
+		addJSON(vet.NewJSONReport(name, "dataflow", res.Findings))
 		if len(res.Findings) == 0 {
 			fmt.Fprintf(stdout, "%-24s flow clean", name)
 		} else {
@@ -114,9 +143,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	// reportEquiv prints one translation-validation verdict; an unproven
 	// trace dirties the run.
-	reportEquiv := func(res *equiv.Result) {
+	reportEquiv := func(name string, res *equiv.Result) {
 		fmt.Fprintf(stdout, "%s\n", res)
+		jr := vet.JSONReport{Name: name, Check: "equiv", Clean: res.Proven, Findings: []vet.JSONFinding{}}
 		if !res.Proven {
+			dirty = true
+			jr.Findings = append(jr.Findings, vet.JSONFinding{
+				Severity: "error", Code: "equiv-unproven", Msg: res.String(),
+			})
+		}
+		addJSON(jr)
+	}
+	// reportCT prints one constant-time verdict: the findings, then the
+	// summary line. Only Error findings dirty the run — a T-table-class
+	// profile (Warn findings) is a clean verdict with documented access
+	// patterns.
+	reportCT := func(name string, rep *sca.Report) {
+		addJSON(vet.JSONReport{Name: name, Check: "ct", Clean: !rep.HasErrors(),
+			Findings: vet.NewJSONReport(name, "ct", rep.Findings).Findings})
+		for _, f := range rep.Findings {
+			fmt.Fprintf(stdout, "%s: %s\n", name, f)
+		}
+		fmt.Fprintf(stdout, "%-24s ct: %s\n", name, rep.Summary())
+		if rep.HasErrors() {
 			dirty = true
 		}
 	}
@@ -146,8 +195,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 				if res, err := p.Validate(); err != nil {
 					fmt.Fprintf(stdout, "%-24s equiv skipped: %v\n", p.Name, err)
 				} else {
-					reportEquiv(res)
+					reportEquiv(p.Name, res)
 				}
+			}
+			if *ctFlag {
+				reportCT(p.Name, p.CheckConstantTime())
 			}
 		}
 	}
@@ -164,21 +216,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 			continue
 		}
 		report(path, vet.CheckWords(words, vet.Config{Rows: *rows, Window: *window}))
-		if *dflow {
-			ins := make([]isa.Instr, len(words))
-			bad := false
+		// The dataflow and sca analyses share the decoded instruction list.
+		var ins []isa.Instr
+		if *dflow || *ctFlag {
+			ins = make([]isa.Instr, len(words))
 			for i, w := range words {
 				in, err := isa.Unpack(w)
 				if err != nil {
 					fail("%s: word %d: %v", path, i, err)
-					bad = true
+					ins = nil
 					break
 				}
 				ins[i] = in
 			}
-			if !bad {
-				reportFlow(path, dataflow.Analyze(ins, dataflow.Config{Rows: *rows, Window: *window}))
-			}
+		}
+		if *dflow && ins != nil {
+			reportFlow(path, dataflow.Analyze(ins, dataflow.Config{Rows: *rows, Window: *window}))
 		}
 		if *equivFlag {
 			geo := datapath.Geometry{Rows: *rows}
@@ -188,10 +241,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if err != nil {
 				fmt.Fprintf(stdout, "%-24s equiv skipped: %v\n", path, err)
 			} else {
-				reportEquiv(equiv.Validate(words, equiv.Config{
+				reportEquiv(path, equiv.Validate(words, equiv.Config{
 					Name: path, Geometry: geo, Window: *window,
 				}, ex.Trace()))
 			}
+		}
+		if *ctFlag && ins != nil {
+			geo := datapath.Geometry{Rows: *rows}
+			mc := sca.AnalyzeMicrocode(path, ins, dataflow.Config{Rows: *rows, Window: *window})
+			var rep *sca.Report
+			if ex, err := fastpath.Compile(fastpath.Source{
+				Name: path, Words: words, Geometry: geo, Window: *window,
+			}); err != nil {
+				rep = sca.BuildReport(path, mc, nil, err.Error())
+			} else {
+				rep = sca.BuildReport(path, mc, sca.AnalyzeTrace(ex.Trace()), "")
+			}
+			reportCT(path, rep)
+		}
+	}
+
+	if *jsonPath != "" {
+		out := stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintf(stderr, "cobra-vet: -json: %v\n", err)
+				return 2
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := vet.WriteJSON(out, jsonReports); err != nil {
+			fmt.Fprintf(stderr, "cobra-vet: -json: %v\n", err)
+			return 2
 		}
 	}
 

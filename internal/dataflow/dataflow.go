@@ -40,11 +40,17 @@
 // it as -dataflow, and internal/fastpath consumes the dead-element masks to
 // elide provably dead ops from compiled traces (guarded by the fastpath
 // differential suite).
+//
+// The finding codes above are this package's complete set. The
+// side-channel codes — "secret-branch", "secret-eram-addr",
+// "secret-lut-index", "ct-unproven", "ct-profile-mismatch" — live in
+// package sca, which attaches a Tap (see tap.go) to this engine's walk and
+// classifies the taint reaching address and control lanes instead of only
+// collected outputs.
 package dataflow
 
 import (
 	"fmt"
-	"sort"
 
 	"cobra/internal/asm"
 	"cobra/internal/datapath"
@@ -163,30 +169,7 @@ func (r *Result) DeadMask(rows int) []uint16 {
 
 // Analyze runs the abstract walk and every analyzer over a decoded program.
 func Analyze(prog []isa.Instr, cfg Config) *Result {
-	cfg = cfg.normalized()
-	res := &Result{}
-	if len(prog) == 0 {
-		addFinding(res, prog, 0, vet.Error, "exec-fault", "program has no instructions")
-		return res
-	}
-	e, err := newEngine(prog, cfg)
-	if err != nil {
-		addFinding(res, prog, 0, vet.Error, "exec-fault", err.Error())
-		return res
-	}
-	e.run()
-	e.report(res)
-	sort.SliceStable(res.Findings, func(i, j int) bool {
-		a, b := res.Findings[i], res.Findings[j]
-		if a.Addr != b.Addr {
-			return a.Addr < b.Addr
-		}
-		if a.Code != b.Code {
-			return a.Code < b.Code
-		}
-		return a.Msg < b.Msg
-	})
-	return res
+	return AnalyzeTap(prog, cfg, nil)
 }
 
 // addFinding appends a diagnostic with its disassembled source line.

@@ -79,6 +79,16 @@ type engine struct {
 	// Where configuration came from: per (cell, elem) the iRAM address of
 	// the most recent OpCfgElem, used to place findings.
 	cfgAddr map[int]int // (row*Cols+col)*16+elem → addr
+	// captAddr is the iRAM address of each column's most recent
+	// OpCfgCapture (-1: never configured), for capture-lane tap events.
+	captAddr [datapath.Cols]int
+
+	// Side-channel export (see tap.go). ticks counts advancing datapath
+	// cycles from power-up; curTick is the index of the cycle currently
+	// evaluating (events inside one cycle share it).
+	tap     *Tap
+	ticks   int
+	curTick int
 
 	// Incremental fingerprint components (XOR-mixed hashes).
 	cfgHash    uint64         // all element control words
@@ -159,6 +169,9 @@ func newEngine(prog []isa.Instr, cfg Config) (*engine, error) {
 		timingSeen:   make(map[uint64]bool),
 		seen:         make(map[string]bool),
 		dvalidAddr:   -1,
+	}
+	for c := range e.captAddr {
+		e.captAddr[c] = -1
 	}
 	e.sets = append(e.sets, nil) // set 0 = empty
 	// Power-up register and feedback contents are distinct uninitialized
@@ -259,6 +272,26 @@ func (e *engine) join(a, b int) int {
 	id := e.intern(merged)
 	e.joinMemo[memoKey] = id
 	return id
+}
+
+// taintOf projects an interned set onto the key/plaintext lattice.
+func (e *engine) taintOf(set int) Taint {
+	return Taint{Key: e.has(set, factKey), Plain: e.has(set, factPlain)}
+}
+
+// laneTaint resolves the taint feeding a non-data lane: empty for the base
+// ISA (immediates and counters), or the named register's current taint
+// when the tap's Source override rewires the lane (the seeded-defect
+// model).
+func (e *engine) laneTaint(site LaneSite) Taint {
+	if e.tap == nil || e.tap.Source == nil {
+		return Taint{}
+	}
+	src, ok := e.tap.Source(site)
+	if !ok || src.Row < 0 || src.Row >= e.cfg.Rows || src.Col < 0 || src.Col >= datapath.Cols {
+		return Taint{}
+	}
+	return e.taintOf(e.reg[src.Row][src.Col])
 }
 
 // has reports whether interned set s contains fact f.
@@ -483,7 +516,12 @@ func (e *engine) execute(addr int, in isa.Instr) (halt, ready bool) {
 		e.captHash ^= e.captHashOf(col)
 		e.arr.SetCapture(col, isa.DecodeCapture(in.Data))
 		e.captHash ^= e.captHashOf(col)
+		e.captAddr[col] = addr
 	case isa.OpCtlFlag:
+		if e.tap != nil && e.tap.Control != nil {
+			site := LaneSite{Kind: LaneFlag, Addr: addr}
+			e.tap.Control(e.ticks, site, in.Op, e.laneTaint(site))
+		}
 		cfg := isa.DecodeFlag(in.Data)
 		e.flags = (e.flags &^ cfg.Clear) | cfg.Set
 		if cfg.Set&isa.FlagDValid != 0 {
@@ -493,6 +531,10 @@ func (e *engine) execute(addr int, in isa.Instr) (halt, ready bool) {
 			return false, true
 		}
 	case isa.OpJmp:
+		if e.tap != nil && e.tap.Control != nil {
+			site := LaneSite{Kind: LaneJmp, Addr: addr}
+			e.tap.Control(e.ticks, site, in.Op, e.laneTaint(site))
+		}
 		target := int(in.Data & 0xfff)
 		if target >= len(e.prog) {
 			e.fail(addr, fmt.Sprintf("jump target %#x outside the program", target))
@@ -638,12 +680,15 @@ func (e *engine) tick() {
 		return // stall: no state moves
 	}
 	im := e.arr.InMux()
+	if im.Mode == isa.InExternal && !e.inputAvail {
+		return // stall: input starvation
+	}
+	// The cycle definitely advances: stamp its index for tap events.
+	e.curTick = e.ticks
+	e.ticks++
 	var vec [datapath.Cols]int
 	switch im.Mode {
 	case isa.InExternal:
-		if !e.inputAvail {
-			return // stall: input starvation
-		}
 		in := e.singleton(factPlain)
 		if e.flags&isa.FlagKeyReq != 0 {
 			in = e.singleton(factKey)
@@ -656,6 +701,10 @@ func (e *engine) tick() {
 	case isa.InERAM:
 		for c := 0; c < datapath.Cols; c++ {
 			cell := cellIndex(c, int(im.Bank), int(e.arr.PlaybackAddr()))
+			if e.tap != nil && e.tap.Addr != nil {
+				site := LaneSite{Kind: LanePlayback, Col: c}
+				e.tap.Addr(e.curTick, site, isa.ElemInsel, e.inmuxAddr, e.laneTaint(site))
+			}
 			vec[c] = e.eramRead(cell, e.inmuxAddr)
 		}
 	}
@@ -723,6 +772,10 @@ func (e *engine) tick() {
 	for c := 0; c < datapath.Cols; c++ {
 		cap := e.arr.Capture(c)
 		if cap.Enabled {
+			if e.tap != nil && e.tap.Addr != nil {
+				site := LaneSite{Kind: LaneCapture, Col: c}
+				e.tap.Addr(e.curTick, site, isa.ElemOut, e.captAddr[c], e.laneTaint(site))
+			}
 			cell := cellIndex(c, int(cap.Bank), int(cap.Addr))
 			e.setERAM(cell, vec[c])
 			e.captHash ^= e.captHashOf(c)
@@ -752,6 +805,9 @@ func (e *engine) tick() {
 	if e.flags&isa.FlagDValid != 0 {
 		e.outputs++
 		for c := 0; c < datapath.Cols; c++ {
+			if e.tap != nil && e.tap.Output != nil {
+				e.tap.Output(e.curTick, c, e.taintOf(vec[c]))
+			}
 			key := [2]int{c, vec[c]}
 			if e.outSeen[key] {
 				continue
@@ -796,6 +852,10 @@ func (e *engine) operandSet(src isa.Src, c int, vec [datapath.Cols]int,
 	case isa.SrcINER:
 		cell := cellIndex(c, int(el.Cfg.ER.Bank), int(el.Cfg.ER.Addr))
 		consumer := e.cfgAddr[(r*datapath.Cols+c)*16+int(consumerElem)]
+		if e.tap != nil && e.tap.Addr != nil {
+			site := LaneSite{Kind: LaneERAddr, Row: r, Col: c}
+			e.tap.Addr(e.curTick, site, consumerElem, consumer, e.laneTaint(site))
+		}
 		return e.eramRead(cell, consumer)
 	}
 	return 0 // immediate or undefined source: no dependency
@@ -840,6 +900,15 @@ func (e *engine) evalCell(r, c int, el *rce.RCE, vec, prev [datapath.Cols]int, n
 	step := func(elem isa.Elem, active bool, data uint64) {
 		if !active {
 			return
+		}
+		// Table-read index taint: the chain value entering a C element is
+		// the LUT-bank read address; the value entering an F element indexes
+		// the folded GF contribution tables in a compiled fastpath (and the
+		// LUT-realized GF logic in hardware). Observed before the element's
+		// own fact joins — the index is what the element consumes.
+		if e.tap != nil && e.tap.Table != nil && (elem == isa.ElemC || elem == isa.ElemF) {
+			e.tap.Table(e.curTick, r, c, elem,
+				e.cfgAddr[(r*datapath.Cols+c)*16+int(elem)], e.taintOf(x))
 		}
 		x = e.withElemFact(x, r, c, elem, newTiming)
 		if src, hasOp := isa.ElemOperand(elem, data); hasOp && src != isa.SrcImm {

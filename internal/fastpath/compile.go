@@ -208,13 +208,14 @@ type gfTab [4][256]uint32
 
 // step is one compiled element operation of an RCE's chain.
 type step struct {
-	kind uint8
-	src  uint8  // block index for *Blk/*Var kinds
-	aux  uint8  // shift amount / B-D width / C page or byte select
-	flag bool   // E: negate amount; A: operand pre-shift is a rotate
-	imm  uint32 // folded immediate operand
-	lut  *rce.LUTStore
-	gf   *gfTab // F element tables
+	kind  uint8
+	src   uint8  // block index for *Blk/*Var kinds
+	aux   uint8  // shift amount / B-D width / C page or byte select
+	flag  bool   // E: negate amount; A: operand pre-shift is a rotate
+	immER bool   // imm was folded from an eRAM read (key provenance)
+	imm   uint32 // folded immediate operand
+	lut   *rce.LUTStore
+	gf    *gfTab // F element tables
 }
 
 // cCell is one RCE at one cycle.
@@ -357,24 +358,27 @@ func identityPerm(p *[16]uint8) bool {
 }
 
 // operandOf resolves an element operand source to either a folded
-// immediate (imm=true) or a block index of the current row vector.
-func operandOf(src isa.Src, imm uint32, col int, iner uint32) (isImm bool, val uint32, blk uint8) {
+// immediate (imm=true) or a block index of the current row vector. fromER
+// marks immediates folded from an eRAM read: the value is key-schedule
+// material, a provenance the side-channel analyzer (package sca) needs
+// after the fold erases the SrcINER encoding.
+func operandOf(src isa.Src, imm uint32, col int, iner uint32) (isImm bool, val uint32, blk uint8, fromER bool) {
 	switch src {
 	case isa.SrcINA:
-		return false, 0, uint8(col)
+		return false, 0, uint8(col), false
 	case isa.SrcINB:
-		return false, 0, uint8(secondaryBlock(col, 0))
+		return false, 0, uint8(secondaryBlock(col, 0)), false
 	case isa.SrcINC:
-		return false, 0, uint8(secondaryBlock(col, 1))
+		return false, 0, uint8(secondaryBlock(col, 1)), false
 	case isa.SrcIND:
-		return false, 0, uint8(secondaryBlock(col, 2))
+		return false, 0, uint8(secondaryBlock(col, 2)), false
 	case isa.SrcINER:
-		return true, iner, 0
+		return true, iner, 0, true
 	case isa.SrcImm:
-		return true, imm, 0
+		return true, imm, 0, false
 	default:
 		// Undefined 3-bit encodings select 0, matching rce.Inputs.Select.
-		return true, 0, 0
+		return true, 0, 0, false
 	}
 }
 
@@ -469,10 +473,13 @@ func compileCell(rs rceSnap, col int, lut *rce.LUTStore, gfCache map[[5]uint8]*g
 			}
 			return
 		}
-		isImm, val, blk := operandOf(e.AmtSrc, 0, col, rs.iner)
+		isImm, val, blk, fromER := operandOf(e.AmtSrc, 0, col, rs.iner)
 		if isImm {
-			if amt := amtOf(val); amt != 0 || e.Mode != isa.ERotl {
-				cell.steps = append(cell.steps, step{kind: kindImm, aux: amt})
+			// A key-sourced amount keeps its step even when it folds to a
+			// zero rotate: the identity operation costs nothing and the
+			// immER provenance must survive for the side-channel profile.
+			if amt := amtOf(val); amt != 0 || e.Mode != isa.ERotl || fromER {
+				cell.steps = append(cell.steps, step{kind: kindImm, aux: amt, immER: fromER})
 			}
 			return
 		}
@@ -491,7 +498,7 @@ func compileCell(rs rceSnap, col int, lut *rce.LUTStore, gfCache map[[5]uint8]*g
 		default:
 			kImm = stOrImm
 		}
-		isImm, val, blk := operandOf(a.Operand, a.Imm, col, rs.iner)
+		isImm, val, blk, fromER := operandOf(a.Operand, a.Imm, col, rs.iner)
 		if isImm {
 			if a.PreShift != 0 {
 				if a.PreShiftRot {
@@ -500,7 +507,7 @@ func compileCell(rs rceSnap, col int, lut *rce.LUTStore, gfCache map[[5]uint8]*g
 					val = bits.Shl(val, uint(a.PreShift))
 				}
 			}
-			cell.steps = append(cell.steps, step{kind: kImm, imm: val})
+			cell.steps = append(cell.steps, step{kind: kImm, imm: val, immER: fromER})
 			return
 		}
 		cell.steps = append(cell.steps, step{
@@ -534,9 +541,9 @@ func compileCell(rs rceSnap, col int, lut *rce.LUTStore, gfCache map[[5]uint8]*g
 			if cfg.D.Mode == isa.DMul32 {
 				w = uint8(bits.W32)
 			}
-			isImm, val, blk := operandOf(cfg.D.Operand, cfg.D.Imm, col, rs.iner)
+			isImm, val, blk, fromER := operandOf(cfg.D.Operand, cfg.D.Imm, col, rs.iner)
 			if isImm {
-				cell.steps = append(cell.steps, step{kind: stMulImm, imm: val, aux: w})
+				cell.steps = append(cell.steps, step{kind: stMulImm, imm: val, aux: w, immER: fromER})
 			} else {
 				cell.steps = append(cell.steps, step{kind: stMulBlk, src: blk, aux: w})
 			}
@@ -549,9 +556,9 @@ func compileCell(rs rceSnap, col int, lut *rce.LUTStore, gfCache map[[5]uint8]*g
 		if cfg.B.Mode == isa.BSub {
 			kImm, kBlk = stSubImm, stSubBlk
 		}
-		isImm, val, blk := operandOf(cfg.B.Operand, cfg.B.Imm, col, rs.iner)
+		isImm, val, blk, fromER := operandOf(cfg.B.Operand, cfg.B.Imm, col, rs.iner)
 		if isImm {
-			cell.steps = append(cell.steps, step{kind: kImm, imm: val, aux: cfg.B.Width & 3})
+			cell.steps = append(cell.steps, step{kind: kImm, imm: val, aux: cfg.B.Width & 3, immER: fromER})
 		} else {
 			cell.steps = append(cell.steps, step{kind: kBlk, src: blk, aux: cfg.B.Width & 3})
 		}

@@ -93,11 +93,12 @@ const (
 // into Flag, A-element pre-shifts in Aux/Flag, F elements as their folded
 // contribution tables.
 type TraceStep struct {
-	Kind StepKind
-	Src  uint8 // block index for *Blk/*Var kinds
-	Aux  uint8 // shift amount / B-D width / C page or byte select
-	Flag bool  // E: negate amount; A: operand pre-shift is a rotate
-	Imm  uint32
+	Kind  StepKind
+	Src   uint8 // block index for *Blk/*Var kinds
+	Aux   uint8 // shift amount / B-D width / C page or byte select
+	Flag  bool  // E: negate amount; A: operand pre-shift is a rotate
+	ImmER bool  // Imm was folded from an eRAM read: key-schedule material
+	Imm   uint32
 
 	S8 *[4][256]uint8  // StepS8/StepS8to32 lanes
 	S4 *[4][128]uint8  // StepS4 nibble tables (low 4 bits significant)
@@ -166,11 +167,12 @@ func exportCell(cell *cCell) TraceCell {
 		for i := range cell.steps {
 			st := &cell.steps[i]
 			ts := TraceStep{
-				Kind: StepKind(st.kind),
-				Src:  st.src,
-				Aux:  st.aux,
-				Flag: st.flag,
-				Imm:  st.imm,
+				Kind:  StepKind(st.kind),
+				Src:   st.src,
+				Aux:   st.aux,
+				Flag:  st.flag,
+				ImmER: st.immER,
+				Imm:   st.imm,
 			}
 			if st.lut != nil {
 				ts.S8 = &st.lut.S8

@@ -3,7 +3,7 @@
 // standard library only so the suite runs anywhere `go test` does — no
 // module downloads, no separate tool install.
 //
-// Two analyzers ship today:
+// Three analyzers ship today:
 //
 //   - deprecated: bans new callers of the deprecated program.Encrypt*
 //     wrappers anywhere outside package program (which declares and tests
@@ -13,6 +13,11 @@
 //     append) inside functions marked //cobra:hotpath — the fastpath
 //     executor's per-block loops, whose zero-allocation property the
 //     benchmarks and alloc tests depend on.
+//   - hotpathpanic: flags panic and log.Fatal* calls inside
+//     //cobra:hotpath functions. The hotpath contract is errors-by-return:
+//     cobrad serves these loops to network tenants, where a reachable
+//     panic is a denial-of-service primitive and log.Fatal kills the whole
+//     service.
 //
 // Analyzers are purely syntactic (go/ast over one file at a time): no type
 // checking, so no dependency resolution and no build cache. That costs a
@@ -58,7 +63,7 @@ type Analyzer struct {
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Deprecated, Hotpath}
+	return []*Analyzer{Deprecated, Hotpath, Hotpathpanic}
 }
 
 // deprecatedFuncs are the pre-Run program entry points kept only as
@@ -165,6 +170,53 @@ var Hotpath = &Analyzer{
 							Pos:  f.Fset.Position(call.Pos()),
 							Code: "hotpath",
 							Msg:  fmt.Sprintf("fmt.%s call in hotpath function %s", fun.Sel.Name, fn.Name.Name),
+						})
+					}
+				}
+				return true
+			})
+		}
+		return fs
+	},
+}
+
+// logFatalFuncs are the log-package calls that terminate the process.
+var logFatalFuncs = map[string]bool{"Fatal": true, "Fatalf": true, "Fatalln": true}
+
+// Hotpathpanic flags panic and log.Fatal* calls inside //cobra:hotpath
+// functions: the hotpath contract is errors-by-return, and these loops run
+// under cobrad for network tenants, where a data-reachable panic is a
+// denial-of-service primitive.
+var Hotpathpanic = &Analyzer{
+	Name: "hotpathpanic",
+	Doc:  "flag panic and log.Fatal* calls inside //cobra:hotpath functions",
+	Run: func(f *File) []Finding {
+		var fs []Finding
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasHotpathMarker(fn.Doc) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					if fun.Name == "panic" {
+						fs = append(fs, Finding{
+							Pos:  f.Fset.Position(call.Pos()),
+							Code: "hotpathpanic",
+							Msg:  fmt.Sprintf("panic call in hotpath function %s — return an error instead", fn.Name.Name),
+						})
+					}
+				case *ast.SelectorExpr:
+					if id, ok := fun.X.(*ast.Ident); ok && id.Name == "log" && logFatalFuncs[fun.Sel.Name] {
+						fs = append(fs, Finding{
+							Pos:  f.Fset.Position(call.Pos()),
+							Code: "hotpathpanic",
+							Msg:  fmt.Sprintf("log.%s call in hotpath function %s — return an error instead", fun.Sel.Name, fn.Name.Name),
 						})
 					}
 				}

@@ -136,6 +136,78 @@ func f() { _ = make([]int, 4) }
 	}
 }
 
+func TestHotpathpanicAnalyzer(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{"panic in hotpath", `package x
+//cobra:hotpath
+func f(i int) int {
+	if i < 0 {
+		panic("negative")
+	}
+	return i
+}
+`, 1},
+		{"log fatal in hotpath", `package x
+import "log"
+
+//cobra:hotpath
+func f(err error) {
+	if err != nil {
+		log.Fatalf("boom: %v", err)
+	}
+}
+`, 1},
+		{"every fatal variant", `package x
+import "log"
+
+//cobra:hotpath
+func f() {
+	panic("a")
+	log.Fatal("b")
+	log.Fatalf("c")
+	log.Fatalln("d")
+}
+`, 4},
+		{"errors by return are fine", `package x
+import "errors"
+
+//cobra:hotpath
+func f(i int) (int, error) {
+	if i < 0 {
+		return 0, errors.New("negative")
+	}
+	return i, nil
+}
+`, 0},
+		{"unmarked function may panic", `package x
+func f() { panic("fine here") }
+`, 0},
+		{"log print is fine", `package x
+import "log"
+
+//cobra:hotpath
+func f() { log.Print("not fatal") }
+`, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := check(t, tc.src)
+			if len(fs) != tc.want {
+				t.Errorf("got %d findings %v, want %d", len(fs), fs, tc.want)
+			}
+			for _, f := range fs {
+				if f.Code != "hotpathpanic" {
+					t.Errorf("unexpected analyzer %q: %v", f.Code, f)
+				}
+			}
+		})
+	}
+}
+
 // TestRepoIsClean runs the whole suite over the repository — the same gate
 // CI runs as `cobra-lint ./...`, kept inside `go test ./...` so it cannot
 // be skipped. This subsumes the old AST-walk deprecated-caller test that

@@ -116,8 +116,12 @@ func buildBlowfish(key []byte, hw int, decrypt bool) (*Program, error) {
 		return nil, err
 	}
 	if hw > 2 {
-		return nil, fmt.Errorf("blowfish-%d: %d LUTLD words for per-stage S-box copies exceed the %d-word iRAM",
-			hw, hw*4*4*64, isa.IRAMWords)
+		return nil, &ErrIRAMBudget{
+			Name:      fmt.Sprintf("blowfish-%d", hw),
+			What:      "per-stage S-box LUTLD copies",
+			Needed:    hw * 4 * 4 * 64,
+			Available: isa.IRAMWords,
+		}
 	}
 
 	// Round subkeys and final whitening: P[0..15] then P[17],P[16] for

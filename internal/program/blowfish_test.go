@@ -2,10 +2,14 @@ package program
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 
 	"cobra/internal/cipher"
+	"cobra/internal/isa"
 )
 
 // blowfishDepths are the unroll depths the iRAM's LUT budget admits.
@@ -88,5 +92,45 @@ func TestBlowfishUnrollRejectsBadDepth(t *testing.T) {
 	}
 	if _, err := BuildBlowfish(nil, 1); err == nil {
 		t.Error("expected key size error")
+	}
+}
+
+// TestBlowfishIRAMBudgetError pins the typed refusal: depths past the LUT
+// budget return *ErrIRAMBudget with the word arithmetic, the boundary
+// depth builds, and a depth that fails unroll validation (3 does not
+// divide 16) is NOT a budget error — validation runs first.
+func TestBlowfishIRAMBudgetError(t *testing.T) {
+	for _, hw := range []int{4, 8, 16} {
+		_, err := BuildBlowfish(testKey, hw)
+		var budget *ErrIRAMBudget
+		if !errors.As(err, &budget) {
+			t.Fatalf("depth %d: err = %v, want *ErrIRAMBudget", hw, err)
+		}
+		if want := hw * 4 * 4 * 64; budget.Needed != want {
+			t.Errorf("depth %d: Needed = %d, want %d", hw, budget.Needed, want)
+		}
+		if budget.Available != isa.IRAMWords {
+			t.Errorf("depth %d: Available = %d, want %d", hw, budget.Available, isa.IRAMWords)
+		}
+		if want := fmt.Sprintf("blowfish-%d", hw); budget.Name != want {
+			t.Errorf("depth %d: Name = %q, want %q", hw, budget.Name, want)
+		}
+		if !strings.Contains(budget.Error(), "iRAM") {
+			t.Errorf("depth %d: Error() = %q", hw, budget.Error())
+		}
+		var decBudget *ErrIRAMBudget
+		if _, err := BuildBlowfishDecrypt(testKey, hw); !errors.As(err, &decBudget) {
+			t.Errorf("decrypt depth %d: err = %v, want *ErrIRAMBudget", hw, err)
+		}
+	}
+	// Boundary: depth 2 is the deepest configuration that fits.
+	if _, err := BuildBlowfish(testKey, 2); err != nil {
+		t.Errorf("depth 2 should build: %v", err)
+	}
+	// Depth 3 fails unroll validation before the budget check ever runs.
+	_, err := BuildBlowfish(testKey, 3)
+	var budget *ErrIRAMBudget
+	if err == nil || errors.As(err, &budget) {
+		t.Errorf("depth 3: err = %v, want a non-budget validation error", err)
 	}
 }

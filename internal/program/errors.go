@@ -1,0 +1,26 @@
+package program
+
+import "fmt"
+
+// ErrIRAMBudget reports a configuration whose microcode image cannot fit
+// the iRAM: the builder knows before emitting a single word that the
+// required load stream exceeds the instruction store, so it refuses with
+// the arithmetic instead of overflowing at load time. Callers that sweep
+// unroll depths (bench, cobra-vet -builtin) can errors.As on it to
+// distinguish "this depth doesn't exist on this hardware" from a broken
+// build.
+type ErrIRAMBudget struct {
+	// Name is the refused configuration, e.g. "blowfish-4".
+	Name string
+	// What names the dominant word cost, e.g. "per-stage S-box LUTLD copies".
+	What string
+	// Needed is the iRAM word count the configuration would require.
+	Needed int
+	// Available is the iRAM capacity in words.
+	Available int
+}
+
+func (e *ErrIRAMBudget) Error() string {
+	return fmt.Sprintf("%s: %d iRAM words for %s exceed the %d-word iRAM",
+		e.Name, e.Needed, e.What, e.Available)
+}

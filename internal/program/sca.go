@@ -1,0 +1,21 @@
+package program
+
+import (
+	"cobra/internal/dataflow"
+	"cobra/internal/sca"
+)
+
+// CheckConstantTime runs the static side-channel analysis of package sca
+// over the program: the microcode profile (where key/plaintext taint
+// reaches table indices, eRAM address lanes, and control decisions), the
+// compiled fastpath's profile when the program compiles, and the
+// differential between the two. Programs that refuse to compile (key-
+// request handshakes) get a microcode-only report with FastpathSkip set.
+func (p *Program) CheckConstantTime() *sca.Report {
+	mc := sca.AnalyzeMicrocode(p.Name, p.Instrs, dataflow.Config{Rows: p.Geometry.Rows, Window: p.Window})
+	ex, err := p.Compile()
+	if err != nil {
+		return sca.BuildReport(p.Name, mc, nil, err.Error())
+	}
+	return sca.BuildReport(p.Name, mc, sca.AnalyzeTrace(ex.Trace()), "")
+}

@@ -1,0 +1,221 @@
+package sca
+
+import (
+	"strings"
+	"testing"
+
+	"cobra/internal/dataflow"
+	"cobra/internal/isa"
+	"cobra/internal/vet"
+)
+
+// Seeded-defect tests for the lane findings. The base ISA cannot route
+// datapath state into an address or control lane — OpJmp targets and flag
+// words are immediates, eRAM addresses are configuration fields — so the
+// defects are seeded through the injectable lane source: the model of a
+// fault or hostile toolchain rewiring a lane to an RCE output register.
+
+func flag(set, clear uint16) isa.Instr {
+	return isa.Instr{Op: isa.OpCtlFlag, Data: isa.FlagCfg{Set: set, Clear: clear}.Encode()}
+}
+
+func cfge(s isa.Slice, e isa.Elem, data uint64) isa.Instr {
+	return isa.Instr{Op: isa.OpCfgElem, Slice: s, Elem: e, Data: data}
+}
+
+func eramw(col, bank, addr int, v uint32) isa.Instr {
+	return isa.Instr{Op: isa.OpERAMWrite, Slice: isa.SliceCol(col),
+		Data: isa.ERAMWriteCfg{Bank: uint8(bank), Addr: uint8(addr), Value: v}.Encode()}
+}
+
+func white(col int, key uint32) isa.Instr {
+	return isa.Instr{Op: isa.OpCfgWhite,
+		Data: isa.WhiteCfg{Col: uint8(col), Mode: isa.WhiteXor, Key: key}.Encode()}
+}
+
+// keyRegProgram builds a looping program whose r0.c0 output register holds
+// a key-tainted word: the eRAM cell c0.b0[0] is written with key material,
+// r0.c0's A1 XORs it into the column, and the row register latches the
+// result. Returns the program and the addresses of the A1 configuration
+// and the loop jump.
+func keyRegProgram() (prog []isa.Instr, a1Addr, jmpAddr int) {
+	prog = []isa.Instr{flag(isa.FlagReady, 0)}
+	prog = append(prog, eramw(0, 0, 0, 0x0f1e2d3c))
+	prog = append(prog, cfge(isa.SliceAt(0, 0), isa.ElemER, isa.ERCfg{Bank: 0, Addr: 0}.Encode()))
+	a1Addr = len(prog)
+	prog = append(prog, cfge(isa.SliceAt(0, 0), isa.ElemA1,
+		isa.ACfg{Op: isa.AXor, Operand: isa.SrcINER}.Encode()))
+	prog = append(prog, cfge(isa.SliceRow(0), isa.ElemReg, isa.RegCfg{Enabled: true}.Encode()))
+	for c := 0; c < 4; c++ {
+		prog = append(prog, white(c, 0xdeadbeef))
+	}
+	loop := len(prog)
+	prog = append(prog, flag(isa.FlagDValid, 0))
+	prog = append(prog, isa.Instr{Op: isa.OpNop})
+	jmpAddr = len(prog)
+	prog = append(prog, isa.Instr{Op: isa.OpJmp, Data: uint64(loop)})
+	return prog, a1Addr, jmpAddr
+}
+
+func requireCode(t *testing.T, p *Profile, code string, sev vet.Severity, addr int) {
+	t.Helper()
+	for _, f := range p.Findings {
+		if f.Code == code && f.Addr == addr {
+			if f.Sev != sev {
+				t.Errorf("%s at %04x has severity %v, want %v", code, addr, f.Sev, sev)
+			}
+			return
+		}
+	}
+	t.Errorf("missing finding %s at %04x; got %v", code, addr, p.Findings)
+}
+
+// TestLanesCleanWithoutOverride pins the ISA-level property: the same
+// program analyzed without a lane override has no lane findings and no
+// secret-indexed accesses at all (nothing in it reads a table).
+func TestLanesCleanWithoutOverride(t *testing.T) {
+	prog, _, _ := keyRegProgram()
+	p := AnalyzeMicrocode("key-reg", prog, dataflow.Config{})
+	if !p.Complete {
+		t.Fatalf("walk did not close: %v", p.Findings)
+	}
+	for _, f := range p.Findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+	if !p.ConstantTime() {
+		t.Error("ConstantTime() = false for a table-free base-ISA program")
+	}
+}
+
+// TestSeededSecretBranch routes the key-tainted register into the loop
+// jump's target lane: the analyzer must report secret-branch at the jump.
+func TestSeededSecretBranch(t *testing.T) {
+	prog, _, jmpAddr := keyRegProgram()
+	p := analyzeMicrocode("key-reg", prog, dataflow.Config{},
+		func(site dataflow.LaneSite) (dataflow.RegSource, bool) {
+			if site.Kind == dataflow.LaneJmp {
+				return dataflow.RegSource{Row: 0, Col: 0}, true
+			}
+			return dataflow.RegSource{}, false
+		})
+	requireCode(t, p, "secret-branch", vet.Error, jmpAddr)
+	if p.ConstantTime() {
+		t.Error("ConstantTime() = true with a secret branch")
+	}
+	for _, f := range p.Findings {
+		if f.Code == "secret-branch" && !strings.Contains(f.Msg, "jmp-target") {
+			t.Errorf("finding does not name the lane: %s", f)
+		}
+	}
+}
+
+// TestSeededSecretFlag routes the register into a handshake flag word.
+func TestSeededSecretFlag(t *testing.T) {
+	prog, _, _ := keyRegProgram()
+	p := analyzeMicrocode("key-reg", prog, dataflow.Config{},
+		func(site dataflow.LaneSite) (dataflow.RegSource, bool) {
+			if site.Kind == dataflow.LaneFlag {
+				return dataflow.RegSource{Row: 0, Col: 0}, true
+			}
+			return dataflow.RegSource{}, false
+		})
+	found := false
+	for _, f := range p.Findings {
+		if f.Code == "secret-branch" && f.Sev == vet.Error && strings.Contains(f.Msg, "handshake-flag") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no secret-branch finding for the flag lane; got %v", p.Findings)
+	}
+}
+
+// TestSeededSecretERAMAddr swizzles the key-tainted register into the eRAM
+// read-port address lane of the consuming A1: the analyzer must report
+// secret-eram-addr at the consumer's configuration word.
+func TestSeededSecretERAMAddr(t *testing.T) {
+	prog, a1Addr, _ := keyRegProgram()
+	p := analyzeMicrocode("key-reg", prog, dataflow.Config{},
+		func(site dataflow.LaneSite) (dataflow.RegSource, bool) {
+			if site.Kind == dataflow.LaneERAddr && site.Row == 0 && site.Col == 0 {
+				return dataflow.RegSource{Row: 0, Col: 0}, true
+			}
+			return dataflow.RegSource{}, false
+		})
+	requireCode(t, p, "secret-eram-addr", vet.Error, a1Addr)
+	if !strings.Contains(p.Findings[len(p.Findings)-1].Msg, "eRAM-read-address") {
+		for _, f := range p.Findings {
+			if f.Code == "secret-eram-addr" && !strings.Contains(f.Msg, "eRAM-read-address") {
+				t.Errorf("finding does not name the lane: %s", f)
+			}
+		}
+	}
+}
+
+// TestUnprovenProgram pins ct-unproven for a program that never produces
+// output: no constant-time claim may be made about it.
+func TestUnprovenProgram(t *testing.T) {
+	prog := []isa.Instr{{Op: isa.OpNop}, {Op: isa.OpHalt}}
+	p := AnalyzeMicrocode("nop", prog, dataflow.Config{})
+	found := false
+	for _, f := range p.Findings {
+		if f.Code == "ct-unproven" && f.Sev == vet.Error {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no ct-unproven finding; got %v", p.Findings)
+	}
+	if p.ConstantTime() {
+		t.Error("ConstantTime() = true for an unproven program")
+	}
+}
+
+// TestCompareOutputTaint pins the output-column leg of the differential.
+func TestCompareOutputTaint(t *testing.T) {
+	mc := &Profile{Name: "x", Source: "microcode", Complete: true, Outputs: 1}
+	fp := &Profile{Name: "x", Source: "fastpath", Complete: true, Outputs: 1}
+	mc.OutTaint[2] = Taint{Key: true, Plain: true}
+	fp.OutTaint[2] = Taint{Plain: true}
+	fs := Compare(mc, fp)
+	if len(fs) != 1 || fs[0].Code != "ct-profile-mismatch" {
+		t.Fatalf("findings = %v, want one ct-profile-mismatch", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "output column 2") {
+		t.Errorf("message does not name the column: %s", fs[0].Msg)
+	}
+}
+
+// TestCompareIncompleteFastpath: a fastpath walk that failed to close
+// cannot be differentially checked and must say so.
+func TestCompareIncompleteFastpath(t *testing.T) {
+	mc := &Profile{Name: "x", Source: "microcode", Complete: true, Outputs: 1}
+	fp := &Profile{Name: "x", Source: "fastpath"}
+	fs := Compare(mc, fp)
+	if len(fs) != 1 || fs[0].Code != "ct-profile-mismatch" {
+		t.Fatalf("findings = %v, want one ct-profile-mismatch", fs)
+	}
+}
+
+// TestReportSummaryShapes pins the Summary strings the gate and the
+// EXPERIMENTS table key on.
+func TestReportSummaryShapes(t *testing.T) {
+	clean := &Profile{Name: "x", Source: "microcode", Complete: true, Outputs: 1}
+	rep := BuildReport("x", clean, &Profile{Name: "x", Source: "fastpath", Complete: true, Outputs: 1}, "")
+	if got := rep.Summary(); got != "constant-time profile proven; fastpath agrees" {
+		t.Errorf("Summary() = %q", got)
+	}
+
+	warn := &Profile{Name: "y", Source: "microcode", Complete: true, Outputs: 1,
+		Accesses: []Access{{Row: 0, Col: 1, Elem: isa.ElemC, Taint: Taint{Key: true}, CfgAddr: 3}}}
+	rep = BuildReport("y", warn, nil, "needs key")
+	if got := rep.Summary(); got != "t-table class (1 secret-indexed sites: 1 lut, 0 gf); fastpath skipped: needs key" {
+		t.Errorf("Summary() = %q", got)
+	}
+	if rep.ConstantTime() {
+		t.Error("ConstantTime() = true for a t-table profile")
+	}
+	if rep.HasErrors() {
+		t.Error("HasErrors() = true for a warn-only report")
+	}
+}

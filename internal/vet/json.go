@@ -1,0 +1,70 @@
+package vet
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Machine-readable findings: the shared encoder behind cobra-vet -json and
+// cobra-lint -json. One JSONReport per (program, check) pair keeps CI
+// artifact consumers from re-parsing the human-oriented text output.
+
+// JSONFinding is one diagnostic in the machine-readable schema. Microcode
+// findings carry Addr/Line; Go-source findings (cobra-lint) carry
+// File/SrcLine/SrcCol instead.
+type JSONFinding struct {
+	Severity string `json:"severity"`
+	Code     string `json:"code"`
+	Msg      string `json:"msg"`
+	Addr     *int   `json:"addr,omitempty"`
+	Line     string `json:"line,omitempty"`
+	File     string `json:"file,omitempty"`
+	SrcLine  int    `json:"srcLine,omitempty"`
+	SrcCol   int    `json:"srcCol,omitempty"`
+}
+
+// NewJSONFinding converts a microcode finding.
+func NewJSONFinding(f Finding) JSONFinding {
+	addr := f.Addr
+	return JSONFinding{
+		Severity: f.Sev.String(),
+		Code:     f.Code,
+		Msg:      f.Msg,
+		Addr:     &addr,
+		Line:     f.Line,
+	}
+}
+
+// JSONReport is every finding one check produced for one subject.
+type JSONReport struct {
+	// Name is the program name or file path checked.
+	Name string `json:"name"`
+	// Check names the producing analysis: "vet", "dataflow", "equiv",
+	// "ct", "build", or "lint".
+	Check string `json:"check"`
+	// Clean is the check's verdict; a check can be dirty with zero findings
+	// (an equiv proof failure carries its synthesized finding, but a build
+	// failure's message may be the whole story).
+	Clean    bool          `json:"clean"`
+	Findings []JSONFinding `json:"findings"`
+}
+
+// NewJSONReport builds a report from microcode findings; Clean follows
+// len(findings) == 0.
+func NewJSONReport(name, check string, fs []Finding) JSONReport {
+	r := JSONReport{Name: name, Check: check, Clean: len(fs) == 0, Findings: []JSONFinding{}}
+	for _, f := range fs {
+		r.Findings = append(r.Findings, NewJSONFinding(f))
+	}
+	return r
+}
+
+// WriteJSON emits the reports as one indented JSON document.
+func WriteJSON(w io.Writer, reports []JSONReport) error {
+	if reports == nil {
+		reports = []JSONReport{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}
