@@ -343,7 +343,7 @@ func BenchmarkFarmCTR(b *testing.B) {
 	iv := make([]byte, 16)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			f, err := farm.New(core.Rijndael, benchKey, core.Config{}, workers)
+			f, err := farm.Open(core.Rijndael, benchKey, farm.Options{Workers: workers})
 			if err != nil {
 				b.Fatal(err)
 			}

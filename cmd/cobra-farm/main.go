@@ -1,16 +1,20 @@
 // Command cobra-farm sweeps the worker count of an internal/farm device
-// pool over a fixed counter-mode (or ECB) workload and prints the
+// pool over a fixed non-feedback-mode workload and prints the
 // throughput-scaling table: simulated wall-clock cycles, aggregate
 // simulated throughput and speedup versus one device, plus the host-side
 // wall time of the sweep. This is the replication experiment the paper's
 // Table 1 NFB column implies but never runs — non-feedback modes scale by
-// adding devices.
+// adding devices. Decryption in ECB and CBC is non-feedback too (each
+// ciphertext block's chaining input is the previous ciphertext block,
+// already known), so the sweep covers those as well.
 //
 // Usage:
 //
 //	cobra-farm                                   # AES-128 CTR, 4096 blocks, workers 1,2,4,8
 //	cobra-farm -alg serpent -workers 1,2,4,8,16  # other datapaths / pool sizes
 //	cobra-farm -mode ecb -rounds 2               # ECB sharding on an iterative pipeline
+//	cobra-farm -mode decrypt_cbc                 # parallel CBC decryption (Table 1 NFB)
+//	cobra-farm -policy roundrobin                # baseline placement, for comparison
 //	cobra-farm -metrics 127.0.0.1:9090 -hold 5m  # live /metrics + /debug/vars while sweeping
 package main
 
@@ -38,9 +42,12 @@ func main() {
 	rounds := flag.Int("rounds", 0, "unroll depth (0: full unroll, maximum throughput)")
 	blocks := flag.Int("blocks", 4096, "message size in 128-bit blocks")
 	workersCSV := flag.String("workers", "1,2,4,8", "comma-separated pool sizes to sweep")
-	mode := flag.String("mode", "ctr", "mode of operation: ctr or ecb")
+	mode := flag.String("mode", "ctr", "mode of operation: ctr, ecb, decrypt_ecb or decrypt_cbc")
+	policy := flag.String("policy", "affinity", "scheduler policy: affinity or roundrobin")
+	minWorkers := flag.Int("min-workers", 0, "quiesce floor for idle workers (0: default)")
+	queueDepth := flag.Int("queue-depth", 0, "per-worker shard queue depth (0: default)")
 	keyHex := flag.String("key", strings.Repeat("00", 16), "key (hex)")
-	ivHex := flag.String("iv", strings.Repeat("00", 16), "initial counter block (hex, ctr mode)")
+	ivHex := flag.String("iv", strings.Repeat("00", 16), "initial counter block / IV (hex)")
 	timeout := flag.Duration("timeout", 0, "per-sweep-point deadline (0: none)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/trace on this address (e.g. 127.0.0.1:9090; port 0 picks one)")
 	hold := flag.Duration("hold", 0, "keep the last farm open and the metrics endpoint serving this long after the sweep (requires -metrics)")
@@ -64,9 +71,15 @@ func main() {
 	for i := range msg {
 		msg[i] = byte(i*31 + i>>8)
 	}
-	want, err := hostReference(core.Algorithm(*alg), key, iv, msg, *mode)
+	// Encrypt sweeps feed msg and expect the reference ciphertext;
+	// decrypt sweeps feed the reference ciphertext and expect msg back.
+	ref, err := hostReference(core.Algorithm(*alg), key, iv, msg, *mode)
 	if err != nil {
 		fatal(err)
+	}
+	input, want := msg, ref
+	if strings.HasPrefix(*mode, "decrypt_") {
+		input, want = ref, msg
 	}
 
 	var metrics *obs.Registry
@@ -90,14 +103,21 @@ func main() {
 		fmt.Printf("metrics: serving on %s\n", srv.URL)
 	}
 
-	fmt.Printf("cobra-farm: %s-%s, %d blocks (%d KiB), shard cap %d blocks\n\n",
-		*alg, *mode, *blocks, len(msg)/1024, farm.DefaultShardBlocks)
+	fmt.Printf("cobra-farm: %s-%s, %d blocks (%d KiB), shard cap %d blocks, policy %s\n\n",
+		*alg, *mode, *blocks, len(msg)/1024, farm.DefaultShardBlocks, *policy)
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "workers\tjobs\twall cycles\tcyc/blk\tMbps (sim)\tspeedup\thost ms")
+	fmt.Fprintln(w, "workers\tjobs\twall cycles\tcyc/blk\tMbps (sim)\tspeedup\trecfg\thost ms")
 	base := 0.0
 	for _, n := range workers {
-		f, err := farm.New(core.Algorithm(*alg), key,
-			core.Config{Unroll: *rounds, Metrics: metrics, Trace: *trace}, n)
+		f, err := farm.Open(core.Algorithm(*alg), key, farm.Options{
+			Workers:    n,
+			MinWorkers: *minWorkers,
+			QueueDepth: *queueDepth,
+			Policy:     farm.Policy(*policy),
+			Metrics:    metrics,
+			Trace:      *trace,
+			Config:     core.Config{Unroll: *rounds},
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -110,9 +130,13 @@ func main() {
 		var got []byte
 		switch *mode {
 		case "ctr":
-			got, err = f.EncryptCTR(ctx, iv, msg)
+			got, err = f.EncryptCTR(ctx, iv, input)
 		case "ecb":
-			got, err = f.EncryptECB(ctx, msg)
+			got, err = f.EncryptECB(ctx, input)
+		case "decrypt_ecb":
+			got, err = f.DecryptECB(ctx, input)
+		case "decrypt_cbc":
+			got, err = f.DecryptCBC(ctx, iv, input)
 		default:
 			err = fmt.Errorf("unknown -mode %q", *mode)
 		}
@@ -136,8 +160,9 @@ func main() {
 		for _, wr := range r.PerWorker {
 			jobs += wr.Jobs
 		}
-		fmt.Fprintf(w, "%d\t%d\t%d\t%.2f\t%.1f\t%.2fx\t%.1f\n",
-			n, jobs, r.WallCycles, r.CyclesPerBlock, r.EffectiveMbps, speedup, hostMS)
+		recfg := f.Pool().SchedStats().Reconfigures
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.2f\t%.1f\t%.2fx\t%d\t%.1f\n",
+			n, jobs, r.WallCycles, r.CyclesPerBlock, r.EffectiveMbps, speedup, recfg, hostMS)
 		if n == workers[len(workers)-1] && *hold > 0 && metricsSrv != nil {
 			// Leave the final pool attached so the endpoint keeps serving
 			// its live (post-sweep) counters — scrape, then signal or wait.
@@ -173,8 +198,10 @@ func parseWorkers(csv string) ([]int, error) {
 	return out, nil
 }
 
-// hostReference computes the expected output with the host reference
-// cipher, so every sweep point is verified before its measurement prints.
+// hostReference computes the mode's reference ciphertext with the host
+// reference cipher, so every sweep point is verified before its
+// measurement prints. For the decrypt modes it returns the ciphertext
+// the farm is asked to invert.
 func hostReference(alg core.Algorithm, key, iv, msg []byte, mode string) ([]byte, error) {
 	var blk cipher.Block
 	var err error
@@ -208,9 +235,25 @@ func hostReference(alg core.Algorithm, key, iv, msg []byte, mode string) ([]byte
 				dst[off+j] = msg[off+j] ^ ks[j]
 			}
 		}
-	case "ecb":
+	case "ecb", "decrypt_ecb":
+		if len(msg)%16 != 0 {
+			return nil, fmt.Errorf("%s needs whole blocks", mode)
+		}
 		for off := 0; off < len(msg); off += 16 {
 			blk.Encrypt(dst[off:], msg[off:])
+		}
+	case "decrypt_cbc":
+		if len(msg)%16 != 0 {
+			return nil, fmt.Errorf("%s needs whole blocks", mode)
+		}
+		prev := iv
+		for off := 0; off < len(msg); off += 16 {
+			var x [16]byte
+			for j := 0; j < 16; j++ {
+				x[j] = msg[off+j] ^ prev[j]
+			}
+			blk.Encrypt(dst[off:], x[:])
+			prev = dst[off : off+16]
 		}
 	default:
 		return nil, fmt.Errorf("unknown -mode %q", mode)

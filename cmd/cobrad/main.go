@@ -11,7 +11,7 @@
 // Usage:
 //
 //	cobrad                                     # device backend on 127.0.0.1:7316
-//	cobrad -backend farm -workers 4            # farm of 4 devices per configuration
+//	cobrad -backend farm -workers 4            # shared 4-device pool, program-aware scheduling
 //	cobrad -addr :7316 -metrics 127.0.0.1:9090 # plus live /metrics
 //	cobra-cli -addr 127.0.0.1:7316 encrypt ... # talk to it
 package main
@@ -32,7 +32,9 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7316", "listen address (port 0 picks one)")
 	backend := flag.String("backend", "device", "backend per configuration: device or farm")
-	workers := flag.Int("workers", 4, "farm width per backend (farm backend only)")
+	workers := flag.Int("workers", 4, "shared worker-pool width (farm backend only)")
+	minWorkers := flag.Int("min-workers", 0, "idle-quiesce floor for the pool (farm backend only; 0: default)")
+	schedPolicy := flag.String("sched", "affinity", "pool scheduling policy: affinity or roundrobin (farm backend only)")
 	cache := flag.Int("cache", 8, "max configured backends kept in the LRU")
 	maxInflight := flag.Int("max-inflight", 0, "concurrent requests per backend (0: 1 for device, workers for farm)")
 	maxWaiters := flag.Int("max-waiters", 0, "requests queued per backend before BUSY (0: 2x max-inflight)")
@@ -50,6 +52,8 @@ func main() {
 	opts := serve.Options{
 		Backend:     *backend,
 		Workers:     *workers,
+		MinWorkers:  *minWorkers,
+		SchedPolicy: *schedPolicy,
 		MaxBackends: *cache,
 		MaxInflight: *maxInflight,
 		MaxWaiters:  *maxWaiters,

@@ -44,6 +44,16 @@ type Cipher interface {
 	EncryptCTR(ctx context.Context, iv, src []byte) ([]byte, error)
 	// DecryptCTR inverts EncryptCTR (counter mode is an involution).
 	DecryptCTR(ctx context.Context, iv, src []byte) ([]byte, error)
+	// DecryptECB inverts EncryptECB on the decryption datapath. Like ECB
+	// encryption it is a non-feedback direction (Table 1), so a farm
+	// shards it across the pool.
+	DecryptECB(ctx context.Context, src []byte) ([]byte, error)
+	// DecryptCBC inverts EncryptCBC. Unlike CBC *encryption*, CBC
+	// decryption is embarrassingly parallel — P[k] = D(C[k]) xor C[k-1]
+	// needs only the previous *ciphertext* block, which the caller
+	// already holds — so a farm shards it too, with shard boundaries
+	// overlapping the ciphertext by one block.
+	DecryptCBC(ctx context.Context, iv, src []byte) ([]byte, error)
 	// Summary returns the backend-independent performance view, derived
 	// from the backend's obs registry. The richer backend-specific
 	// reports remain available as Device.Report and Farm.Report, both of

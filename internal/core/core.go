@@ -578,30 +578,45 @@ func (d *Device) encryptCTRInto(ctx context.Context, dst, iv, src []byte) (sim.S
 
 // DecryptCBC inverts EncryptCBC on the decryption datapath.
 func (d *Device) DecryptCBC(ctx context.Context, iv, src []byte) ([]byte, error) {
-	d.met.calls[opDecCBC].Inc()
-	sp := d.met.lat[opDecCBC].Start()
-	pt, err := d.decryptCBC(ctx, iv, src)
-	sp.End()
-	d.met.finish(opDecCBC, len(src), err)
-	return pt, err
+	dst := make([]byte, len(src))
+	if _, err := d.DecryptCBCInto(ctx, dst, iv, src); err != nil {
+		return nil, err
+	}
+	return dst, nil
 }
 
-func (d *Device) decryptCBC(ctx context.Context, iv, src []byte) ([]byte, error) {
+// DecryptCBCInto is DecryptCBC writing into a caller-supplied buffer
+// (len(dst) >= len(src); dst must not alias src — the chaining XOR reads
+// the previous ciphertext block after the block cipher output lands) and
+// returning the simulator counters for exactly this call. CBC decryption
+// is a non-feedback direction: every block needs only ciphertext the
+// caller already holds, which is why the farm can shard this entry point
+// where EncryptCBCInto serializes.
+func (d *Device) DecryptCBCInto(ctx context.Context, dst, iv, src []byte) (sim.Stats, error) {
+	d.met.calls[opDecCBC].Inc()
+	sp := d.met.lat[opDecCBC].Start()
+	st, err := d.decryptCBCInto(ctx, dst, iv, src)
+	sp.End()
+	d.met.finish(opDecCBC, len(src), err)
+	return st, err
+}
+
+func (d *Device) decryptCBCInto(ctx context.Context, dst, iv, src []byte) (sim.Stats, error) {
 	if len(iv) != 16 {
-		return nil, fmt.Errorf("core: iv must be 16 bytes")
+		return sim.Stats{}, fmt.Errorf("core: iv must be 16 bytes")
 	}
-	pt, err := d.decryptECB(ctx, src)
+	st, err := d.decryptECBInto(ctx, dst, src)
 	if err != nil {
-		return nil, err
+		return st, err
 	}
 	prev := iv
 	for i := 0; i < len(src); i += 16 {
 		for j := 0; j < 16; j++ {
-			pt[i+j] ^= prev[j]
+			dst[i+j] ^= prev[j]
 		}
 		prev = src[i : i+16]
 	}
-	return pt, nil
+	return st, nil
 }
 
 // DecryptECB decrypts src on the datapath. The paper's evaluation maps
@@ -612,31 +627,41 @@ func (d *Device) decryptCBC(ctx context.Context, iv, src []byte) ([]byte, error)
 // inverse LT rows. The decryption program is compiled and loaded lazily on
 // first use.
 func (d *Device) DecryptECB(ctx context.Context, src []byte) ([]byte, error) {
-	d.met.calls[opDecECB].Inc()
-	sp := d.met.lat[opDecECB].Start()
-	pt, err := d.decryptECB(ctx, src)
-	sp.End()
-	d.met.finish(opDecECB, len(src), err)
-	return pt, err
-}
-
-func (d *Device) decryptECB(ctx context.Context, src []byte) ([]byte, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	if len(src)%16 != 0 {
-		return nil, fmt.Errorf("core: input length %d is not a multiple of the block size", len(src))
-	}
-	if d.decMachine == nil {
-		if err := d.buildDecryptor(); err != nil {
-			return nil, err
-		}
-	}
 	dst := make([]byte, len(src))
-	if _, err := program.RunBytes(d.decMachine, d.decProg, dst, src, program.Opts{}); err != nil {
+	if _, err := d.DecryptECBInto(ctx, dst, src); err != nil {
 		return nil, err
 	}
 	return dst, nil
+}
+
+// DecryptECBInto is DecryptECB writing into a caller-supplied buffer
+// (len(dst) >= len(src)) and returning the simulator counters for exactly
+// this call — the farm's sharded-decrypt worker path.
+func (d *Device) DecryptECBInto(ctx context.Context, dst, src []byte) (sim.Stats, error) {
+	d.met.calls[opDecECB].Inc()
+	sp := d.met.lat[opDecECB].Start()
+	st, err := d.decryptECBInto(ctx, dst, src)
+	sp.End()
+	d.met.finish(opDecECB, len(src), err)
+	return st, err
+}
+
+func (d *Device) decryptECBInto(ctx context.Context, dst, src []byte) (sim.Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return sim.Stats{}, err
+	}
+	if len(src)%16 != 0 {
+		return sim.Stats{}, fmt.Errorf("core: input length %d is not a multiple of the block size", len(src))
+	}
+	if len(dst) < len(src) {
+		return sim.Stats{}, fmt.Errorf("core: dst is %d bytes, need %d", len(dst), len(src))
+	}
+	if d.decMachine == nil {
+		if err := d.buildDecryptor(); err != nil {
+			return sim.Stats{}, err
+		}
+	}
+	return program.RunBytes(d.decMachine, d.decProg, dst[:len(src)], src, program.Opts{})
 }
 
 // buildDecryptor compiles and loads the decryption datapath. Its machine

@@ -17,7 +17,7 @@ func TestCipherBackendSwap(t *testing.T) {
 	msg := testMessage(16 * 37)
 	iv := bytes.Repeat([]byte{0x3C}, 16)
 
-	type result struct{ ecb, cbc, ctr, ptr []byte }
+	type result struct{ ecb, cbc, ctr, ptr, pecb, pcbc []byte }
 	run := func(t *testing.T, c core.Cipher) result {
 		ctx := context.Background()
 		if c.BlockSize() != 16 {
@@ -42,6 +42,14 @@ func TestCipherBackendSwap(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		pecb, err := c.DecryptECB(ctx, ecb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pcbc, err := c.DecryptCBC(ctx, iv, cbc)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if s := c.Summary(); s.Stats.BlocksOut == 0 {
 			t.Errorf("summary counted no blocks: %+v", s)
 		}
@@ -49,7 +57,7 @@ func TestCipherBackendSwap(t *testing.T) {
 		if s := c.Summary(); s.Stats.BlocksOut != 0 {
 			t.Errorf("ResetStats through the interface left %d blocks", s.Stats.BlocksOut)
 		}
-		return result{ecb, cbc, ctr, ptr}
+		return result{ecb, cbc, ctr, ptr, pecb, pcbc}
 	}
 
 	dev, err := core.Configure(core.Rijndael, key, core.Config{Unroll: 1})
@@ -76,6 +84,12 @@ func TestCipherBackendSwap(t *testing.T) {
 	}
 	if !bytes.Equal(got.ptr, msg) || !bytes.Equal(want.ptr, msg) {
 		t.Error("CTR round trip failed")
+	}
+	if !bytes.Equal(got.pecb, msg) || !bytes.Equal(want.pecb, msg) {
+		t.Error("ECB round trip failed")
+	}
+	if !bytes.Equal(got.pcbc, msg) || !bytes.Equal(want.pcbc, msg) {
+		t.Error("CBC round trip failed")
 	}
 	if db, fb := dev.Summary().Backend, f.Summary().Backend; db != "device" || fb != "farm" {
 		t.Errorf("backends identify as %q/%q, want device/farm", db, fb)

@@ -48,8 +48,8 @@ func TestFarmWorkerErrorPropagation(t *testing.T) {
 	}
 	defer f.Close()
 	boom := errors.New("injected device fault")
-	f.workers[0].fault = func(*job) error { return boom }
-	f.workers[1].fault = func(*job) error { return boom }
+	f.pool.workers[0].fault = func(*job) error { return boom }
+	f.pool.workers[1].fault = func(*job) error { return boom }
 
 	msg := testMessage(16 * 8)
 	iv := make([]byte, 16)
@@ -71,7 +71,7 @@ func TestFarmWorkerErrorPropagation(t *testing.T) {
 
 	// Faults cleared: the pool recovers, and the output still matches a
 	// clean device (the failed call must not have leaked partial state).
-	f.workers[0].fault, f.workers[1].fault = nil, nil
+	f.pool.workers[0].fault, f.pool.workers[1].fault = nil, nil
 	got, err := f.EncryptCTR(context.Background(), iv, msg)
 	if err != nil {
 		t.Fatal(err)
@@ -103,7 +103,7 @@ func TestFarmCancellationCounters(t *testing.T) {
 	started := make(chan struct{})
 	gate := make(chan struct{})
 	var once sync.Once
-	f.workers[0].fault = func(*job) error {
+	f.pool.workers[0].fault = func(*job) error {
 		once.Do(func() { close(started) })
 		<-gate
 		return nil

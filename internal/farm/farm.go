@@ -10,27 +10,26 @@
 // same data-parallel mapping the related work applies to replicated SIMON
 // cores and programmable-hardware crypto kernels (PAPERS.md).
 //
-// Jobs are dispatched round-robin over per-worker buffered channels:
-// dispatch blocks when a worker's queue is full (backpressure), each job
-// carries its caller's context so cancellation and timeouts short-circuit
-// queued work, and workers write ciphertext directly into disjoint regions
-// of the caller's destination buffer, so reassembly is ordered by
-// construction. Round-robin rather than a single shared queue is
-// deliberate: the shards of one message are uniform in cost, and a shared
-// queue lets whichever goroutine the scheduler wakes first drain several
-// shards while its siblings sleep — serializing the simulated wall-clock
-// and defeating the scaling measurement this subsystem exists to make.
-// Per-worker simulator counters are aggregated into a farm-wide Report
-// whose EffectiveMbps is the simulated aggregate throughput the
-// cmd/cobra-farm scaling table sweeps.
+// Dispatch is program-aware (see pool.go): shards are placed on workers
+// whose device already holds the tenant's compiled program, idle workers
+// steal work — same-program first — and the active worker set scales
+// elastically with load. A Pool can be shared by many tenants (the
+// cobrad deployment shape: Pool.Open per tenant key), or owned by a
+// single Farm via Open/New. Workers write ciphertext directly into
+// disjoint regions of the caller's destination buffer, so reassembly is
+// ordered by construction, and each job carries its caller's context so
+// cancellation and timeouts short-circuit queued work.
 //
-// A Farm implements core.Cipher — the unified API — including the
-// feedback mode EncryptCBC, which it serializes onto a single worker
-// (Table 1's FB-column penalty made operational). Every farm carries an
-// internal/obs registry aggregating its workers' device registries under
-// worker="N" labels plus farm-level queue/shard/utilization series;
-// attach it to obs.Default via core.Config.Metrics and cobra-farm's
-// -metrics flag serves it live.
+// A Farm implements core.Cipher — the unified API — including both
+// directions of every mode. ECB, CTR, and CBC *decryption* shard across
+// the pool (CBC decryption is non-feedback: P[k] = D(C[k]) xor C[k-1]
+// needs only ciphertext the caller already holds, so shard boundaries
+// simply overlap the ciphertext by one block); CBC encryption is the
+// feedback mode, serialized onto a single worker (Table 1's FB-column
+// penalty made operational). Every farm carries an internal/obs registry
+// aggregating its workers' device registries under worker="N" labels
+// plus farm-level queue/shard/scheduler series; attach it to obs.Default
+// via Options.Metrics and cobra-farm's -metrics flag serves it live.
 package farm
 
 import (
@@ -39,15 +38,13 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
-	"sync/atomic"
-	"time"
 
 	"cobra/internal/core"
 	"cobra/internal/obs"
 	"cobra/internal/sim"
 )
 
-// ErrClosed is returned by Encrypt calls made after Close.
+// ErrClosed is returned by cipher calls made after Close.
 var ErrClosed = errors.New("farm: closed")
 
 // DefaultShardBlocks caps a shard at this many 128-bit blocks. Large
@@ -56,18 +53,29 @@ var ErrClosed = errors.New("farm: closed")
 // fill-and-drain per shard on streaming configurations.
 const DefaultShardBlocks = 1024
 
+// workerQueueDepth is the default per-worker queue capacity; dispatch
+// blocks (backpressure) once a worker is this many shards behind.
+const workerQueueDepth = 2
+
 type mode int
 
 const (
 	modeCTR mode = iota
 	modeECB
 	modeCBC
+	modeDecECB
+	modeDecCBC
+	modeCount
 )
 
-// A job is one contiguous shard of an Encrypt call: a counter range (or
-// IV) plus the matching source and destination windows.
+var modeNames = [modeCount]string{"ctr", "ecb", "cbc", "decrypt_ecb", "decrypt_cbc"}
+
+// A job is one contiguous shard of a cipher call: a counter range (or
+// IV) plus the matching source and destination windows, tagged with the
+// tenant it belongs to (the scheduler routes by tn.pk).
 type job struct {
 	ctx  context.Context
+	tn   *Farm
 	mode mode
 	iv   [16]byte // starting counter block (CTR) or IV (CBC)
 	src  []byte
@@ -75,49 +83,14 @@ type job struct {
 	errc chan<- error
 }
 
-// workerQueueDepth is each worker's buffered queue capacity; dispatch
-// blocks (backpressure) once a worker is this many shards behind.
-const workerQueueDepth = 2
-
-// A worker owns one device exclusively; only its goroutine touches dev.
-// Its counters live in the farm registry (atomic — Report reads them while
-// jobs are in flight), alongside snapshots that let ResetStats rewind the
-// report view without disturbing the exported series. fault is a test
-// hook: when non-nil it runs before the device and its error is treated
-// as the job's outcome.
-type worker struct {
-	dev    *core.Device
-	queue  chan job
-	jobs   *obs.Counter
-	errs   *obs.Counter
-	busyNs *obs.Counter
-
-	jobsSnap atomic.Int64
-	busySnap atomic.Int64
-
-	fault func(j *job) error
-}
-
-// farmMetrics is the farm-level (not per-worker) instrumentation.
+// farmMetrics is the tenant-level (per-Farm) instrumentation.
 type farmMetrics struct {
-	requests  [3]*obs.Counter // indexed by mode
-	errsBy    [3]*obs.Counter
-	shards    *obs.Counter
-	shardSize *obs.Histogram
-	queueWait *obs.Timer
+	requests [modeCount]*obs.Counter
+	errsBy   [modeCount]*obs.Counter
 }
-
-var modeNames = [3]string{"ctr", "ecb", "cbc"}
 
 func newFarmMetrics(reg *obs.Registry) *farmMetrics {
-	m := &farmMetrics{
-		shards: reg.Counter("cobra_farm_shards_total",
-			"Shards dispatched to worker queues."),
-		shardSize: reg.Histogram("cobra_farm_shard_blocks",
-			"Size of dispatched shards in 128-bit blocks.", obs.BlockBuckets()),
-		queueWait: reg.Timer("cobra_farm_queue_wait_ns",
-			"Time dispatch spent handing one shard to a worker queue (backpressure when large)."),
-	}
+	m := &farmMetrics{}
 	for i, name := range modeNames {
 		l := obs.L("mode", name)
 		m.requests[i] = reg.Counter("cobra_farm_requests_total", "Farm-level API calls.", l)
@@ -126,82 +99,151 @@ func newFarmMetrics(reg *obs.Registry) *farmMetrics {
 	return m
 }
 
-// Farm is a pool of replicated COBRA devices behind a job queue. Unlike a
-// single Device, a Farm is safe for concurrent use: any number of
-// goroutines may call EncryptCTR/EncryptECB/EncryptCBC simultaneously and
-// their shards interleave across the pool.
+// tenantSlot accumulates one worker's contribution to one tenant.
+// Per-call sim.Stats returned by the device *Into methods are summed
+// here rather than read back from the device, because a shared worker's
+// device is reconfigured between tenants and its own stats view resets.
+type tenantSlot struct {
+	mu     sync.Mutex
+	jobs   int
+	busyNs int64
+	stats  sim.Stats
+
+	jobsSnap  int
+	busySnap  int64
+	statsSnap sim.Stats
+}
+
+// Farm is one tenant's cipher view of a worker pool. Unlike a single
+// Device, a Farm is safe for concurrent use: any number of goroutines
+// may call its cipher methods simultaneously and their shards interleave
+// across the pool.
 type Farm struct {
-	alg     core.Algorithm
-	mhz     float64
-	unroll  int
-	rows    int
-	workers []*worker
-	wg      sync.WaitGroup
-	next    atomic.Uint64 // round-robin cursor, advanced once per call
+	pool     *Pool
+	ownsPool bool
 
-	reg    *obs.Registry
-	parent *obs.Registry // detached on Close
-	met    *farmMetrics
+	alg  core.Algorithm
+	key  []byte
+	wcfg core.Config // per-worker device config (no Metrics/Trace)
+	pk   progKey
 
-	mu     sync.RWMutex // serializes Close against job submission
+	mhz      float64
+	unroll   int
+	rows     int
+	fastpath bool
+
+	reg *obs.Registry
+	met *farmMetrics
+
+	slots []tenantSlot
+
+	mu     sync.Mutex
+	calls  sync.WaitGroup
 	closed bool
 }
 
 // Farm satisfies the unified cipher API (the twin of core's Device
-// assertion); farm_test's swap test exercises both through the interface.
+// assertion); farm's cipher_test swap test exercises both through the
+// interface.
 var _ core.Cipher = (*Farm)(nil)
 
-// New configures workers identical devices for the algorithm/key pair and
-// starts one goroutine per device. The caller must Close the farm to stop
-// them. cfg.Metrics names the parent registry the farm's own registry
-// (labelled backend="farm", alg=...) attaches to; the workers' device
-// registries attach underneath it with worker="N" labels.
+// Open starts a pool per opts and opens a single tenant on it for the
+// algorithm/key pair (device configuration from opts.Config). The
+// returned Farm owns the pool: its Close shuts the workers down.
+func Open(alg core.Algorithm, key []byte, opts Options) (*Farm, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	p, err := newPool(o, obs.L("alg", string(alg)))
+	if err != nil {
+		return nil, err
+	}
+	f, err := p.Open(alg, key, o.Config)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	f.ownsPool = true
+	p.reg.Attach(f.reg)
+	return f, nil
+}
+
+// New configures a pool of workers identical devices for the
+// algorithm/key pair.
+//
+// Deprecated: use Open with an Options struct (or NewPool + Pool.Open
+// for a multi-tenant pool). New survives as a shim over Open and keeps
+// its historical validation; cobra-lint's farmnew analyzer flags new
+// callers.
 func New(alg core.Algorithm, key []byte, cfg core.Config, workers int) (*Farm, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("farm: need at least 1 worker, got %d", workers)
 	}
-	f := &Farm{alg: alg}
-	f.reg = obs.NewRegistry(obs.L("backend", "farm"), obs.L("alg", string(alg)))
-	if cfg.Trace > 0 {
-		f.reg.EnableTrace(cfg.Trace)
-	}
-	f.met = newFarmMetrics(f.reg)
+	return Open(alg, key, Options{Workers: workers, Config: cfg})
+}
+
+// Open opens a tenant on the pool: a Farm for one algorithm/key/config
+// triple whose shards the scheduler batches onto program-affine workers.
+// cfg's Metrics and Trace fields are ignored (those are pool-level
+// options); Unroll, Interpreter, and Validate configure the tenant's
+// devices. The key and config are validated eagerly by configuring a
+// probe device, which is donated to an idle worker when one is free to
+// take it (warming the tenant's first placement).
+//
+// Closing a tenant Farm does not close a shared pool; closing the pool
+// invalidates its tenants.
+func (p *Pool) Open(alg core.Algorithm, key []byte, cfg core.Config) (*Farm, error) {
 	wcfg := cfg
 	wcfg.Metrics, wcfg.Trace = nil, 0
-	for i := 0; i < workers; i++ {
-		dev, err := core.Configure(alg, key, wcfg)
-		if err != nil {
-			return nil, fmt.Errorf("farm: configuring worker %d: %w", i, err)
-		}
-		wl := obs.L("worker", strconv.Itoa(i))
-		f.reg.Attach(dev.Obs(), wl)
-		w := &worker{
-			dev:   dev,
-			queue: make(chan job, workerQueueDepth),
-			jobs: f.reg.Counter("cobra_farm_worker_jobs_total",
-				"Jobs completed per worker.", wl),
-			errs: f.reg.Counter("cobra_farm_worker_errors_total",
-				"Jobs that failed (or were cancelled) per worker.", wl),
-			busyNs: f.reg.Counter("cobra_farm_worker_busy_ns_total",
-				"Wall-clock nanoseconds each worker spent executing jobs (utilization numerator).", wl),
-		}
-		q := w.queue
-		f.reg.GaugeFunc("cobra_farm_queue_depth",
-			"Shards waiting in each worker's queue.",
-			func() int64 { return int64(len(q)) }, wl)
-		f.workers = append(f.workers, w)
+	probe, err := core.Configure(alg, key, wcfg)
+	if err != nil {
+		return nil, fmt.Errorf("farm: configuring device: %w", err)
 	}
-	f.reg.Gauge("cobra_farm_workers", "Pool size.").Set(int64(workers))
-	// All devices share a geometry and unroll, hence a modeled clock.
-	r := f.workers[0].dev.Report()
+	f := &Farm{
+		pool: p,
+		alg:  alg,
+		key:  append([]byte(nil), key...),
+		wcfg: wcfg,
+		pk: progKey{
+			alg:      alg,
+			unroll:   wcfg.Unroll,
+			key:      string(key),
+			interp:   wcfg.Interpreter,
+			validate: wcfg.Validate,
+		},
+		fastpath: probe.UsesFastpath(),
+		slots:    make([]tenantSlot, len(p.workers)),
+	}
+	r := probe.Report()
 	f.mhz, f.unroll, f.rows = r.DatapathMHz, r.Unroll, r.Rows
-	if cfg.Metrics != nil {
-		f.parent = cfg.Metrics
-		f.parent.Attach(f.reg)
+	f.reg = obs.NewRegistry()
+	f.met = newFarmMetrics(f.reg)
+
+	// Donate the probe to an idle device-less worker and pre-bind it, so
+	// the tenant's first shards land on an already-configured device.
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
+	if p.closed {
+		return nil, ErrClosed
 	}
-	for _, w := range f.workers {
-		f.wg.Add(1)
-		go f.run(w)
+	var gifted *worker
+	p.mu.Lock()
+	for _, w := range p.workers {
+		// Check running first: w.dev may only be read once the worker is
+		// seen idle under mu (a running worker writes dev unlocked in
+		// ensure; running=false is published under mu after that write).
+		if !w.running && len(w.q) == 0 && !w.boundSet && w.dev == nil {
+			w.dev = probe
+			w.loaded, w.loadedSet = f.pk, true
+			w.bound, w.boundSet = f.pk, true
+			gifted = w
+			break
+		}
+	}
+	p.mu.Unlock()
+	if gifted != nil {
+		p.reg.Attach(probe.Obs(), obs.L("worker", strconv.Itoa(gifted.idx)))
 	}
 	return f, nil
 }
@@ -213,59 +255,58 @@ func (f *Farm) Algorithm() core.Algorithm { return f.alg }
 func (f *Farm) BlockSize() int { return 16 }
 
 // Workers returns the pool size.
-func (f *Farm) Workers() int { return len(f.workers) }
+func (f *Farm) Workers() int { return f.pool.Workers() }
 
-// Obs returns the farm's metrics registry: farm-level series plus every
-// worker's device registry under worker="N" labels.
-func (f *Farm) Obs() *obs.Registry { return f.reg }
+// Pool returns the worker pool this tenant dispatches to.
+func (f *Farm) Pool() *Pool { return f.pool }
 
-// run is one worker goroutine. The device is used only here — never
-// shared between goroutines (the -race regression in race_test.go pins
-// this).
-func (f *Farm) run(w *worker) {
-	defer f.wg.Done()
-	for j := range w.queue {
-		if err := j.ctx.Err(); err != nil {
-			// The caller gave up; skip the simulation, not the reply.
-			w.errs.Inc()
-			j.errc <- err
-			continue
-		}
-		var err error
-		t0 := time.Now()
-		if w.fault != nil {
-			err = w.fault(&j)
-		}
-		if err == nil {
-			switch j.mode {
-			case modeCTR:
-				_, err = w.dev.EncryptCTRInto(j.ctx, j.dst, j.iv[:], j.src)
-			case modeECB:
-				_, err = w.dev.EncryptECBInto(j.ctx, j.dst, j.src)
-			case modeCBC:
-				_, err = w.dev.EncryptCBCInto(j.ctx, j.dst, j.iv[:], j.src)
-			}
-		}
-		w.busyNs.Add(time.Since(t0).Nanoseconds())
-		w.jobs.Inc()
-		if err != nil {
-			w.errs.Inc()
-		}
-		j.errc <- err
+// Obs returns the farm's metrics registry. For a pool-owning Farm (Open
+// or New) this is the pool registry — scheduler series, worker device
+// subtrees, and the tenant's request counters all in one tree, exactly
+// the shape the pre-scheduler farm exported. For a tenant on a shared
+// pool it is the tenant's own registry (per-mode request/error
+// counters); the pool's registry is shared state the pool owner exports.
+func (f *Farm) Obs() *obs.Registry {
+	if f.ownsPool {
+		return f.pool.reg
 	}
+	return f.reg
+}
+
+// QueueDepth reports the pool's queued-shard total (the cobrad
+// admission signal).
+func (f *Farm) QueueDepth() int { return f.pool.QueueDepth() }
+
+// QueueCapacity reports the saturation point of QueueDepth.
+func (f *Farm) QueueCapacity() int { return f.pool.QueueCapacity() }
+
+// UsesFastpath reports whether this tenant's program serves bulk
+// encryption on the trace-compiled executor (probed at Open; the
+// workers are replicas, so one answer covers the pool).
+func (f *Farm) UsesFastpath() bool { return f.fastpath }
+
+// account records one finished job's contribution to this tenant's
+// report. Called from worker goroutines.
+func (f *Farm) account(idx int, st sim.Stats, busyNs int64) {
+	s := &f.slots[idx]
+	s.mu.Lock()
+	s.jobs++
+	s.busyNs += busyNs
+	s.stats.Add(st)
+	s.mu.Unlock()
 }
 
 // span is a half-open byte range of one shard.
 type span struct{ off, end int }
 
 // shards splits n bytes into contiguous block-aligned spans: one per
-// worker when the message is small, capped at DefaultShardBlocks so large
-// messages pipeline through the queue.
+// worker when the message is small, capped at the pool's ShardBlocks so
+// large messages pipeline through the queues.
 func (f *Farm) shards(n int) []span {
 	nb := (n + 15) / 16
-	per := (nb + len(f.workers) - 1) / len(f.workers)
-	if per > DefaultShardBlocks {
-		per = DefaultShardBlocks
+	per := (nb + f.pool.Workers() - 1) / f.pool.Workers()
+	if per > f.pool.opts.ShardBlocks {
+		per = f.pool.opts.ShardBlocks
 	}
 	var out []span
 	for off := 0; off < n; off += per * 16 {
@@ -278,48 +319,51 @@ func (f *Farm) shards(n int) []span {
 	return out
 }
 
-// dispatch fans the given shards of one call out round-robin over the
-// worker queues and waits for every dispatched shard to report back. mk
-// fills in the mode-specific job fields for a shard. The round-robin
-// cursor advances once per call so concurrent callers start on different
-// workers instead of all queueing behind worker 0.
+// dispatch fans the given shards of one call out over the pool's
+// scheduler and waits for every dispatched shard to report back. mk
+// fills in the mode-specific job fields for a shard.
 func (f *Farm) dispatch(ctx context.Context, src, dst []byte, shards []span, mk func(span) (job, error)) error {
 	if len(src) == 0 {
 		return ctx.Err()
 	}
-	f.mu.RLock()
+	f.mu.Lock()
 	if f.closed {
-		f.mu.RUnlock()
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	f.calls.Add(1)
+	f.mu.Unlock()
+	defer f.calls.Done()
+
+	p := f.pool
+	p.closeMu.RLock()
+	if p.closed {
+		p.closeMu.RUnlock()
 		return ErrClosed
 	}
 	errc := make(chan error, len(shards))
-	start := int(f.next.Add(1) - 1)
+	used := make([]bool, p.Workers()) // workers this call already landed on
 	sent := 0
 	var firstErr error
-	for i, s := range shards {
+	for _, s := range shards {
 		j, err := mk(s)
 		if err != nil {
 			firstErr = err
 			break
 		}
-		j.ctx, j.src, j.dst, j.errc = ctx, src[s.off:s.end], dst[s.off:s.end], errc
-		w := f.workers[(start+i)%len(f.workers)]
-		sp := f.met.queueWait.Start()
-		select {
-		case w.queue <- j:
-			sp.End()
-			sent++
-			f.met.shards.Inc()
-			f.met.shardSize.Observe(int64((s.end - s.off + 15) / 16))
-		case <-ctx.Done():
-			sp.End()
-			firstErr = ctx.Err()
-		}
-		if firstErr != nil {
+		j.ctx, j.tn, j.src, j.dst, j.errc = ctx, f, src[s.off:s.end], dst[s.off:s.end], errc
+		sp := p.met.queueWait.Start()
+		err = p.place(ctx, j, used)
+		sp.End()
+		if err != nil {
+			firstErr = err
 			break
 		}
+		sent++
+		p.met.shards.Inc()
+		p.met.shardSize.Observe(int64((s.end - s.off + 15) / 16))
 	}
-	f.mu.RUnlock()
+	p.closeMu.RUnlock()
 	// Drain every dispatched shard, even after an error: workers always
 	// reply, so this cannot deadlock, and it keeps dst ownership clean.
 	for i := 0; i < sent; i++ {
@@ -389,13 +433,33 @@ func (f *Farm) EncryptECB(ctx context.Context, src []byte) ([]byte, error) {
 	return dst, nil
 }
 
-// EncryptCBC encrypts src in cipher-block-chaining mode. CBC is a
-// feedback mode — each block depends on the previous ciphertext — so the
-// message cannot shard: the whole call is a single job serialized onto
-// one worker (chosen round-robin), and throughput degrades to a single
-// device's fill+drain-per-block rate exactly as the paper's Table 1 FB
-// column predicts. The farm still provides it so the unified Cipher
-// surface is mode-complete on every backend.
+// DecryptECB inverts EncryptECB on the decryption datapath. Decryption
+// in ECB is as shardable as encryption — every block is independent —
+// so it fans out exactly like EncryptECB.
+func (f *Farm) DecryptECB(ctx context.Context, src []byte) ([]byte, error) {
+	f.met.requests[modeDecECB].Inc()
+	if len(src)%16 != 0 {
+		f.met.errsBy[modeDecECB].Inc()
+		return nil, fmt.Errorf("farm: input length %d is not a multiple of the block size", len(src))
+	}
+	dst := make([]byte, len(src))
+	err := f.dispatch(ctx, src, dst, f.shards(len(src)), func(span) (job, error) {
+		return job{mode: modeDecECB}, nil
+	})
+	f.finish(modeDecECB, err)
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// EncryptCBC encrypts src in cipher-block-chaining mode. CBC encryption
+// is a feedback mode — each block depends on the previous ciphertext —
+// so the message cannot shard: the whole call is a single job serialized
+// onto one worker, and throughput degrades to a single device's
+// fill+drain-per-block rate exactly as the paper's Table 1 FB column
+// predicts. The farm still provides it so the unified Cipher surface is
+// mode-complete on every backend.
 func (f *Farm) EncryptCBC(ctx context.Context, iv, src []byte) ([]byte, error) {
 	f.met.requests[modeCBC].Inc()
 	if len(iv) != 16 {
@@ -419,58 +483,62 @@ func (f *Farm) EncryptCBC(ctx context.Context, iv, src []byte) ([]byte, error) {
 	return dst, nil
 }
 
-// QueueDepth returns the number of shards currently waiting in worker
-// queues (the sum of the per-worker cobra_farm_queue_depth gauges). It
-// is the admission signal cmd/cobrad sheds load on: at QueueCapacity the
-// next dispatch would block on backpressure, so a server can answer BUSY
-// instead of queueing behind it.
-func (f *Farm) QueueDepth() int {
-	n := 0
-	for _, w := range f.workers {
-		n += len(w.queue)
+// DecryptCBC inverts EncryptCBC. Unlike the encryption direction, CBC
+// decryption is *not* a feedback mode: P[k] = D(C[k]) xor C[k-1] needs
+// only the previous ciphertext block, which the caller already holds in
+// src — so the message shards across the pool like ECB, with each
+// shard's chaining IV taken from the ciphertext one block before its
+// boundary (the call IV for the first shard).
+func (f *Farm) DecryptCBC(ctx context.Context, iv, src []byte) ([]byte, error) {
+	f.met.requests[modeDecCBC].Inc()
+	if len(iv) != 16 {
+		f.met.errsBy[modeDecCBC].Inc()
+		return nil, fmt.Errorf("farm: iv must be 16 bytes")
 	}
-	return n
+	if len(src)%16 != 0 {
+		f.met.errsBy[modeDecCBC].Inc()
+		return nil, fmt.Errorf("farm: input length %d is not a multiple of the block size", len(src))
+	}
+	dst := make([]byte, len(src))
+	err := f.dispatch(ctx, src, dst, f.shards(len(src)), func(s span) (job, error) {
+		j := job{mode: modeDecCBC}
+		if s.off == 0 {
+			copy(j.iv[:], iv)
+		} else {
+			copy(j.iv[:], src[s.off-16:s.off])
+		}
+		return j, nil
+	})
+	f.finish(modeDecCBC, err)
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
 }
 
-// QueueCapacity returns the total buffered shard capacity of the worker
-// queues — the saturation point of QueueDepth.
-func (f *Farm) QueueCapacity() int { return len(f.workers) * workerQueueDepth }
-
-// UsesFastpath reports whether the pool's devices serve bulk encryption
-// on the trace-compiled executor (the workers are replicas, so one
-// answer covers the pool).
-func (f *Farm) UsesFastpath() bool { return f.workers[0].dev.UsesFastpath() }
-
-// Close shuts the worker queues, waits for the workers to drain, and
-// detaches the farm's registry from its Config.Metrics parent so a closed
-// farm stops appearing in /metrics. Encrypt calls already dispatching
-// finish normally; calls made after Close return ErrClosed. Close is
-// idempotent.
+// Close invalidates the tenant; for a pool-owning Farm (Open/New) it
+// also drains and stops the workers and detaches the registry from its
+// Metrics parent. Calls already dispatching finish normally; calls made
+// after Close return ErrClosed. Idempotent.
 func (f *Farm) Close() error {
 	f.mu.Lock()
-	wasClosed := f.closed
-	if !f.closed {
-		f.closed = true
-		for _, w := range f.workers {
-			close(w.queue)
-		}
-	}
+	f.closed = true
 	f.mu.Unlock()
-	f.wg.Wait()
-	if !wasClosed && f.parent != nil {
-		f.parent.Detach(f.reg)
+	f.calls.Wait()
+	if f.ownsPool {
+		return f.pool.Close()
 	}
 	return nil
 }
 
-// WorkerReport is one worker's accumulated counters.
+// WorkerReport is one worker's accumulated counters for this tenant.
 type WorkerReport struct {
 	Jobs   int       `json:"jobs"`
 	BusyNs int64     `json:"busy_ns"`
 	Stats  sim.Stats `json:"stats"`
 }
 
-// Report aggregates the pool's counters: the backend-independent
+// Report aggregates the tenant's counters: the backend-independent
 // core.Summary (Stats totals the workers; ThroughputMbps is the simulated
 // aggregate rate) plus the farm-only breakdown. With every device clocked
 // alike, WallCycles — the busiest worker's datapath cycles — is the
@@ -488,23 +556,28 @@ type Report struct {
 	EffectiveMbps float64 `json:"effective_mbps"`
 }
 
-// Report snapshots the farm-wide counters; safe to call while jobs are in
-// flight (every input is an atomic registry counter).
+// Report snapshots the tenant's counters; safe to call while jobs are
+// in flight. Stats are summed from the per-call sim.Stats each device
+// run returns (not read back from devices, which a shared pool
+// reconfigures between tenants).
 func (f *Farm) Report() Report {
 	r := Report{Summary: core.Summary{
 		Algorithm:   f.alg,
 		Backend:     "farm",
-		Workers:     len(f.workers),
+		Workers:     f.pool.Workers(),
 		Unroll:      f.unroll,
 		Rows:        f.rows,
 		DatapathMHz: f.mhz,
 	}}
-	for _, w := range f.workers {
+	for i := range f.slots {
+		s := &f.slots[i]
+		s.mu.Lock()
 		wr := WorkerReport{
-			Jobs:   int(w.jobs.Value() - w.jobsSnap.Load()),
-			BusyNs: w.busyNs.Value() - w.busySnap.Load(),
-			Stats:  w.dev.Report().Stats,
+			Jobs:   s.jobs - s.jobsSnap,
+			BusyNs: s.busyNs - s.busySnap,
+			Stats:  s.stats.Delta(s.statsSnap),
 		}
+		s.mu.Unlock()
 		r.PerWorker = append(r.PerWorker, wr)
 		r.Stats.Add(wr.Stats)
 		if wr.Stats.Cycles > r.WallCycles {
@@ -525,13 +598,16 @@ func (f *Farm) Report() Report {
 // accessor).
 func (f *Farm) Summary() core.Summary { return f.Report().Summary }
 
-// ResetStats zeroes every worker's counters between measurement phases.
-// Safe while jobs are in flight: each reset is a snapshot of atomic
-// counters, and the exported /metrics series stay monotonic.
+// ResetStats rewinds the tenant's report view between measurement
+// phases without disturbing exported /metrics series (which stay
+// monotonic). Safe while jobs are in flight.
 func (f *Farm) ResetStats() {
-	for _, w := range f.workers {
-		w.jobsSnap.Store(w.jobs.Value())
-		w.busySnap.Store(w.busyNs.Value())
-		w.dev.ResetStats()
+	for i := range f.slots {
+		s := &f.slots[i]
+		s.mu.Lock()
+		s.jobsSnap = s.jobs
+		s.busySnap = s.busyNs
+		s.statsSnap = s.stats
+		s.mu.Unlock()
 	}
 }

@@ -362,7 +362,7 @@ func TestFarmQueueSignals(t *testing.T) {
 		unstall()
 		f.Close()
 	}()
-	for _, w := range f.workers {
+	for _, w := range f.pool.workers {
 		w.fault = func(j *job) error { <-release; return nil }
 	}
 	done := make(chan error, 1)

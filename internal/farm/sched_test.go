@@ -1,0 +1,404 @@
+package farm
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cobra/internal/core"
+)
+
+// TestOptionsDefaults pins the Options surface: zero values fill in,
+// invalid values error, and the deprecated New shim keeps its historical
+// validation.
+func TestOptionsDefaults(t *testing.T) {
+	o, err := Options{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Workers != 4 || o.MinWorkers != 1 || o.QueueDepth != workerQueueDepth ||
+		o.ShardBlocks != DefaultShardBlocks || o.Policy != PolicyAffinity || o.StealBacklog != 2 {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+	if _, err := (Options{Workers: -1}).withDefaults(); err == nil {
+		t.Error("negative workers accepted")
+	}
+	if _, err := (Options{Policy: "lifo"}).withDefaults(); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := (Options{QueueDepth: -2}).withDefaults(); err == nil {
+		t.Error("negative queue depth accepted")
+	}
+	if _, err := (Options{ShardBlocks: -8}).withDefaults(); err == nil {
+		t.Error("negative shard blocks accepted")
+	}
+	if o, err := (Options{MinWorkers: 9, Workers: 2}).withDefaults(); err != nil || o.MinWorkers != 2 {
+		t.Errorf("MinWorkers not clamped to Workers: %+v (%v)", o, err)
+	}
+	if _, err := New(core.Rijndael, key, core.Config{}, 0); err == nil {
+		t.Error("New with 0 workers accepted")
+	}
+	if _, err := Open(core.Rijndael, key, Options{Policy: "bogus"}); err == nil {
+		t.Error("Open with a bogus policy accepted")
+	}
+}
+
+// TestFarmDecryptECBMatchesDevice round-trips the sharded ECB decrypt
+// path against a single device and checks its validation.
+func TestFarmDecryptECBMatchesDevice(t *testing.T) {
+	msg := testMessage(16 * 53)
+	f, err := Open(core.Rijndael, key, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ct, err := f.EncryptECB(context.Background(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.Configure(core.Rijndael, key, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.DecryptECB(context.Background(), ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.DecryptECB(context.Background(), ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) || !bytes.Equal(got, msg) {
+		t.Fatal("farm ECB decrypt diverges from single-device decrypt")
+	}
+	if _, err := f.DecryptECB(context.Background(), ct[:17]); err == nil {
+		t.Error("partial block accepted")
+	}
+}
+
+// TestFarmDecryptCBCShardBoundaries is the off-by-one regression test
+// for sharded CBC decryption: every shard after the first must take its
+// chaining IV from the ciphertext block immediately before its boundary.
+// A tiny ShardBlocks forces many boundaries, and odd message sizes place
+// them away from powers of two; any boundary using the wrong block (or
+// the call IV) corrupts the first plaintext block of that shard.
+func TestFarmDecryptCBCShardBoundaries(t *testing.T) {
+	iv := bytes.Repeat([]byte{0xA5}, 16)
+	d, err := core.Configure(core.Rijndael, key, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, blocks := range []int{1, 2, 3, 7, 16, 37} {
+		msg := testMessage(16 * blocks)
+		ct, err := d.EncryptCBC(context.Background(), iv, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shardBlocks := range []int{1, 2, 5} {
+			f, err := Open(core.Rijndael, key, Options{Workers: 3, ShardBlocks: shardBlocks})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := f.DecryptCBC(context.Background(), iv, ct)
+			f.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("blocks=%d shardBlocks=%d: sharded CBC decrypt corrupted the plaintext", blocks, shardBlocks)
+			}
+		}
+	}
+	f, err := Open(core.Rijndael, key, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.DecryptCBC(context.Background(), iv[:3], testMessage(32)); err == nil {
+		t.Error("short IV accepted")
+	}
+	if _, err := f.DecryptCBC(context.Background(), iv, testMessage(33)); err == nil {
+		t.Error("partial block accepted")
+	}
+}
+
+// TestFarmSameProgramSteal pins the work-stealing path: with one worker
+// held mid-job by a gated fault, the shards queued behind it must be
+// stolen and completed by its sibling — the dispatch cannot finish
+// otherwise — and the steal is counted.
+func TestFarmSameProgramSteal(t *testing.T) {
+	f, err := Open(core.Rijndael, key, Options{Workers: 2, ShardBlocks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Hold the first job of each worker at a gate: the dispatcher fills
+	// both queues behind the held jobs, then releasing only worker 0
+	// leaves worker 1 running with a backlog — which worker 0, once its
+	// own queue drains, must steal to let the call finish.
+	gates := [2]chan struct{}{make(chan struct{}), make(chan struct{})}
+	var onces [2]sync.Once
+	var releases [2]sync.Once
+	release := func(i int) { releases[i].Do(func() { close(gates[i]) }) }
+	defer release(0)
+	defer release(1)
+	for i := range gates {
+		i := i
+		f.pool.workers[i].fault = func(*job) error {
+			onces[i].Do(func() { <-gates[i] })
+			return nil
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		// 512 blocks at 64 per shard = 8 shards on 2 workers.
+		_, err := f.EncryptCTR(context.Background(), make([]byte, 16), testMessage(16*512))
+		done <- err
+	}()
+	deadline := time.After(10 * time.Second)
+	for f.QueueDepth() < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("queues never filled behind the held workers")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	release(0)
+	for f.pool.SchedStats().ProgramSteals == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no same-program steal while a worker was held with a backlog")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	release(1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if st := f.pool.SchedStats(); st.Reconfigures != 0 {
+		t.Errorf("same-program steals paid %d reconfigurations, want 0", st.Reconfigures)
+	}
+}
+
+// TestFarmAutoscaleQuiesce checks the elastic worker set: an idle pool
+// parks down to MinWorkers, and demand reactivates parked workers.
+func TestFarmAutoscaleQuiesce(t *testing.T) {
+	f, err := Open(core.Rijndael, key, Options{Workers: 4, MinWorkers: 1, IdleQuiesce: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	iv := make([]byte, 16)
+	msg := testMessage(16 * 64)
+	want, err := f.EncryptCTR(context.Background(), iv, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for f.pool.ActiveWorkers() > 1 {
+		select {
+		case <-deadline:
+			t.Fatalf("pool never quiesced: %d workers active", f.pool.ActiveWorkers())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if st := f.pool.SchedStats(); st.Quiesces < 3 {
+		t.Errorf("Quiesces = %d, want >= 3", st.Quiesces)
+	}
+	// Demand wakes parked workers and the output stays correct.
+	got, err := f.EncryptCTR(context.Background(), iv, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("post-quiesce output diverges")
+	}
+	if st := f.pool.SchedStats(); st.ScaleUps == 0 {
+		t.Error("no scale-ups recorded after post-quiesce traffic")
+	}
+}
+
+// TestPoolMultiTenantAffinity is the scheduler's reason to exist: two
+// tenants with different keys sharing one pool must partition onto
+// disjoint workers after warmup, so steady-state traffic pays zero
+// reconfigurations.
+func TestPoolMultiTenantAffinity(t *testing.T) {
+	p, err := NewPool(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	key2 := bytes.Repeat([]byte{0x5A}, 16)
+	a, err := p.Open(core.Rijndael, key, core.Config{Unroll: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Open(core.Rijndael, key2, core.Config{Unroll: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := make([]byte, 16)
+	msg := testMessage(16 * 32)
+	round := func() {
+		t.Helper()
+		if _, err := a.EncryptCTR(context.Background(), iv, msg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.EncryptCTR(context.Background(), iv, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warmup: the tenants claim workers (cold configures, plus at most a
+	// couple of cross-steal reconfigurations while the partition forms).
+	for i := 0; i < 2; i++ {
+		round()
+	}
+	warm := p.SchedStats()
+	if warm.Reconfigures > 4 {
+		t.Errorf("warmup paid %d reconfigurations, want <= 4", warm.Reconfigures)
+	}
+	for i := 0; i < 8; i++ {
+		round()
+	}
+	st := p.SchedStats()
+	if d := st.Reconfigures - warm.Reconfigures; d != 0 {
+		t.Errorf("steady state paid %d reconfigurations, want 0", d)
+	}
+	if st.AffinityHits <= warm.AffinityHits {
+		t.Error("no affinity hits recorded in steady state")
+	}
+	// Tenant reports are independent: both saw traffic, and closing one
+	// tenant leaves the other (and the pool) serving.
+	if a.Report().Stats.BlocksOut == 0 || b.Report().Stats.BlocksOut == 0 {
+		t.Error("tenant reports missing traffic")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.EncryptCTR(context.Background(), iv, msg); err != ErrClosed {
+		t.Errorf("closed tenant err = %v, want ErrClosed", err)
+	}
+	if _, err := b.EncryptCTR(context.Background(), iv, msg); err != nil {
+		t.Errorf("sibling tenant broken by Close: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.EncryptCTR(context.Background(), iv, msg); err != ErrClosed {
+		t.Errorf("tenant on closed pool err = %v, want ErrClosed", err)
+	}
+}
+
+// TestPoolRoundRobinReconfigures is the control arm: the same two-tenant
+// workload under PolicyRoundRobin rotates every worker through both
+// programs and must pay reconfigurations — the cost the affinity
+// scheduler exists to avoid (compared directly in the benchmark sweep).
+func TestPoolRoundRobinReconfigures(t *testing.T) {
+	p, err := NewPool(Options{Workers: 4, Policy: PolicyRoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	key2 := bytes.Repeat([]byte{0x5A}, 16)
+	a, err := p.Open(core.Rijndael, key, core.Config{Unroll: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Open(core.Rijndael, key2, core.Config{Unroll: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := make([]byte, 16)
+	msg := testMessage(16 * 32)
+	refA := refCTR(t, reference(t, core.Rijndael), iv, msg)
+	for i := 0; i < 4; i++ {
+		got, err := a.EncryptCTR(context.Background(), iv, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, refA) {
+			t.Fatal("round-robin pool corrupted tenant A's ciphertext")
+		}
+		if _, err := b.EncryptCTR(context.Background(), iv, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := p.SchedStats(); st.Reconfigures == 0 {
+		t.Error("round-robin rotation of two programs paid no reconfigurations")
+	}
+}
+
+// TestPoolWorkStealingSoak is the -race soak for the scheduler: several
+// tenants hammer a small shared pool concurrently in every sharded mode,
+// every result verified, so placement, stealing, rebinding, autoscaling
+// and tenant accounting all interleave under the race detector.
+func TestPoolWorkStealingSoak(t *testing.T) {
+	p, err := NewPool(Options{Workers: 4, IdleQuiesce: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	calls := 12
+	if testing.Short() {
+		calls = 4
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for tn := 0; tn < 3; tn++ {
+		tkey := bytes.Repeat([]byte{byte(0x11 * (tn + 1))}, 16)
+		f, err := p.Open(core.Rijndael, tkey, core.Config{Unroll: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(f *Farm, seed int) {
+				defer wg.Done()
+				ctx := context.Background()
+				iv := bytes.Repeat([]byte{byte(seed)}, 16)
+				for i := 0; i < calls; i++ {
+					msg := testMessage(16 * (64 + 16*seed + i))
+					ct, err := f.EncryptCBC(ctx, iv, msg)
+					if err != nil {
+						errs <- err
+						return
+					}
+					pt, err := f.DecryptCBC(ctx, iv, ct)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !bytes.Equal(pt, msg) {
+						errs <- fmt.Errorf("seed %d call %d: CBC round trip corrupted", seed, i)
+						return
+					}
+					ecb, err := f.EncryptECB(ctx, msg)
+					if err != nil {
+						errs <- err
+						return
+					}
+					pt, err = f.DecryptECB(ctx, ecb)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !bytes.Equal(pt, msg) {
+						errs <- fmt.Errorf("seed %d call %d: ECB round trip corrupted", seed, i)
+						return
+					}
+				}
+			}(f, tn*2+g)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := p.SchedStats(); st.AffinityHits == 0 {
+		t.Errorf("soak recorded no affinity hits: %+v", st)
+	}
+}

@@ -23,9 +23,18 @@ type Options struct {
 	// (default — one simulated COBRA chip per configuration) or "farm"
 	// (a pool of Workers replicated chips; non-feedback modes shard).
 	Backend string
-	// Workers is the farm width per backend (default 4; ignored for
-	// "device").
+	// Workers is the worker-pool width shared by every farm backend
+	// (default 4; ignored for "device"). One pool serves all tenant
+	// configurations: the scheduler keeps each worker's device bound to
+	// one (program, key) so tenant traffic avoids reconfigurations.
 	Workers int
+	// MinWorkers is the floor the shared pool quiesces down to when
+	// idle (default 1; ignored for "device").
+	MinWorkers int
+	// SchedPolicy selects the pool's placement policy: "affinity"
+	// (default — program-aware, work stealing, elastic) or
+	// "roundrobin" (the baseline). Ignored for "device".
+	SchedPolicy string
 	// MaxBackends bounds the LRU of configured backends (default 8).
 	// Distinct (algorithm, key, unroll) triples beyond this evict the
 	// least-recently-used idle backend; if every cached backend is
@@ -102,6 +111,10 @@ type Server struct {
 	reg   *obs.Registry
 	met   *serverMetrics
 	cache *cache
+	// pool is the worker pool shared by every farm backend (nil for the
+	// device backend). Tenants opened on it keep program affinity across
+	// backend evictions and re-CONFIGUREs.
+	pool *farm.Pool
 
 	ln         net.Listener
 	acceptDone chan struct{}
@@ -129,6 +142,18 @@ func NewServer(opts Options) (*Server, error) {
 		drainCh: make(chan struct{}),
 	}
 	s.met = newServerMetrics(s.reg)
+	if opts.Backend == "farm" {
+		pool, err := farm.NewPool(farm.Options{
+			Workers:    opts.Workers,
+			MinWorkers: opts.MinWorkers,
+			Policy:     farm.Policy(opts.SchedPolicy),
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.pool = pool
+		s.reg.Attach(pool.Obs())
+	}
 	s.cache = newCache(opts.MaxBackends, s.buildBackend)
 	s.cache.hits = s.reg.Counter("cobra_serve_backend_hits_total",
 		"CONFIGUREs served from the backend LRU (no reconfiguration paid).")
@@ -159,7 +184,7 @@ func (s *Server) buildBackend(k backendKey, e *backend) error {
 	cfg := core.Config{Unroll: k.unroll, Interpreter: s.opts.Interpreter}
 	switch s.opts.Backend {
 	case "farm":
-		f, err := farm.New(k.alg, []byte(k.key), cfg, s.opts.Workers)
+		f, err := s.pool.Open(k.alg, []byte(k.key), cfg)
 		if err != nil {
 			return err
 		}
@@ -465,15 +490,6 @@ func (s *Server) handleConfigure(sess *session, f Frame) bool {
 	return sess.write(Frame{Type: FrameConfigure, Payload: ack.Encode()})
 }
 
-// blockDecrypter is the optional backend surface for decryption beyond
-// counter mode: the single Device carries a lazily built decryption
-// datapath; a farm does not (the paper's evaluation maps encryption),
-// so DECRYPT ecb/cbc on a farm answers CodeUnsupported.
-type blockDecrypter interface {
-	DecryptECB(ctx context.Context, src []byte) ([]byte, error)
-	DecryptCBC(ctx context.Context, iv, src []byte) ([]byte, error)
-}
-
 func (s *Server) handleCipher(sess *session, f Frame) bool {
 	if sess.backend == nil {
 		return sess.writeError(CodeSequence, "encrypt/decrypt before configure")
@@ -532,18 +548,14 @@ func (s *Server) runCipher(ctx context.Context, b *backend, t FrameType, req Cip
 			return b.cipher.EncryptCTR(ctx, req.IV, req.Data)
 		}
 	}
-	if req.Mode == ModeCTR {
+	switch req.Mode {
+	case ModeECB:
+		return b.cipher.DecryptECB(ctx, req.Data)
+	case ModeCBC:
+		return b.cipher.DecryptCBC(ctx, req.IV, req.Data)
+	default:
 		return b.cipher.DecryptCTR(ctx, req.IV, req.Data)
 	}
-	dec, ok := b.cipher.(blockDecrypter)
-	if !ok {
-		return nil, &WireError{Code: CodeUnsupported,
-			Msg: fmt.Sprintf("decrypt %s unsupported on backend %q (use ctr, or a device backend)", req.Mode, s.opts.Backend)}
-	}
-	if req.Mode == ModeECB {
-		return dec.DecryptECB(ctx, req.Data)
-	}
-	return dec.DecryptCBC(ctx, req.IV, req.Data)
 }
 
 // StatsReply is the JSON payload answering a STATS frame.
@@ -626,6 +638,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-s.acceptDone
 	}
 	s.cache.closeAll()
+	if s.pool != nil {
+		s.pool.Close() // idempotent; tenants were closed by closeAll
+	}
 	s.mu.Lock()
 	if s.opts.Metrics != nil {
 		s.opts.Metrics.Detach(s.reg)

@@ -200,8 +200,8 @@ func TestServeRoundTrips(t *testing.T) {
 }
 
 // TestServeFarmBackend checks the farm path: sharded CTR against the
-// host reference, and the documented CodeUnsupported for block-mode
-// decryption on a farm.
+// host reference, and block-mode decryption — sharded ECB and
+// IV-overlapped sharded CBC — inverting encryption through the wire.
 func TestServeFarmBackend(t *testing.T) {
 	s := startServer(t, serve.Options{Backend: "farm", Workers: 2})
 	key := keyN(9)
@@ -231,14 +231,19 @@ func TestServeFarmBackend(t *testing.T) {
 		t.Error("farm ctr decrypt does not invert encrypt")
 	}
 
-	_, err = c.Decrypt(serve.ModeECB, nil, refECB(blk, msg))
-	var we *serve.WireError
-	if !errors.As(err, &we) || we.Code != serve.CodeUnsupported {
-		t.Fatalf("farm ecb decrypt: want CodeUnsupported, got %v", err)
+	pt, err = c.Decrypt(serve.ModeECB, nil, refECB(blk, msg))
+	if err != nil {
+		t.Fatalf("farm ecb decrypt: %v", err)
 	}
-	// The error must not have poisoned the session.
-	if _, err := c.Encrypt(serve.ModeECB, nil, msg); err != nil {
-		t.Fatalf("session unusable after unsupported request: %v", err)
+	if !bytes.Equal(pt, msg) {
+		t.Error("farm ecb decrypt does not invert host-reference encrypt")
+	}
+	pt, err = c.Decrypt(serve.ModeCBC, testIV, refCBC(blk, testIV, msg))
+	if err != nil {
+		t.Fatalf("farm cbc decrypt: %v", err)
+	}
+	if !bytes.Equal(pt, msg) {
+		t.Error("farm cbc decrypt does not invert host-reference encrypt")
 	}
 }
 

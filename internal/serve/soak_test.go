@@ -52,7 +52,7 @@ func TestServeSoak(t *testing.T) {
 	}
 	s := startServer(t, serve.Options{
 		Backend:     "farm",
-		Workers:     2,
+		Workers:     4,
 		MaxBackends: 4,
 		MaxInflight: 2,
 		MaxWaiters:  2,
@@ -95,6 +95,42 @@ func TestServeSoak(t *testing.T) {
 		}
 	}
 
+	// decryptVerified exercises the block-mode decrypt surface over the
+	// wire: sharded ECB and IV-overlapped sharded CBC, both inverted
+	// against host-reference ciphertext.
+	decryptVerified := func(c *client.Client, tn *soakTenant, rng *rand.Rand, blocks int) bool {
+		msg := testMessage(blocks * 16)
+		iv := testMessage(16)
+		for _, req := range []struct {
+			mode serve.Mode
+			iv   []byte
+			ct   []byte
+		}{
+			{serve.ModeECB, nil, refECB(tn.blk, msg)},
+			{serve.ModeCBC, iv, refCBC(tn.blk, iv, msg)},
+		} {
+			mode := req.mode
+			for {
+				pt, err := c.Decrypt(mode, req.iv, req.ct)
+				if serve.IsBusy(err) {
+					sheds.Add(1)
+					time.Sleep(time.Duration(1+rng.Intn(4)) * time.Millisecond)
+					continue
+				}
+				if err != nil {
+					fail("tenant %s: decrypt %s: %v", tn.name, mode, err)
+					return false
+				}
+				requests.Add(1)
+				if !bytes.Equal(pt, msg) {
+					fail("tenant %s: %s decrypt does not invert host reference", tn.name, mode)
+				}
+				break
+			}
+		}
+		return true
+	}
+
 	// Phase 1: the wide soak. Each session configures its tenant and
 	// runs a few small verified requests.
 	var wg sync.WaitGroup
@@ -128,6 +164,7 @@ func TestServeSoak(t *testing.T) {
 					return
 				}
 			}
+			decryptVerified(c, tn, rng, 2+rng.Intn(7))
 		}(i)
 	}
 	wg.Wait()
